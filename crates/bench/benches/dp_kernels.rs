@@ -1,0 +1,71 @@
+//! Benchmarks of the Basic_DP / Reservation_DP kernels.
+//!
+//! The LOS family's per-cycle cost is dominated by these dynamic
+//! programs; the LOS paper bounds practical cost with a lookahead of 50
+//! jobs. These benchmarks measure kernel cost against queue length and
+//! machine granularity, validating that the 50-job window is cheap on
+//! BlueGene/P-style units and still tractable on unit-1 machines.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastisched_sched::{basic_dp, reservation_dp, DpItem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sizes(n: usize, unit: u32, max_units: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(1..=max_units) * unit).collect()
+}
+
+fn bench_basic_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("basic_dp");
+    for &n in &[10usize, 50, 100, 200] {
+        let s = sizes(n, 32, 10, n as u64);
+        group.bench_with_input(BenchmarkId::new("bluegene_units", n), &s, |b, s| {
+            b.iter(|| basic_dp(black_box(s), 320, 32))
+        });
+    }
+    // Unit-1 machine (SDSC-like): a 128-wide table.
+    for &n in &[50usize, 200] {
+        let s = sizes(n, 1, 128, n as u64);
+        group.bench_with_input(BenchmarkId::new("unit1_128procs", n), &s, |b, s| {
+            b.iter(|| basic_dp(black_box(s), 128, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reservation_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reservation_dp");
+    for &n in &[10usize, 50, 100, 200] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let items: Vec<DpItem> = (0..n)
+            .map(|_| DpItem {
+                num: rng.gen_range(1..=10u32) * 32,
+                extends: rng.gen_bool(0.5),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("bluegene_units", n), &items, |b, items| {
+            b.iter(|| reservation_dp(black_box(items), 320, 160, 32))
+        });
+    }
+    for &n in &[50usize, 200] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let items: Vec<DpItem> = (0..n)
+            .map(|_| DpItem {
+                num: rng.gen_range(1..=128u32),
+                extends: rng.gen_bool(0.5),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("unit1_128procs", n), &items, |b, items| {
+            b.iter(|| reservation_dp(black_box(items), 128, 64, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_basic_dp, bench_reservation_dp
+}
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Benchmark and reproduction harness library (see `src/bin/repro.rs` and `benches/`).

@@ -1,0 +1,344 @@
+//! `escli` — command-line front end for the elastisched library.
+//!
+//! Subcommands:
+//!
+//! * `generate` — produce a synthetic CWF workload file;
+//! * `run` — simulate one algorithm over a CWF/SWF trace and print the
+//!   paper's metrics;
+//! * `compare` — run several algorithms over the same trace;
+//! * `gantt` — render a schedule as a text Gantt chart + sparkline;
+//! * `tune` — empirically tune the maximum skip count `C_s` (§V-A);
+//! * `info` — trace statistics and workload characterization;
+//! * `algorithms` — list the algorithm registry (paper Table III).
+
+use elastisched::prelude::*;
+use elastisched_sched::SchedParams;
+use elastisched_workload::cwf::CwfFile;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "escli — elastic heterogeneous job-scheduling simulator
+
+USAGE:
+  escli generate --out <file.cwf> [--jobs N] [--ps P] [--pd P] [--eccs]
+                 [--load L] [--seed S]
+  escli run --trace <file.cwf> --algo <name> [--cs N] [--machine M:unit]
+  escli compare --trace <file.cwf> [--algos a,b,c] [--cs N] [--machine M:unit]
+  escli gantt --trace <file.cwf> --algo <name> [--cs N] [--machine M:unit]
+              [--width W] [--rows R]
+  escli tune --ps P [--load L] [--jobs N] [--reps R] [--cs 1,3,7,...]
+  escli info --trace <file.cwf>
+  escli algorithms
+
+Defaults: 500 jobs, P_S=0.5, P_D=0, machine 320:32 (BlueGene/P), C_s=7.
+Algorithms: FCFS, Conservative, EASY[-D|-E|-DE], LOS[-D|-E|-DE],
+            Delayed-LOS[-E], Hybrid-LOS[-E], Adaptive."
+}
+
+struct Args {
+    flags: std::collections::HashMap<String, String>,
+    bools: std::collections::HashSet<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut flags = std::collections::HashMap::new();
+        let mut bools = std::collections::HashSet::new();
+        let mut i = 0;
+        while i < argv.len() {
+            if let Some(name) = argv[i].strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    flags.insert(name.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    bools.insert(name.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { flags, bools }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.bools.contains(name)
+    }
+}
+
+fn parse_machine(args: &Args) -> Result<MachineSpec, String> {
+    match args.get("machine") {
+        None => Ok(MachineSpec::BLUEGENE_P),
+        Some(spec) => {
+            let (m, u) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("--machine must be TOTAL:UNIT, got {spec:?}"))?;
+            Ok(MachineSpec {
+                total: m.parse().map_err(|_| "bad machine total".to_string())?,
+                unit: u.parse().map_err(|_| "bad machine unit".to_string())?,
+            })
+        }
+    }
+}
+
+fn load_trace(path: &str) -> Result<Workload, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let cwf = CwfFile::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    Ok(cwf.to_workload())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out = args.get("out").ok_or("--out is required")?;
+    let jobs: usize = args.get_parsed("jobs", 500)?;
+    let ps: f64 = args.get_parsed("ps", 0.5)?;
+    let pd: f64 = args.get_parsed("pd", 0.0)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let mut cfg = GeneratorConfig::paper_heterogeneous(ps, pd)
+        .with_jobs(jobs)
+        .with_seed(seed);
+    if args.has("eccs") {
+        cfg = cfg.with_paper_eccs();
+    }
+    let mut w = generate(&cfg);
+    if let Some(load) = args.get("load") {
+        let load: f64 = load.parse().map_err(|_| "bad --load")?;
+        w.scale_to_load(320, load);
+    }
+    let file = CwfFile::from_workload(&w);
+    std::fs::write(out, file.to_text()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} jobs ({} dedicated), {} ECCs, offered load {:.3}",
+        w.len(),
+        w.dedicated_count(),
+        w.eccs.len(),
+        w.offered_load(320)
+    );
+    Ok(())
+}
+
+fn print_metrics(m: &RunMetrics) {
+    println!(
+        "{:<14} util {:>7.4}  wait {:>9.1}s  slowdown {:>7.3}  jobs {:>5}  ded-delay {:>8.1}s  eccs {}",
+        m.scheduler,
+        m.utilization,
+        m.mean_wait,
+        m.slowdown,
+        m.jobs,
+        m.mean_dedicated_delay,
+        m.eccs_applied
+    );
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let trace = args.get("trace").ok_or("--trace is required")?;
+    let algo: Algorithm = args
+        .get("algo")
+        .ok_or("--algo is required")?
+        .parse()
+        .map_err(|e: String| e)?;
+    let cs: u32 = args.get_parsed("cs", 7)?;
+    let machine = parse_machine(args)?;
+    let w = load_trace(trace)?;
+    let exp = Experiment {
+        algorithm: algo,
+        params: SchedParams::with_cs(cs),
+        machine,
+    };
+    let m = exp.run(&w).map_err(|e| e.to_string())?;
+    print_metrics(&m);
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let trace = args.get("trace").ok_or("--trace is required")?;
+    let cs: u32 = args.get_parsed("cs", 7)?;
+    let machine = parse_machine(args)?;
+    let w = load_trace(trace)?;
+    let algos: Vec<Algorithm> = match args.get("algos") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse::<Algorithm>())
+            .collect::<Result<_, _>>()?,
+        None => {
+            if w.dedicated_count() > 0 {
+                vec![Algorithm::EasyD, Algorithm::LosD, Algorithm::HybridLos]
+            } else {
+                vec![Algorithm::Easy, Algorithm::Los, Algorithm::DelayedLos]
+            }
+        }
+    };
+    println!(
+        "trace: {} jobs ({} dedicated), {} ECCs, load {:.3}",
+        w.len(),
+        w.dedicated_count(),
+        w.eccs.len(),
+        w.offered_load(machine.total)
+    );
+    let results = elastisched::parallel_map(algos, |algo| {
+        let exp = Experiment {
+            algorithm: algo,
+            params: SchedParams::with_cs(cs),
+            machine,
+        };
+        exp.run(&w).map_err(|e| e.to_string())
+    });
+    for r in results {
+        print_metrics(&r?);
+    }
+    Ok(())
+}
+
+fn cmd_gantt(args: &Args) -> Result<(), String> {
+    let trace = args.get("trace").ok_or("--trace is required")?;
+    let algo: Algorithm = args
+        .get("algo")
+        .ok_or("--algo is required")?
+        .parse()
+        .map_err(|e: String| e)?;
+    let cs: u32 = args.get_parsed("cs", 7)?;
+    let width: usize = args.get_parsed("width", 100)?;
+    let rows: usize = args.get_parsed("rows", 40)?;
+    let machine = parse_machine(args)?;
+    let w = load_trace(trace)?;
+    let exp = Experiment {
+        algorithm: algo,
+        params: SchedParams::with_cs(cs),
+        machine,
+    };
+    let r = exp.run_raw(&w).map_err(|e| e.to_string())?;
+    println!("{}", elastisched_metrics::gantt(&r.outcomes, width, rows));
+    let profile = elastisched_metrics::utilization_profile(
+        &r.outcomes,
+        machine.total,
+        (r.makespan.as_secs() / width.max(1) as u64).max(1),
+    );
+    println!("utilization {}", elastisched_metrics::sparkline(&profile));
+    println!(
+        "mean utilization {:.4} over makespan {}s ('·' waiting, '=' batch, '#' dedicated)",
+        r.mean_utilization(),
+        r.makespan.as_secs()
+    );
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let ps: f64 = args.get_parsed("ps", 0.5)?;
+    let load: f64 = args.get_parsed("load", 0.9)?;
+    let jobs: usize = args.get_parsed("jobs", 400)?;
+    let reps: usize = args.get_parsed("reps", 2)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let candidates: Vec<u32> = match args.get("cs") {
+        Some(list) => list
+            .split(',')
+            .map(|t| t.trim().parse::<u32>().map_err(|_| format!("bad C_s {t:?}")))
+            .collect::<Result<_, _>>()?,
+        None => vec![0, 1, 2, 3, 5, 7, 10, 14, 20],
+    };
+    let base = GeneratorConfig::paper_batch(ps).with_jobs(jobs);
+    let tuning = elastisched::tune_cs(
+        &base,
+        MachineSpec::BLUEGENE_P,
+        load,
+        &candidates,
+        reps,
+        seed,
+    );
+    println!(
+        "tuning C_s for Delayed-LOS (P_S={ps}, load={load}, {jobs} jobs × {reps} seeds):"
+    );
+    println!("{:>5} {:>12} {:>14}", "C_s", "utilization", "mean wait (s)");
+    for c in &tuning.candidates {
+        let marker = if c.cs == tuning.best { "  ← best" } else { "" };
+        println!("{:>5} {:>12.4} {:>14.1}{marker}", c.cs, c.utilization, c.mean_wait);
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let trace = args.get("trace").ok_or("--trace is required")?;
+    let w = load_trace(trace)?;
+    println!("jobs:            {}", w.len());
+    println!("dedicated:       {}", w.dedicated_count());
+    println!("eccs:            {}", w.eccs.len());
+    println!("mean size:       {:.1} procs", w.mean_size());
+    println!("mean runtime:    {:.1} s", w.mean_runtime());
+    println!("offered load:    {:.3} (on 320 procs)", w.offered_load(320));
+    if let (Some(first), Some(last)) = (w.jobs.first(), w.jobs.last()) {
+        println!(
+            "arrival span:    {} .. {} s",
+            first.submit.as_secs(),
+            last.submit.as_secs()
+        );
+    }
+    println!();
+    print!(
+        "{}",
+        elastisched_workload::characterization_to_text(&elastisched_workload::characterize(&w))
+    );
+    Ok(())
+}
+
+fn cmd_algorithms() {
+    println!("{:<16} {:<15} ECC Processor", "Algorithm", "Workload");
+    for a in Algorithm::PAPER_TABLE_III {
+        println!(
+            "{:<16} {:<15} {}",
+            a.name(),
+            if a.heterogeneous() {
+                "Heterogeneous"
+            } else {
+                "Batch"
+            },
+            if a.elastic() { "Yes" } else { "No" }
+        );
+    }
+    println!("{:<16} {:<15} No", "FCFS", "Batch");
+    println!("{:<16} {:<15} No", "Conservative", "Batch");
+    println!("{:<16} {:<15} No", "Adaptive", "Batch");
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().map(String::as_str) else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd {
+        "generate" => cmd_generate(&args),
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "info" => cmd_info(&args),
+        "tune" => cmd_tune(&args),
+        "gantt" => cmd_gantt(&args),
+        "algorithms" => {
+            cmd_algorithms();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

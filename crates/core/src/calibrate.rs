@@ -1,0 +1,119 @@
+//! Load calibration.
+//!
+//! The paper varies offered load by varying `β_arr` (Table II) and, for
+//! Figure 1, by scaling arrival times of a fixed trace. Both knobs are
+//! provided here. `calibrated_workload` combines them: generate with the
+//! Lublin arrival process (burstiness, rush hours, correlations intact),
+//! then apply the paper's arrival-scaling so the achieved load lands
+//! exactly on the requested x-axis point.
+
+use crate::experiment::MachineSpec;
+use elastisched_workload::{generate, GeneratorConfig, Workload};
+
+/// Generate a workload whose offered load on `machine` equals `load`
+/// (up to rounding of integral arrival times).
+pub fn calibrated_workload(
+    base: &GeneratorConfig,
+    machine: MachineSpec,
+    load: f64,
+    seed: u64,
+) -> Workload {
+    assert!(load > 0.0, "target load must be positive");
+    let cfg = GeneratorConfig {
+        seed,
+        machine_procs: machine.total,
+        ..*base
+    };
+    let mut w = generate(&cfg);
+    w.scale_to_load(machine.total, load);
+    w
+}
+
+/// Binary-search the `β_arr` that produces the requested offered load
+/// *without* post-scaling (the paper's §IV-D method). Returns the found
+/// `β_arr` and the workload it generates. Monotonicity: larger `β_arr`
+/// means longer inter-arrival gaps and lower load.
+pub fn search_beta_arr(
+    base: &GeneratorConfig,
+    machine: MachineSpec,
+    load: f64,
+    seed: u64,
+    tolerance: f64,
+) -> (f64, Workload) {
+    let mut lo = 0.05_f64; // very fast arrivals → very high load
+    let mut hi = 1.5_f64; // very slow arrivals → very low load
+    let gen_at = |beta: f64| {
+        let cfg = GeneratorConfig {
+            seed,
+            machine_procs: machine.total,
+            ..*base
+        }
+        .with_beta_arr(beta);
+        generate(&cfg)
+    };
+    let mut best = (base.arrival.beta_arr, gen_at(base.arrival.beta_arr));
+    let mut best_err = (best.1.offered_load(machine.total) - load).abs();
+    for _ in 0..40 {
+        let mid = (lo + hi) / 2.0;
+        let w = gen_at(mid);
+        let achieved = w.offered_load(machine.total);
+        let err = (achieved - load).abs();
+        if err < best_err {
+            best = (mid, w.clone());
+            best_err = err;
+        }
+        if err <= tolerance {
+            return (mid, w);
+        }
+        if achieved > load {
+            lo = mid; // too much load → slow down arrivals
+        } else {
+            hi = mid;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_workload_hits_target() {
+        let base = GeneratorConfig::paper_batch(0.5).with_jobs(300);
+        for target in [0.5, 0.7, 0.9] {
+            let w = calibrated_workload(&base, MachineSpec::BLUEGENE_P, target, 11);
+            let achieved = w.offered_load(320);
+            assert!(
+                (achieved - target).abs() < 0.02,
+                "target {target}, achieved {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_preserves_job_population() {
+        let base = GeneratorConfig::paper_batch(0.2).with_jobs(200);
+        let w1 = calibrated_workload(&base, MachineSpec::BLUEGENE_P, 0.5, 5);
+        let w2 = calibrated_workload(&base, MachineSpec::BLUEGENE_P, 1.0, 5);
+        // Same jobs (sizes and runtimes), only arrival times differ —
+        // exactly the paper's Fig. 1 load-variation semantics.
+        assert_eq!(w1.len(), w2.len());
+        for (a, b) in w1.jobs.iter().zip(w2.jobs.iter()) {
+            assert_eq!(a.num, b.num);
+            assert_eq!(a.actual, b.actual);
+        }
+    }
+
+    #[test]
+    fn search_beta_arr_converges() {
+        let base = GeneratorConfig::paper_batch(0.5).with_jobs(300);
+        let (beta, w) = search_beta_arr(&base, MachineSpec::BLUEGENE_P, 0.8, 3, 0.02);
+        let achieved = w.offered_load(320);
+        assert!(
+            (achieved - 0.8).abs() <= 0.05,
+            "β_arr {beta} achieved load {achieved}"
+        );
+        assert!(beta > 0.05 && beta < 1.5);
+    }
+}

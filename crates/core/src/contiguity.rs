@@ -1,0 +1,205 @@
+//! The contiguity study (paper §II Krevat et al. / §VI future work).
+//!
+//! The paper's simulated BlueGene/P only constrains allocation *counts*
+//! (multiples of 32); real BlueGene partitions must also be contiguous.
+//! This study replays the schedules our count-based schedulers produce
+//! through a contiguous first-fit allocator and measures
+//!
+//! * how many starts are contiguity-infeasible at their scheduled time
+//!   (the *contiguity tax* the paper's abstraction hides), and
+//! * how much of that tax compacting migration (Krevat et al.'s
+//!   de-fragmentation) recovers.
+
+use crate::calibrate::calibrated_workload;
+use crate::experiment::{Experiment, MachineSpec};
+use crate::figures::ReproConfig;
+use crate::sweep::parallel_map;
+use elastisched_sched::Algorithm;
+use elastisched_sim::{JobOutcome, ReplayEvent, ReplayStats, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One row of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContiguityPoint {
+    /// Offered load.
+    pub load: f64,
+    /// Fraction of starts blocked without migration.
+    pub blocked_without_migration: f64,
+    /// Fraction of starts blocked even with migration.
+    pub blocked_with_migration: f64,
+    /// Mean jobs migrated per compaction-rescued start.
+    pub migrations_per_rescue: f64,
+    /// Peak external fragmentation observed.
+    pub peak_fragmentation: f64,
+}
+
+/// Study results for one algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContiguityStudy {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// One point per load.
+    pub points: Vec<ContiguityPoint>,
+}
+
+/// Convert a completed schedule into a chronological replay sequence.
+/// At equal timestamps finishes precede starts, matching the engine's
+/// release-before-allocate convention.
+pub fn outcomes_to_replay(outcomes: &[JobOutcome], unit: u32) -> Vec<ReplayEvent> {
+    let mut events: Vec<(SimTime, u8, ReplayEvent)> = Vec::with_capacity(outcomes.len() * 2);
+    for o in outcomes {
+        events.push((
+            o.started,
+            1,
+            ReplayEvent::Start {
+                job: o.id,
+                units: o.num.div_ceil(unit),
+            },
+        ));
+        events.push((o.finished, 0, ReplayEvent::Finish { job: o.id }));
+    }
+    events.sort_by_key(|&(t, order, _)| (t, order));
+    events.into_iter().map(|(_, _, e)| e).collect()
+}
+
+fn fraction(n: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        n as f64 / total as f64
+    }
+}
+
+fn point_from(load: f64, without: ReplayStats, with: ReplayStats) -> ContiguityPoint {
+    let total = without.direct + without.after_migration + without.blocked;
+    ContiguityPoint {
+        load,
+        blocked_without_migration: fraction(without.blocked, total),
+        blocked_with_migration: fraction(with.blocked, total),
+        migrations_per_rescue: if with.after_migration == 0 {
+            0.0
+        } else {
+            with.jobs_migrated as f64 / with.after_migration as f64
+        },
+        peak_fragmentation: without.peak_fragmentation,
+    }
+}
+
+/// Run the study for `algorithm` across the configured loads.
+pub fn contiguity_study(cfg: &ReproConfig, algorithm: Algorithm) -> ContiguityStudy {
+    let machine = MachineSpec::BLUEGENE_P;
+    let units = machine.total / machine.unit;
+    let n_jobs = cfg.n_jobs;
+    let points = parallel_map(cfg.loads.clone(), |load| {
+        let base = elastisched_workload::GeneratorConfig {
+            n_jobs,
+            ..elastisched_workload::GeneratorConfig::paper_batch(0.2)
+        };
+        let w = calibrated_workload(&base, machine, load, cfg.base_seed);
+        let r = Experiment::new(algorithm)
+            .run_raw(&w)
+            .expect("simulation must complete");
+        let events = outcomes_to_replay(&r.outcomes, machine.unit);
+        let without = elastisched_sim::contiguous::replay(units, &events, false);
+        let with = elastisched_sim::contiguous::replay(units, &events, true);
+        point_from(load, without, with)
+    });
+    ContiguityStudy {
+        algorithm: algorithm.name().to_string(),
+        points,
+    }
+}
+
+/// Text rendering.
+pub fn study_to_text(s: &ContiguityStudy) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Contiguity tax for {} schedules (first-fit, 10 node groups) ==",
+        s.algorithm
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>16} {:>16} {:>16} {:>12}",
+        "Load", "blocked (no mig)", "blocked (mig)", "moves/rescue", "peak frag"
+    );
+    for p in &s.points {
+        let _ = writeln!(
+            out,
+            "{:>6.2} {:>15.1}% {:>15.1}% {:>16.2} {:>12.3}",
+            p.load,
+            p.blocked_without_migration * 100.0,
+            p.blocked_with_migration * 100.0,
+            p.migrations_per_rescue,
+            p.peak_fragmentation
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisched_sim::{Duration, JobId};
+
+    fn outcome(id: u64, started: u64, finished: u64, num: u32) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            submit: SimTime::ZERO,
+            requested_start: None,
+            started: SimTime::from_secs(started),
+            finished: SimTime::from_secs(finished),
+            num,
+            runtime: Duration::from_secs(finished - started),
+            wait: Duration::from_secs(started),
+        }
+    }
+
+    #[test]
+    fn replay_events_are_chronological_with_release_first() {
+        let outcomes = vec![outcome(1, 0, 100, 320), outcome(2, 100, 200, 320)];
+        let events = outcomes_to_replay(&outcomes, 32);
+        assert_eq!(events.len(), 4);
+        // At t=100 the finish of job 1 must precede the start of job 2.
+        assert!(matches!(events[1], ReplayEvent::Finish { job: JobId(1) }));
+        assert!(matches!(
+            events[2],
+            ReplayEvent::Start {
+                job: JobId(2),
+                units: 10
+            }
+        ));
+    }
+
+    #[test]
+    fn count_feasible_schedules_replay_without_capacity_blocks() {
+        // A count-feasible schedule can only block on fragmentation; the
+        // sequential full-machine case never fragments.
+        let outcomes: Vec<JobOutcome> = (0..5)
+            .map(|i| outcome(i + 1, i * 10, i * 10 + 10, 320))
+            .collect();
+        let events = outcomes_to_replay(&outcomes, 32);
+        let stats = elastisched_sim::contiguous::replay(10, &events, false);
+        assert_eq!(stats.blocked, 0);
+    }
+
+    #[test]
+    fn quick_study_produces_sane_fractions() {
+        let cfg = ReproConfig {
+            n_jobs: 80,
+            replications: 1,
+            base_seed: 3,
+            loads: vec![0.9],
+            cs_values: vec![4],
+        };
+        let s = contiguity_study(&cfg, Algorithm::DelayedLos);
+        assert_eq!(s.points.len(), 1);
+        let p = &s.points[0];
+        assert!((0.0..=1.0).contains(&p.blocked_without_migration));
+        assert!(p.blocked_with_migration <= p.blocked_without_migration + 1e-12);
+        assert!((0.0..=1.0).contains(&p.peak_fragmentation));
+        let text = study_to_text(&s);
+        assert!(text.contains("Delayed-LOS"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Running one scheduling experiment end to end.
+
+use elastisched_metrics::RunMetrics;
+use elastisched_sched::{Algorithm, SchedParams};
+use elastisched_sim::{Engine, Machine, SimError, SimResult};
+use elastisched_workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// The simulated machine, by dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Total processors `M`.
+    pub total: u32,
+    /// Allocation unit (node-group size).
+    pub unit: u32,
+}
+
+impl MachineSpec {
+    /// The paper's BlueGene/P: 320 processors, 32-processor node groups.
+    pub const BLUEGENE_P: MachineSpec = MachineSpec {
+        total: 320,
+        unit: 32,
+    };
+
+    /// An SDSC-SP2-like machine: 128 processors, unit allocation.
+    pub const SDSC_SP2: MachineSpec = MachineSpec {
+        total: 128,
+        unit: 1,
+    };
+
+    /// Materialize the machine model.
+    pub fn build(&self) -> Machine {
+        Machine::new(self.total, self.unit)
+    }
+}
+
+/// One experiment: an algorithm (with tunables) against a workload on a
+/// machine.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Which scheduling algorithm.
+    pub algorithm: Algorithm,
+    /// `C_s` and lookahead for the LOS family.
+    pub params: SchedParams,
+    /// Machine dimensions.
+    pub machine: MachineSpec,
+}
+
+impl Experiment {
+    /// An experiment on the paper's BlueGene/P with default tunables.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Experiment {
+            algorithm,
+            params: SchedParams::default(),
+            machine: MachineSpec::BLUEGENE_P,
+        }
+    }
+
+    /// Override the maximum skip count `C_s`.
+    pub fn with_cs(mut self, cs: u32) -> Self {
+        self.params.cs = cs;
+        self
+    }
+
+    /// Override the machine.
+    pub fn on_machine(mut self, machine: MachineSpec) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Run against a workload, returning the raw simulation result.
+    /// The ECC policy is chosen by the algorithm (`-E` variants process
+    /// ECCs; others drop them).
+    pub fn run_raw(&self, workload: &Workload) -> Result<SimResult, SimError> {
+        let scheduler = self.algorithm.build(self.params);
+        let mut engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
+        engine.load(&workload.jobs, &workload.eccs)?;
+        engine.run()
+    }
+
+    /// Run against a workload and summarize with the paper's metrics.
+    pub fn run(&self, workload: &Workload) -> Result<RunMetrics, SimError> {
+        Ok(RunMetrics::from_result(&self.run_raw(workload)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisched_workload::{generate, GeneratorConfig};
+
+    #[test]
+    fn runs_paper_batch_workload_under_every_algorithm() {
+        let w = generate(&GeneratorConfig::paper_batch(0.5).with_jobs(60).with_seed(1));
+        for algo in [
+            Algorithm::Fcfs,
+            Algorithm::Conservative,
+            Algorithm::Easy,
+            Algorithm::Los,
+            Algorithm::DelayedLos,
+            Algorithm::Adaptive,
+        ] {
+            let m = Experiment::new(algo).run(&w).unwrap();
+            assert_eq!(m.jobs, 60, "{algo}");
+            assert!(m.utilization > 0.0 && m.utilization <= 1.0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn runs_heterogeneous_workload_under_d_algorithms() {
+        let w = generate(
+            &GeneratorConfig::paper_heterogeneous(0.5, 0.5)
+                .with_jobs(60)
+                .with_seed(2),
+        );
+        for algo in [Algorithm::EasyD, Algorithm::LosD, Algorithm::HybridLos] {
+            let m = Experiment::new(algo).run(&w).unwrap();
+            assert_eq!(m.jobs, 60, "{algo}");
+            assert!(m.dedicated_jobs > 0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn elastic_variants_apply_eccs_and_plain_ones_do_not() {
+        let w = generate(
+            &GeneratorConfig::paper_batch(0.5)
+                .with_paper_eccs()
+                .with_jobs(80)
+                .with_seed(3),
+        );
+        assert!(!w.eccs.is_empty());
+        let plain = Experiment::new(Algorithm::DelayedLos).run(&w).unwrap();
+        let elastic = Experiment::new(Algorithm::DelayedLosE).run(&w).unwrap();
+        assert_eq!(plain.eccs_applied, 0);
+        assert!(elastic.eccs_applied > 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let w = generate(&GeneratorConfig::paper_batch(0.2).with_jobs(100).with_seed(9));
+        let a = Experiment::new(Algorithm::DelayedLos).run(&w).unwrap();
+        let b = Experiment::new(Algorithm::DelayedLos).run(&w).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn machine_spec_builds() {
+        assert_eq!(MachineSpec::BLUEGENE_P.build().total(), 320);
+        assert_eq!(MachineSpec::SDSC_SP2.build().unit(), 1);
+    }
+}

@@ -1,0 +1,374 @@
+//! Dependency-free SVG line charts for reproduced figures.
+//!
+//! The paper presents its evaluation as line plots (metric vs load or
+//! `C_s`, one line per algorithm). This module renders [`Figure`] data to
+//! standalone SVG files so `repro` can emit publication-style plots next
+//! to the CSV/JSON series.
+
+use crate::figures::Figure;
+use std::fmt::Write as _;
+
+/// Which metric of a [`Figure`] to plot on the y-axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Mean machine utilization (0..1).
+    Utilization,
+    /// Mean job waiting time, seconds.
+    MeanWait,
+    /// The paper's slowdown.
+    Slowdown,
+}
+
+impl Metric {
+    /// Axis label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::Utilization => "Mean utilization",
+            Metric::MeanWait => "Mean job waiting time (s)",
+            Metric::Slowdown => "Slowdown",
+        }
+    }
+
+    /// File-name suffix.
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            Metric::Utilization => "util",
+            Metric::MeanWait => "wait",
+            Metric::Slowdown => "slowdown",
+        }
+    }
+
+    fn value(&self, p: &crate::figures::SeriesPoint) -> f64 {
+        match self {
+            Metric::Utilization => p.utilization,
+            Metric::MeanWait => p.mean_wait,
+            Metric::Slowdown => p.slowdown,
+        }
+    }
+}
+
+/// A brand-neutral categorical palette (hex colors).
+const PALETTE: [&str; 8] = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+];
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const MARGIN_L: f64 = 74.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 46.0;
+const MARGIN_B: f64 = 56.0;
+
+fn escape_xml(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// "Nice" tick step covering `span` with roughly `n` ticks.
+fn nice_step(span: f64, n: usize) -> f64 {
+    if span <= 0.0 {
+        return 1.0;
+    }
+    let raw = span / n.max(1) as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let step = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    step * mag
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if a >= 10_000.0 {
+        format!("{:.0}k", v / 1_000.0)
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    } else {
+        format!("{v:.3}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+/// Render one metric of a figure as an SVG line chart.
+pub fn render_svg(fig: &Figure, metric: Metric) -> String {
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in &fig.series {
+        for p in &s.points {
+            let y = metric.value(p);
+            xmin = xmin.min(p.x);
+            xmax = xmax.max(p.x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if !xmin.is_finite() {
+        // Empty figure: axes only.
+        xmin = 0.0;
+        xmax = 1.0;
+        ymin = 0.0;
+        ymax = 1.0;
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    // Pad the y-range and pin utilization to a sane floor.
+    let ypad = ((ymax - ymin) * 0.08).max(ymax.abs() * 0.02 + 1e-9);
+    ymin = (ymin - ypad).max(0.0);
+    ymax += ypad;
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - xmin) / (xmax - xmin) * plot_w;
+    let sy = |y: f64| MARGIN_T + plot_h - (y - ymin) / (ymax - ymin) * plot_h;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+    // Title.
+    let _ = writeln!(
+        svg,
+        r#"<text x="{:.1}" y="22" font-size="13" font-weight="bold">{}</text>"#,
+        MARGIN_L,
+        escape_xml(&fig.title)
+    );
+
+    // Gridlines + y ticks.
+    let ystep = nice_step(ymax - ymin, 6);
+    let mut yt = (ymin / ystep).ceil() * ystep;
+    while yt <= ymax + 1e-9 {
+        let y = sy(yt);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#e3e3e3"/>"##,
+            W - MARGIN_R
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" text-anchor="end" fill="#444">{}</text>"##,
+            MARGIN_L - 8.0,
+            y + 4.0,
+            fmt_tick(yt)
+        );
+        yt += ystep;
+    }
+    // x ticks.
+    let xstep = nice_step(xmax - xmin, 7);
+    let mut xt = (xmin / xstep).ceil() * xstep;
+    while xt <= xmax + 1e-9 {
+        let x = sx(xt);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#e3e3e3"/>"##,
+            MARGIN_T,
+            H - MARGIN_B
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{x:.1}" y="{:.1}" text-anchor="middle" fill="#444">{}</text>"##,
+            H - MARGIN_B + 18.0,
+            fmt_tick(xt)
+        );
+        xt += xstep;
+    }
+    // Axes.
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{MARGIN_L:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#222"/>"##,
+        H - MARGIN_B,
+        W - MARGIN_R,
+        H - MARGIN_B
+    );
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{MARGIN_L:.1}" y1="{MARGIN_T:.1}" x2="{MARGIN_L:.1}" y2="{:.1}" stroke="#222"/>"##,
+        H - MARGIN_B
+    );
+    // Axis labels.
+    let _ = writeln!(
+        svg,
+        r##"<text x="{:.1}" y="{:.1}" text-anchor="middle" fill="#222">{}</text>"##,
+        MARGIN_L + plot_w / 2.0,
+        H - 14.0,
+        escape_xml(&fig.x_label)
+    );
+    let _ = writeln!(
+        svg,
+        r##"<text x="16" y="{:.1}" text-anchor="middle" transform="rotate(-90 16 {:.1})" fill="#222">{}</text>"##,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        escape_xml(metric.label())
+    );
+
+    // Series.
+    for (i, s) in fig.series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut path = String::new();
+        for p in &s.points {
+            let _ = write!(path, "{:.1},{:.1} ", sx(p.x), sy(metric.value(p)));
+        }
+        let _ = writeln!(
+            svg,
+            r#"<polyline fill="none" stroke="{color}" stroke-width="2" points="{}"/>"#,
+            path.trim_end()
+        );
+        for p in &s.points {
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                sx(p.x),
+                sy(metric.value(p))
+            );
+        }
+        // Legend row.
+        let ly = MARGIN_T + 4.0 + i as f64 * 16.0;
+        let lx = W - MARGIN_R - 150.0;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 22.0
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" fill="#222">{}</text>"##,
+            lx + 28.0,
+            ly + 4.0,
+            escape_xml(&s.algorithm)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Write `<dir>/<id>_{util,wait,slowdown}.svg` for a figure.
+pub fn write_figure_svgs(dir: &std::path::Path, fig: &Figure) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for metric in [Metric::Utilization, Metric::MeanWait, Metric::Slowdown] {
+        let svg = render_svg(fig, metric);
+        std::fs::write(dir.join(format!("{}_{}.svg", fig.id, metric.suffix())), svg)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{Series, SeriesPoint};
+
+    fn sample_figure() -> Figure {
+        let mk = |alg: &str, scale: f64| Series {
+            algorithm: alg.to_string(),
+            points: (1..=5)
+                .map(|i| SeriesPoint {
+                    x: 0.5 + i as f64 * 0.1,
+                    utilization: 0.5 + 0.05 * i as f64 * scale,
+                    mean_wait: 1_000.0 * i as f64 * scale,
+                    slowdown: 1.0 + i as f64 * scale,
+                    dedicated_delay: 0.0,
+                })
+                .collect(),
+        };
+        Figure {
+            id: "figX".into(),
+            title: "Test <figure> & title".into(),
+            x_label: "Load".into(),
+            series: vec![mk("EASY", 1.0), mk("Delayed-LOS", 0.8)],
+        }
+    }
+
+    #[test]
+    fn svg_has_one_polyline_per_series() {
+        let svg = render_svg(&sample_figure(), Metric::MeanWait);
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn svg_escapes_xml_in_titles() {
+        let svg = render_svg(&sample_figure(), Metric::Utilization);
+        assert!(svg.contains("Test &lt;figure&gt; &amp; title"));
+        assert!(!svg.contains("Test <figure>"));
+    }
+
+    #[test]
+    fn svg_mentions_series_and_axis_labels() {
+        let svg = render_svg(&sample_figure(), Metric::Slowdown);
+        assert!(svg.contains("EASY"));
+        assert!(svg.contains("Delayed-LOS"));
+        assert!(svg.contains("Slowdown"));
+        assert!(svg.contains("Load"));
+    }
+
+    #[test]
+    fn point_count_matches_markers() {
+        let svg = render_svg(&sample_figure(), Metric::MeanWait);
+        assert_eq!(svg.matches("<circle").count(), 10);
+    }
+
+    #[test]
+    fn empty_figure_renders_axes_only() {
+        let fig = Figure {
+            id: "empty".into(),
+            title: "empty".into(),
+            x_label: "x".into(),
+            series: vec![],
+        };
+        let svg = render_svg(&fig, Metric::Utilization);
+        assert!(svg.contains("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    fn nice_steps_are_nice() {
+        assert_eq!(nice_step(1.0, 5), 0.2);
+        assert_eq!(nice_step(10.0, 5), 2.0);
+        assert_eq!(nice_step(23_000.0, 6), 5_000.0);
+        assert_eq!(nice_step(0.0, 5), 1.0);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(12_000.0), "12k");
+        assert_eq!(fmt_tick(0.85), "0.85");
+        assert_eq!(fmt_tick(150.0), "150");
+        assert_eq!(fmt_tick(2.5), "2.5");
+    }
+
+    #[test]
+    fn writes_three_files() {
+        let dir = std::env::temp_dir().join("elastisched-plot-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_figure_svgs(&dir, &sample_figure()).unwrap();
+        for suffix in ["util", "wait", "slowdown"] {
+            assert!(dir.join(format!("figX_{suffix}.svg")).exists());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,157 @@
+//! Rendering figures and tables as text, CSV, and JSON.
+
+use crate::figures::{Figure, ImprovementTable};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// CSV rows for a figure: `x,algorithm,utilization,mean_wait,slowdown,
+/// dedicated_delay`.
+pub fn figure_to_csv(fig: &Figure) -> String {
+    let mut out = String::from("x,algorithm,utilization,mean_wait_s,slowdown,dedicated_delay_s\n");
+    for s in &fig.series {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{:.3},{:.4},{:.3}",
+                p.x, s.algorithm, p.utilization, p.mean_wait, p.slowdown, p.dedicated_delay
+            );
+        }
+    }
+    out
+}
+
+/// Human-readable table for a figure, one row per x value.
+pub fn figure_to_text(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} [{}] ==", fig.title, fig.id);
+    let _ = writeln!(
+        out,
+        "{:>8}  {:<14} {:>12} {:>14} {:>10}",
+        fig.x_label.split(' ').next().unwrap_or("x"),
+        "algorithm",
+        "utilization",
+        "mean wait (s)",
+        "slowdown"
+    );
+    for s in &fig.series {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{:>8.2}  {:<14} {:>12.4} {:>14.1} {:>10.3}",
+                p.x, s.algorithm, p.utilization, p.mean_wait, p.slowdown
+            );
+        }
+    }
+    out
+}
+
+/// Human-readable rendering of an improvement table (paper Tables IV–VII
+/// format: one row per metric, one column per baseline).
+pub fn table_to_text(t: &ImprovementTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} [{}] ==", t.caption, t.id);
+    let mut header = format!("{:<20}", "Performance Metric");
+    for b in &t.baselines {
+        let _ = write!(header, " {:>14}", format!("{b} (%)"));
+    }
+    let _ = writeln!(out, "{header}");
+    for (metric, vals) in &t.rows {
+        let mut row = format!("{metric:<20}");
+        for v in vals {
+            let _ = write!(row, " {v:>14.2}");
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Persist a figure as `<dir>/<id>.csv` and `<dir>/<id>.json`.
+pub fn write_figure(dir: &Path, fig: &Figure) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{}.csv", fig.id)), figure_to_csv(fig))?;
+    let json = serde_json::to_string_pretty(fig).expect("figures serialize");
+    std::fs::write(dir.join(format!("{}.json", fig.id)), json)?;
+    Ok(())
+}
+
+/// Persist an improvement table as `<dir>/<id>.txt` and `<dir>/<id>.json`.
+pub fn write_table(dir: &Path, t: &ImprovementTable) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{}.txt", t.id)), table_to_text(t))?;
+    let json = serde_json::to_string_pretty(t).expect("tables serialize");
+    std::fs::write(dir.join(format!("{}.json", t.id)), json)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{Series, SeriesPoint};
+
+    fn sample_figure() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "Sample".into(),
+            x_label: "Load".into(),
+            series: vec![Series {
+                algorithm: "EASY".into(),
+                points: vec![SeriesPoint {
+                    x: 0.9,
+                    utilization: 0.85,
+                    mean_wait: 123.4,
+                    slowdown: 1.42,
+                    dedicated_delay: 0.0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn csv_contains_header_and_row() {
+        let csv = figure_to_csv(&sample_figure());
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("x,algorithm"));
+        let row = lines.next().unwrap();
+        assert!(row.contains("EASY"));
+        assert!(row.contains("0.9"));
+    }
+
+    #[test]
+    fn text_rendering_mentions_series() {
+        let txt = figure_to_text(&sample_figure());
+        assert!(txt.contains("figX"));
+        assert!(txt.contains("EASY"));
+        assert!(txt.contains("0.85"));
+    }
+
+    #[test]
+    fn table_rendering() {
+        let t = ImprovementTable {
+            id: "table4".into(),
+            caption: "cap".into(),
+            ours: "Delayed-LOS".into(),
+            baselines: vec!["LOS".into(), "EASY".into()],
+            rows: vec![
+                ("Utilization".into(), vec![4.1, 1.52]),
+                ("Job waiting time".into(), vec![31.88, 21.65]),
+            ],
+        };
+        let txt = table_to_text(&t);
+        assert!(txt.contains("LOS (%)"));
+        assert!(txt.contains("31.88"));
+    }
+
+    #[test]
+    fn writes_files() {
+        let dir = std::env::temp_dir().join("elastisched-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_figure(&dir, &sample_figure()).unwrap();
+        assert!(dir.join("figX.csv").exists());
+        assert!(dir.join("figX.json").exists());
+        let parsed: Figure =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("figX.json")).unwrap()).unwrap();
+        assert_eq!(parsed, sample_figure());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,117 @@
+//! Parallel parameter sweeps.
+//!
+//! Each figure in the paper is a sweep (over load, over `C_s`, …) whose
+//! points are independent simulations — embarrassingly parallel. This
+//! module fans sweep points out over a scoped thread pool fed by a
+//! crossbeam channel and returns results in input order.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads to use: the available parallelism, capped by
+/// the number of tasks.
+pub fn worker_count(tasks: usize) -> usize {
+    let hw = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(tasks).max(1)
+}
+
+/// Map `f` over `inputs` in parallel, preserving order.
+///
+/// `f` must be `Sync` (it is shared across workers); inputs are consumed
+/// by value. Panics in workers propagate.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let (task_tx, task_rx) = channel::unbounded::<(usize, I)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, O)>();
+    for pair in inputs.into_iter().enumerate() {
+        task_tx.send(pair).expect("channel open");
+    }
+    drop(task_tx);
+
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((idx, input)) = task_rx.recv() {
+                    let out = f(input);
+                    if result_tx.send((idx, out)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        while let Ok((idx, out)) = result_rx.recv() {
+            results[idx] = Some(out);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker delivered every result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * x);
+        let expect: Vec<i32> = (0..100).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_every_task() {
+        let counter = AtomicUsize::new(0);
+        let _ = parallel_map((0..512).collect(), |_: i32| {
+            counter.fetch_add(1, Ordering::Relaxed)
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 512);
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1_000) >= 1);
+    }
+
+    #[test]
+    fn heavy_closure_with_captured_state() {
+        let base = [10, 20, 30];
+        let out = parallel_map(vec![0usize, 1, 2], |i| base[i]);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+}

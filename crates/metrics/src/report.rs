@@ -1,0 +1,188 @@
+//! Experiment-level metrics (paper §V).
+//!
+//! The paper evaluates three metrics: **mean system utilization**, **mean
+//! job waiting time**, and **slowdown**, defined as
+//! `(avg. waiting time + avg. runtime) / avg. runtime`. This module
+//! derives them (plus extra diagnostics) from a [`SimResult`].
+
+use crate::stats::Summary;
+use elastisched_sim::SimResult;
+use serde::{Deserialize, Serialize};
+
+/// The paper's metrics for one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Number of completed jobs.
+    pub jobs: usize,
+    /// Mean machine utilization over `[0, makespan]`.
+    pub utilization: f64,
+    /// Mean job waiting time, seconds. Batch jobs wait from arrival;
+    /// dedicated jobs from `max(arrival, requested start)`.
+    pub mean_wait: f64,
+    /// The paper's slowdown: `(mean_wait + mean_runtime) / mean_runtime`.
+    pub slowdown: f64,
+    /// Mean per-job bounded slowdown `max(1, (wait+run)/max(run, 10s))`
+    /// (a standard robustness companion; not in the paper's tables).
+    pub mean_bounded_slowdown: f64,
+    /// Mean job runtime, seconds.
+    pub mean_runtime: f64,
+    /// Waiting-time distribution.
+    pub wait_summary: Summary,
+    /// Mean start-delay of dedicated jobs past their requested start,
+    /// seconds (0 when the workload has none).
+    pub mean_dedicated_delay: f64,
+    /// Number of dedicated jobs.
+    pub dedicated_jobs: usize,
+    /// Dedicated jobs started exactly on time.
+    pub dedicated_on_time: usize,
+    /// Makespan, seconds.
+    pub makespan: f64,
+    /// ECCs applied (running + queued).
+    pub eccs_applied: u64,
+}
+
+impl RunMetrics {
+    /// Derive the metrics from a completed simulation.
+    pub fn from_result(result: &SimResult) -> RunMetrics {
+        let waits: Vec<f64> = result
+            .outcomes
+            .iter()
+            .map(|o| o.wait.as_secs_f64())
+            .collect();
+        let runtimes: Vec<f64> = result
+            .outcomes
+            .iter()
+            .map(|o| o.runtime.as_secs_f64())
+            .collect();
+        let mean_wait = crate::stats::mean(&waits);
+        let mean_runtime = crate::stats::mean(&runtimes);
+        let slowdown = if mean_runtime > 0.0 {
+            (mean_wait + mean_runtime) / mean_runtime
+        } else {
+            1.0
+        };
+        let bounded: Vec<f64> = result
+            .outcomes
+            .iter()
+            .map(|o| {
+                let run = o.runtime.as_secs_f64().max(10.0);
+                ((o.wait.as_secs_f64() + o.runtime.as_secs_f64()) / run).max(1.0)
+            })
+            .collect();
+        let dedicated: Vec<&elastisched_sim::JobOutcome> = result
+            .outcomes
+            .iter()
+            .filter(|o| o.requested_start.is_some())
+            .collect();
+        let ded_delays: Vec<f64> = dedicated.iter().map(|o| o.wait.as_secs_f64()).collect();
+        let on_time = dedicated.iter().filter(|o| o.wait.as_secs() == 0).count();
+        RunMetrics {
+            scheduler: result.scheduler.to_string(),
+            jobs: result.outcomes.len(),
+            utilization: result.mean_utilization(),
+            mean_wait,
+            slowdown,
+            mean_bounded_slowdown: crate::stats::mean(&bounded),
+            mean_runtime,
+            wait_summary: Summary::of(&waits),
+            mean_dedicated_delay: crate::stats::mean(&ded_delays),
+            dedicated_jobs: dedicated.len(),
+            dedicated_on_time: on_time,
+            makespan: result.makespan.as_secs() as f64,
+            eccs_applied: result.ecc.applied(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisched_sim::{
+        Duration, EccStats, JobId, JobOutcome, SimResult, SimTime,
+    };
+
+    fn outcome(id: u64, submit: u64, started: u64, finished: u64, num: u32) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            requested_start: None,
+            started: SimTime::from_secs(started),
+            finished: SimTime::from_secs(finished),
+            num,
+            runtime: Duration::from_secs(finished - started),
+            wait: Duration::from_secs(started - submit),
+        }
+    }
+
+    fn result(outcomes: Vec<JobOutcome>) -> SimResult {
+        let makespan = outcomes.iter().map(|o| o.finished).max().unwrap();
+        let busy: f64 = outcomes
+            .iter()
+            .map(|o| o.num as f64 * o.runtime.as_secs_f64())
+            .sum();
+        SimResult {
+            scheduler: "TEST",
+            outcomes,
+            machine_total: 320,
+            busy_area: busy,
+            first_arrival: SimTime::ZERO,
+            last_arrival: SimTime::ZERO,
+            makespan,
+            ecc: EccStats::default(),
+            samples: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn paper_slowdown_definition() {
+        // Two jobs: waits {0, 100}, runtimes {100, 100}.
+        // mean wait = 50, mean runtime = 100 → slowdown = 1.5.
+        let r = result(vec![
+            outcome(1, 0, 0, 100, 320),
+            outcome(2, 0, 100, 200, 320),
+        ]);
+        let m = RunMetrics::from_result(&r);
+        assert!((m.mean_wait - 50.0).abs() < 1e-12);
+        assert!((m.slowdown - 1.5).abs() < 1e-12);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+        assert_eq!(m.jobs, 2);
+    }
+
+    #[test]
+    fn dedicated_delay_accounting() {
+        let mut o1 = outcome(1, 0, 500, 600, 64);
+        o1.requested_start = Some(SimTime::from_secs(500));
+        o1.wait = Duration::ZERO; // started exactly on time
+        let mut o2 = outcome(2, 0, 250, 300, 64);
+        o2.requested_start = Some(SimTime::from_secs(200));
+        o2.wait = Duration::from_secs(50);
+        let r = result(vec![o1, o2]);
+        let m = RunMetrics::from_result(&r);
+        assert_eq!(m.dedicated_jobs, 2);
+        assert_eq!(m.dedicated_on_time, 1);
+        assert!((m.mean_dedicated_delay - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_slowdown_floors() {
+        // Tiny job: runtime 1 s, wait 0 → bounded slowdown clamps to 1.
+        let r = result(vec![outcome(1, 0, 0, 1, 32)]);
+        let m = RunMetrics::from_result(&r);
+        assert!((m.mean_bounded_slowdown - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_summary_populated() {
+        let r = result(vec![
+            outcome(1, 0, 0, 10, 32),
+            outcome(2, 0, 10, 20, 32),
+            outcome(3, 0, 90, 100, 32),
+        ]);
+        let m = RunMetrics::from_result(&r);
+        assert_eq!(m.wait_summary.n, 3);
+        assert_eq!(m.wait_summary.max, 90.0);
+        assert_eq!(m.wait_summary.min, 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Summary statistics for experiment series.
+
+/// Mean of a slice; 0.0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance; 0.0 for fewer than two points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on sorted data;
+/// 0.0 for empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in metric series"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (the 0.5-quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// A compact five-number-plus-moments summary of a series.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a series (all zeros for empty input).
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                median: 0.0,
+                p95: 0.0,
+                max: 0.0,
+            };
+        }
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            median: median(xs),
+            p95: quantile(xs, 0.95),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Relative improvement of `ours` over `theirs` in percent, for
+/// *lower-is-better* metrics (wait time, slowdown):
+/// `(theirs - ours) / theirs × 100`.
+pub fn improvement_lower_is_better(ours: f64, theirs: f64) -> f64 {
+    if theirs == 0.0 {
+        return 0.0;
+    }
+    (theirs - ours) / theirs * 100.0
+}
+
+/// Relative improvement of `ours` over `theirs` in percent, for
+/// *higher-is-better* metrics (utilization):
+/// `(ours - theirs) / theirs × 100`.
+pub fn improvement_higher_is_better(ours: f64, theirs: f64) -> f64 {
+    if theirs == 0.0 {
+        return 0.0;
+    }
+    (ours - theirs) / theirs * 100.0
+}
+
+/// Jain's fairness index of a non-negative series:
+/// `(Σx)² / (n · Σx²)` ∈ `[1/n, 1]`; 1 means perfectly equal.
+/// Used on per-job slowdowns to quantify whether a scheduler's packing
+/// gains come at the cost of starving a subpopulation.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_bounds_and_extremes() {
+        // Equal values → 1.
+        assert!((jain_fairness(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        // One job hogging everything → 1/n.
+        let v = jain_fairness(&[0.0, 0.0, 0.0, 12.0]);
+        assert!((v - 0.25).abs() < 1e-12);
+        // Degenerate inputs.
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        // Monotone sanity: a more skewed series is less fair.
+        assert!(jain_fairness(&[1.0, 2.0]) > jain_fairness(&[1.0, 10.0]));
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(Summary::of(&[]).n, 0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&xs, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert!((median(&xs) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 3.0);
+        assert!(s.p95 > 4.0);
+    }
+
+    #[test]
+    fn improvements() {
+        // Ours waits 68.12 s vs theirs 100 s → 31.88 % better.
+        assert!((improvement_lower_is_better(68.12, 100.0) - 31.88).abs() < 1e-9);
+        // Ours utilizes 0.9365 vs theirs 0.9 → ≈ 4.06 % better.
+        assert!((improvement_higher_is_better(0.9365, 0.9) - 4.0555555).abs() < 1e-4);
+        assert_eq!(improvement_lower_is_better(1.0, 0.0), 0.0);
+        assert_eq!(improvement_higher_is_better(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn single_point_summary() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Independent schedule validation.
+//!
+//! Given only the per-job outcomes of a simulation (start, finish,
+//! processors), these checks re-derive machine occupancy with a
+//! sweep-line — completely independent of the engine's own bookkeeping —
+//! and verify the physical feasibility of the schedule. Property tests
+//! use this as an oracle against the simulator.
+
+use elastisched_sim::{JobOutcome, SimTime};
+
+/// A violation found by [`validate_schedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Machine capacity exceeded during `[at, until)`.
+    Oversubscribed {
+        /// Start of the overloaded interval.
+        at: SimTime,
+        /// Processors in use.
+        used: u32,
+        /// Machine capacity.
+        capacity: u32,
+    },
+    /// A job started before its submit time.
+    StartedBeforeSubmit {
+        /// Offending job (its id's raw value).
+        job: u64,
+    },
+    /// A dedicated job started before its requested start time.
+    StartedBeforeRequestedStart {
+        /// Offending job.
+        job: u64,
+    },
+    /// finish ≠ started + runtime.
+    InconsistentTimes {
+        /// Offending job.
+        job: u64,
+    },
+}
+
+/// Occupancy report from the sweep-line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Maximum processors simultaneously in use.
+    pub peak: u32,
+    /// Busy processor-seconds (independent re-derivation).
+    pub busy_area: f64,
+}
+
+/// Sweep-line over job outcomes: returns peak occupancy and busy area.
+pub fn occupancy(outcomes: &[JobOutcome]) -> Occupancy {
+    // Events: (+num at start), (-num at finish).
+    let mut events: Vec<(SimTime, i64)> = Vec::with_capacity(outcomes.len() * 2);
+    for o in outcomes {
+        events.push((o.started, i64::from(o.num)));
+        events.push((o.finished, -i64::from(o.num)));
+    }
+    // Releases before acquisitions at the same instant (finish-at-t frees
+    // capacity for a start-at-t).
+    events.sort_by_key(|&(t, delta)| (t, delta));
+    let mut used: i64 = 0;
+    let mut peak: i64 = 0;
+    let mut area = 0.0;
+    let mut last = events.first().map(|&(t, _)| t).unwrap_or(SimTime::ZERO);
+    for (t, delta) in events {
+        area += used as f64 * t.saturating_since(last).as_secs_f64();
+        used += delta;
+        peak = peak.max(used);
+        last = t;
+    }
+    Occupancy {
+        peak: peak.max(0) as u32,
+        busy_area: area,
+    }
+}
+
+/// Validate a completed schedule against machine `capacity`. Returns all
+/// violations found (empty = feasible).
+pub fn validate_schedule(outcomes: &[JobOutcome], capacity: u32) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for o in outcomes {
+        if o.started < o.submit {
+            violations.push(Violation::StartedBeforeSubmit { job: o.id.0 });
+        }
+        if let Some(req) = o.requested_start {
+            if o.started < req {
+                violations.push(Violation::StartedBeforeRequestedStart { job: o.id.0 });
+            }
+        }
+        if o.started + o.runtime != o.finished {
+            violations.push(Violation::InconsistentTimes { job: o.id.0 });
+        }
+    }
+    // Sweep-line capacity check with interval reporting.
+    let mut events: Vec<(SimTime, i64)> = Vec::with_capacity(outcomes.len() * 2);
+    for o in outcomes {
+        events.push((o.started, i64::from(o.num)));
+        events.push((o.finished, -i64::from(o.num)));
+    }
+    events.sort_by_key(|&(t, delta)| (t, delta));
+    let mut used: i64 = 0;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && events[i].0 == t {
+            used += events[i].1;
+            i += 1;
+        }
+        if used > i64::from(capacity) {
+            let until = events.get(i).map(|&(t, _)| t).unwrap_or(t);
+            violations.push(Violation::Oversubscribed {
+                at: t,
+                used: used as u32,
+                capacity,
+            });
+            let _ = until;
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisched_sim::{Duration, JobId};
+
+    fn outcome(id: u64, submit: u64, started: u64, finished: u64, num: u32) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            requested_start: None,
+            started: SimTime::from_secs(started),
+            finished: SimTime::from_secs(finished),
+            num,
+            runtime: Duration::from_secs(finished - started),
+            wait: Duration::from_secs(started.saturating_sub(submit)),
+        }
+    }
+
+    #[test]
+    fn feasible_schedule_passes() {
+        let os = vec![
+            outcome(1, 0, 0, 100, 256),
+            outcome(2, 0, 0, 50, 64),
+            outcome(3, 0, 100, 200, 320),
+        ];
+        assert!(validate_schedule(&os, 320).is_empty());
+        let occ = occupancy(&os);
+        assert_eq!(occ.peak, 320);
+        assert!((occ.busy_area - (256.0 * 100.0 + 64.0 * 50.0 + 320.0 * 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_oversubscription() {
+        let os = vec![outcome(1, 0, 0, 100, 256), outcome(2, 0, 50, 150, 128)];
+        let v = validate_schedule(&os, 320);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::Oversubscribed { used: 384, .. })));
+    }
+
+    #[test]
+    fn back_to_back_at_boundary_is_feasible() {
+        // Finish at t=100 releases capacity for a start at t=100.
+        let os = vec![outcome(1, 0, 0, 100, 320), outcome(2, 0, 100, 200, 320)];
+        assert!(validate_schedule(&os, 320).is_empty());
+        assert_eq!(occupancy(&os).peak, 320);
+    }
+
+    #[test]
+    fn detects_time_travel() {
+        let mut o = outcome(1, 50, 10, 100, 32);
+        o.submit = SimTime::from_secs(50);
+        let v = validate_schedule(&[o], 320);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::StartedBeforeSubmit { job: 1 })));
+    }
+
+    #[test]
+    fn detects_early_dedicated_start() {
+        let mut o = outcome(1, 0, 10, 100, 32);
+        o.requested_start = Some(SimTime::from_secs(20));
+        let v = validate_schedule(&[o], 320);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::StartedBeforeRequestedStart { job: 1 })));
+    }
+
+    #[test]
+    fn detects_inconsistent_times() {
+        let mut o = outcome(1, 0, 0, 100, 32);
+        o.runtime = Duration::from_secs(55);
+        let v = validate_schedule(&[o], 320);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::InconsistentTimes { job: 1 })));
+    }
+
+    #[test]
+    fn empty_schedule_is_valid() {
+        assert!(validate_schedule(&[], 320).is_empty());
+        assert_eq!(occupancy(&[]).peak, 0);
+    }
+}

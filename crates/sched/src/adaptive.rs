@@ -1,0 +1,180 @@
+//! The dynamic algorithm-selection policy sketched in the paper's §V-A:
+//!
+//! > "This observation can lead to design of a dynamic, algorithm
+//! > selection policy that selects the best performing algorithm among
+//! > Delayed-LOS and EASY, for different proportions of small and large
+//! > sized jobs."
+//!
+//! [`Adaptive`] watches a sliding window of recent arrivals; when the
+//! observed small-job fraction (`P_S` estimate) is high it behaves like
+//! EASY, otherwise like Delayed-LOS — mirroring Figures 7–8 where
+//! Delayed-LOS wins at low `P_S` and the two converge at high `P_S`.
+
+use crate::delayed_los::{delayed_los_cycle, DEFAULT_MAX_SKIP};
+use crate::telemetry::Telemetry;
+use crate::easy::easy_cycle;
+use crate::los::DEFAULT_LOOKAHEAD;
+use crate::queue::BatchQueue;
+use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler};
+use std::collections::VecDeque;
+
+/// Adaptive EASY / Delayed-LOS selection.
+#[derive(Debug)]
+pub struct Adaptive {
+    queue: BatchQueue,
+    recent_sizes: VecDeque<u32>,
+    window: usize,
+    /// Jobs with at most this many allocation units count as "small"
+    /// (the paper's small jobs are 1–3 units).
+    small_units: u32,
+    /// Switch to EASY when the observed small fraction is at least this.
+    threshold: f64,
+    cs: u32,
+    lookahead: usize,
+    telemetry: Telemetry,
+}
+
+impl Adaptive {
+    /// Defaults: 64-arrival window, small ≤ 3 units, EASY above 60 %.
+    pub fn new() -> Self {
+        Adaptive {
+            queue: BatchQueue::new(),
+            recent_sizes: VecDeque::new(),
+            window: 64,
+            small_units: 3,
+            threshold: 0.6,
+            cs: DEFAULT_MAX_SKIP,
+            lookahead: DEFAULT_LOOKAHEAD,
+            telemetry: Telemetry::default(),
+        }
+    }
+
+    /// Observed small-job fraction over the window (0.5 when no history).
+    pub fn observed_small_fraction(&self, unit: u32) -> f64 {
+        if self.recent_sizes.is_empty() {
+            return 0.5;
+        }
+        let small = self
+            .recent_sizes
+            .iter()
+            .filter(|&&n| n <= self.small_units * unit)
+            .count();
+        small as f64 / self.recent_sizes.len() as f64
+    }
+}
+
+impl Default for Adaptive {
+    fn default() -> Self {
+        Adaptive::new()
+    }
+}
+
+impl Scheduler for Adaptive {
+    fn on_arrival(&mut self, job: JobView) {
+        self.recent_sizes.push_back(job.num);
+        if self.recent_sizes.len() > self.window {
+            self.recent_sizes.pop_front();
+        }
+        self.queue.push_back(job);
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        self.queue.apply_ecc(id, num, dur);
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        if self.observed_small_fraction(ctx.unit()) >= self.threshold {
+            easy_cycle(&mut self.queue, ctx, None);
+        } else {
+            delayed_los_cycle(
+                &mut self.queue,
+                ctx,
+                self.cs,
+                self.lookahead,
+                &mut self.telemetry,
+            );
+        }
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Adaptive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine};
+
+    #[test]
+    fn small_fraction_tracks_arrivals() {
+        let mut a = Adaptive::new();
+        assert_eq!(a.observed_small_fraction(32), 0.5);
+        for i in 0..10u64 {
+            a.on_arrival(
+                JobSpec::batch(i + 1, 0, if i < 8 { 32 } else { 320 }, 10)
+                    .to_view(),
+            );
+        }
+        assert!((a.observed_small_fraction(32) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut a = Adaptive::new();
+        for i in 0..1000u64 {
+            a.on_arrival(JobSpec::batch(i + 1, 0, 32, 10).to_view());
+        }
+        assert_eq!(a.recent_sizes.len(), a.window);
+    }
+
+    #[test]
+    fn schedules_mixed_stream_to_completion() {
+        let jobs: Vec<JobSpec> = (0..150)
+            .map(|i| JobSpec::batch(i + 1, i * 13, 32 * (1 + (i as u32 * 7) % 10), 30 + i % 220))
+            .collect();
+        let r = simulate(
+            Machine::bluegene_p(),
+            Adaptive::new(),
+            EccPolicy::disabled(),
+            &jobs,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(r.outcomes.len(), 150);
+    }
+
+    #[test]
+    fn behaves_like_delayed_los_on_large_job_stream() {
+        // All-large stream (small fraction 0): the Figure 2 packing must
+        // be taken, as Delayed-LOS would.
+        let jobs = vec![
+            JobSpec::batch(1, 0, 224, 100),
+            JobSpec::batch(2, 0, 128, 100),
+            JobSpec::batch(3, 0, 192, 100),
+        ];
+        let r = simulate(
+            Machine::bluegene_p(),
+            Adaptive::new(),
+            EccPolicy::disabled(),
+            &jobs,
+            &[],
+        )
+        .unwrap();
+        let started = |id: u64| {
+            r.outcomes
+                .iter()
+                .find(|o| o.id.0 == id)
+                .unwrap()
+                .started
+                .as_secs()
+        };
+        assert_eq!(started(2), 0);
+        assert_eq!(started(3), 0);
+        assert_eq!(started(1), 100);
+    }
+}

@@ -1,0 +1,266 @@
+//! EASY-D and LOS-D: the paper's dedicated-queue appends of EASY and LOS
+//! (§V, "we append the EASY and LOS algorithms with the dedicated job
+//! queue").
+//!
+//! The paper gives no pseudocode for these baselines; the construction
+//! mirrors Hybrid-LOS's structure (see DESIGN.md): due dedicated jobs are
+//! promoted to the head of the batch queue (earliest start first), and
+//! while the first dedicated job's start lies in the future its freeze
+//! window (`fret_d`, `frec_d`) constrains every start decision — EASY's
+//! backfill checks and LOS's Reservation_DP both respect it.
+
+use crate::easy::easy_cycle;
+use crate::freeze::{dedicated_freeze, Freeze};
+use crate::los::{los_cycle, DEFAULT_LOOKAHEAD};
+use crate::queue::{BatchQueue, DedicatedQueue};
+use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler, SimTime};
+
+/// Promote every due dedicated job (requested start ≤ now) to the head of
+/// the batch queue, preserving requested-start order (the earliest due
+/// job ends up first).
+fn promote_due(batch: &mut BatchQueue, dedicated: &mut DedicatedQueue, now: SimTime, scount: u32) {
+    while let Some(d) = dedicated.head() {
+        match d.class.requested_start() {
+            Some(start) if start <= now => {
+                let view = dedicated.pop_head().expect("head exists");
+                // `insert_priority` keeps dedicated jobs promoted across
+                // different cycles in requested-start order.
+                batch.insert_priority(view, scount);
+            }
+            _ => break,
+        }
+    }
+}
+
+/// The freeze protecting the first *future* dedicated job, if any.
+fn first_dedicated_freeze(
+    dedicated: &DedicatedQueue,
+    ctx: &dyn SchedContext,
+) -> Option<Freeze> {
+    let d = dedicated.head()?;
+    let start = d.class.requested_start()?;
+    let tot = dedicated.total_num_at_start(start);
+    dedicated_freeze(ctx.running(), ctx.now(), ctx.total(), start, tot)
+}
+
+macro_rules! dedicated_wrapper {
+    ($name:ident, $display:literal, $cycle:expr) => {
+        /// See module docs: a dedicated-queue append of the base policy.
+        #[derive(Debug)]
+        pub struct $name {
+            batch: BatchQueue,
+            dedicated: DedicatedQueue,
+            lookahead: usize,
+        }
+
+        impl $name {
+            /// New scheduler with the default lookahead.
+            pub fn new() -> Self {
+                Self {
+                    batch: BatchQueue::new(),
+                    dedicated: DedicatedQueue::new(),
+                    lookahead: DEFAULT_LOOKAHEAD,
+                }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl Scheduler for $name {
+            fn on_arrival(&mut self, job: JobView) {
+                if job.class.is_dedicated() {
+                    self.dedicated.insert(job);
+                } else {
+                    self.batch.push_back(job);
+                }
+            }
+
+            fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+                if !self.batch.apply_ecc(id, num, dur) {
+                    self.dedicated.apply_ecc(id, num, dur);
+                }
+            }
+
+            fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+                promote_due(&mut self.batch, &mut self.dedicated, ctx.now(), 0);
+                let freeze = first_dedicated_freeze(&self.dedicated, ctx);
+                if self.batch.is_empty() {
+                    return;
+                }
+                #[allow(clippy::redundant_closure_call)]
+                ($cycle)(&mut self.batch, ctx, self.lookahead, freeze);
+            }
+
+            fn waiting_len(&self) -> usize {
+                self.batch.len() + self.dedicated.len()
+            }
+
+            fn name(&self) -> &'static str {
+                $display
+            }
+        }
+    };
+}
+
+dedicated_wrapper!(
+    EasyD,
+    "EASY-D",
+    |queue: &mut BatchQueue, ctx: &mut dyn SchedContext, _look: usize, fr: Option<Freeze>| {
+        easy_cycle(queue, ctx, fr)
+    }
+);
+
+dedicated_wrapper!(
+    LosD,
+    "LOS-D",
+    |queue: &mut BatchQueue, ctx: &mut dyn SchedContext, look: usize, fr: Option<Freeze>| {
+        los_cycle(queue, ctx, look, fr)
+    }
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine};
+
+    fn run_easy_d(jobs: &[JobSpec]) -> elastisched_sim::SimResult {
+        simulate(
+            Machine::bluegene_p(),
+            EasyD::new(),
+            EccPolicy::disabled(),
+            jobs,
+            &[],
+        )
+        .unwrap()
+    }
+
+    fn run_los_d(jobs: &[JobSpec]) -> elastisched_sim::SimResult {
+        simulate(
+            Machine::bluegene_p(),
+            LosD::new(),
+            EccPolicy::disabled(),
+            jobs,
+            &[],
+        )
+        .unwrap()
+    }
+
+    fn started(r: &elastisched_sim::SimResult, id: u64) -> u64 {
+        r.outcomes
+            .iter()
+            .find(|o| o.id.0 == id)
+            .unwrap()
+            .started
+            .as_secs()
+    }
+
+    #[test]
+    fn easy_d_honours_dedicated_start() {
+        let jobs = vec![
+            JobSpec::batch(1, 0, 128, 1_000),
+            JobSpec::dedicated(2, 10, 96, 100, 500),
+        ];
+        let r = run_easy_d(&jobs);
+        assert_eq!(started(&r, 2), 500);
+    }
+
+    #[test]
+    fn los_d_honours_dedicated_start() {
+        let jobs = vec![
+            JobSpec::batch(1, 0, 128, 1_000),
+            JobSpec::dedicated(2, 10, 96, 100, 500),
+        ];
+        let r = run_los_d(&jobs);
+        assert_eq!(started(&r, 2), 500);
+    }
+
+    #[test]
+    fn easy_d_batch_does_not_steal_dedicated_capacity() {
+        let jobs = vec![
+            JobSpec::dedicated(1, 0, 320, 50, 100),
+            JobSpec::batch(2, 10, 160, 500), // long — would collide
+            JobSpec::batch(3, 20, 160, 60),  // short — fine
+        ];
+        let r = run_easy_d(&jobs);
+        assert_eq!(started(&r, 1), 100);
+        assert_eq!(started(&r, 3), 20);
+        assert!(started(&r, 2) >= 150);
+    }
+
+    #[test]
+    fn los_d_batch_does_not_steal_dedicated_capacity() {
+        let jobs = vec![
+            JobSpec::dedicated(1, 0, 320, 50, 100),
+            JobSpec::batch(2, 10, 160, 500),
+            JobSpec::batch(3, 20, 160, 60),
+        ];
+        let r = run_los_d(&jobs);
+        assert_eq!(started(&r, 1), 100);
+        assert_eq!(started(&r, 3), 20);
+        assert!(started(&r, 2) >= 150);
+    }
+
+    #[test]
+    fn multiple_due_dedicated_preserve_order() {
+        let jobs = vec![
+            JobSpec::batch(1, 0, 320, 300),
+            JobSpec::dedicated(2, 10, 320, 50, 100),
+            JobSpec::dedicated(3, 10, 320, 50, 150),
+        ];
+        for r in [run_easy_d(&jobs), run_los_d(&jobs)] {
+            assert_eq!(started(&r, 2), 300);
+            assert_eq!(started(&r, 3), 350);
+        }
+    }
+
+    #[test]
+    fn pure_batch_degenerates_to_base_policy() {
+        // Without dedicated jobs EASY-D must equal EASY behaviourally.
+        let jobs = vec![
+            JobSpec::batch(1, 0, 256, 100),
+            JobSpec::batch(2, 1, 320, 100),
+            JobSpec::batch(3, 2, 32, 50),
+        ];
+        let rd = run_easy_d(&jobs);
+        let re = simulate(
+            Machine::bluegene_p(),
+            crate::easy::Easy::new(),
+            EccPolicy::disabled(),
+            &jobs,
+            &[],
+        )
+        .unwrap();
+        for id in 1..=3u64 {
+            assert_eq!(started(&rd, id), started(&re, id));
+        }
+    }
+
+    #[test]
+    fn drains_mixed_workload() {
+        let mut jobs = Vec::new();
+        for i in 0..120u64 {
+            if i % 4 == 0 {
+                jobs.push(JobSpec::dedicated(
+                    i + 1,
+                    i * 17,
+                    32 * (1 + (i as u32) % 4),
+                    30 + i % 90,
+                    i * 17 + 150,
+                ));
+            } else {
+                jobs.push(JobSpec::batch(
+                    i + 1,
+                    i * 17,
+                    32 * (1 + (i as u32 * 3) % 10),
+                    30 + i % 200,
+                ));
+            }
+        }
+        assert_eq!(run_easy_d(&jobs).outcomes.len(), 120);
+        assert_eq!(run_los_d(&jobs).outcomes.len(), 120);
+    }
+}

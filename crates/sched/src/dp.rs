@@ -1,0 +1,440 @@
+//! The dynamic-programming kernels of the LOS scheduler family.
+//!
+//! The paper (§III-A) names the two programs inherited from Shmueli &
+//! Feitelson's Lookahead Optimizing Scheduler:
+//!
+//! * **Basic_DP** — given the waiting queue and `m` free processors,
+//!   select the subset of jobs that maximizes the number of processors
+//!   put to use *right now* (a subset-sum maximization).
+//! * **Reservation_DP** — the same maximization under an additional
+//!   *freeze* constraint: a reservation at the freeze end time `fret`
+//!   leaves only `frec` processors ("freeze end capacity") for selected
+//!   jobs that would still be running at `fret`. A job's freeze demand is
+//!   `frenum = (t + dur < fret) ? 0 : num` (Algorithm 1, line 16).
+//!
+//! Both kernels work in allocation units (processors / machine unit), so
+//! the tables stay tiny on BlueGene/P-style machines. Ties on utilization
+//! are broken toward **earlier-queued jobs** (the paper leaves
+//! tie-breaking unspecified; FIFO preference is the fairness-preserving
+//! choice), and Reservation_DP additionally prefers solutions that
+//! consume the least freeze capacity.
+
+/// One candidate job for Reservation_DP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpItem {
+    /// Processors requested (`num`).
+    pub num: u32,
+    /// Whether the job would still be running at the freeze end time
+    /// (`frenum == num` in the paper's notation).
+    pub extends: bool,
+}
+
+/// Result of a DP selection.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Selection {
+    /// Indices of the chosen items in the caller's candidate slice,
+    /// in increasing order.
+    pub chosen: Vec<usize>,
+    /// Total processors the chosen jobs use now.
+    pub used_now: u32,
+}
+
+fn to_units(procs: u32, unit: u32) -> usize {
+    debug_assert!(unit > 0);
+    (procs / unit) as usize
+}
+
+/// **Basic_DP**: choose a subset of `sizes` (processor counts) with total
+/// at most `capacity`, maximizing the total. All sizes and the capacity
+/// are in processors; `unit` is the machine allocation unit.
+///
+/// Sizes that are zero or exceed `capacity` are never chosen.
+///
+/// ```
+/// use elastisched_sched::basic_dp;
+/// // The paper's Figure 2: jobs of 7, 4 and 6 node groups on a
+/// // 10-group machine — the optimal set is {4, 6}, not the head.
+/// let sel = basic_dp(&[224, 128, 192], 320, 32);
+/// assert_eq!(sel.used_now, 320);
+/// assert_eq!(sel.chosen, vec![1, 2]);
+/// ```
+pub fn basic_dp(sizes: &[u32], capacity: u32, unit: u32) -> Selection {
+    let cap = to_units(capacity, unit);
+    let n = sizes.len();
+    if n == 0 || cap == 0 {
+        return Selection::default();
+    }
+    // reach[i][c] = can the first i items use exactly c units?
+    let width = cap + 1;
+    let mut reach = vec![false; (n + 1) * width];
+    reach[0] = true;
+    for (i, &size) in sizes.iter().enumerate() {
+        let w = to_units(size, unit);
+        let (prev, cur) = reach.split_at_mut((i + 1) * width);
+        let prev = &prev[i * width..];
+        let cur = &mut cur[..width];
+        for c in 0..width {
+            cur[c] = prev[c] || (w > 0 && c >= w && prev[c - w]);
+        }
+    }
+    // Best achievable utilization.
+    let best = (0..width)
+        .rev()
+        .find(|&c| reach[n * width + c])
+        .unwrap_or(0);
+    // Reconstruct, excluding later items when possible so that ties
+    // favour earlier-queued jobs.
+    let mut chosen = Vec::new();
+    let mut c = best;
+    for i in (0..n).rev() {
+        let w = to_units(sizes[i], unit);
+        if reach[i * width + c] {
+            continue; // exclude item i
+        }
+        debug_assert!(w > 0 && c >= w && reach[i * width + (c - w)]);
+        chosen.push(i);
+        c -= w;
+    }
+    chosen.reverse();
+    Selection {
+        used_now: (best * unit as usize) as u32,
+        chosen,
+    }
+}
+
+/// **Reservation_DP**: choose a subset of `items` maximizing processors
+/// used now, subject to
+///
+/// * `Σ num ≤ cap_now` (free processors at the current time), and
+/// * `Σ (extends ? num : 0) ≤ cap_freeze` (freeze end capacity `frec`).
+///
+/// Among maximum-utilization solutions the one using the least freeze
+/// capacity is returned, with ties broken toward earlier-queued jobs.
+///
+/// ```
+/// use elastisched_sched::{reservation_dp, DpItem};
+/// // Two 64-proc jobs fit now, but only 64 procs remain at the freeze
+/// // end time: only one extending job may start.
+/// let items = [
+///     DpItem { num: 64, extends: true },
+///     DpItem { num: 64, extends: true },
+/// ];
+/// let sel = reservation_dp(&items, 128, 64, 32);
+/// assert_eq!(sel.used_now, 64);
+/// ```
+pub fn reservation_dp(items: &[DpItem], cap_now: u32, cap_freeze: u32, unit: u32) -> Selection {
+    let c1max = to_units(cap_now, unit);
+    let c2max = to_units(cap_freeze, unit);
+    let n = items.len();
+    if n == 0 || c1max == 0 {
+        return Selection::default();
+    }
+    let w1 = c1max + 1;
+    let w2 = c2max + 1;
+    let layer = w1 * w2;
+    // reach[i][c1][c2]: first i items can use exactly c1 units now of
+    // which exactly c2 units extend past the freeze end time.
+    let mut reach = vec![false; (n + 1) * layer];
+    reach[0] = true;
+    for (i, item) in items.iter().enumerate() {
+        let w = to_units(item.num, unit);
+        let f = if item.extends { w } else { 0 };
+        let (prev_all, cur_all) = reach.split_at_mut((i + 1) * layer);
+        let prev = &prev_all[i * layer..];
+        let cur = &mut cur_all[..layer];
+        for c1 in 0..w1 {
+            for c2 in 0..w2 {
+                let idx = c1 * w2 + c2;
+                let mut ok = prev[idx];
+                if !ok && w > 0 && c1 >= w && c2 >= f {
+                    ok = prev[(c1 - w) * w2 + (c2 - f)];
+                }
+                cur[idx] = ok;
+            }
+        }
+    }
+    // Maximize c1; among those minimize c2.
+    let last = &reach[n * layer..];
+    let mut best: Option<(usize, usize)> = None;
+    'outer: for c1 in (0..w1).rev() {
+        for c2 in 0..w2 {
+            if last[c1 * w2 + c2] {
+                best = Some((c1, c2));
+                break 'outer;
+            }
+        }
+    }
+    let Some((mut c1, mut c2)) = best else {
+        return Selection::default();
+    };
+    if c1 == 0 {
+        return Selection::default();
+    }
+    let used_now = (c1 * unit as usize) as u32;
+    let mut chosen = Vec::new();
+    for i in (0..n).rev() {
+        let idx = c1 * w2 + c2;
+        if reach[i * layer + idx] {
+            continue; // exclude item i
+        }
+        let w = to_units(items[i].num, unit);
+        let f = if items[i].extends { w } else { 0 };
+        debug_assert!(w > 0 && c1 >= w && c2 >= f);
+        chosen.push(i);
+        c1 -= w;
+        c2 -= f;
+    }
+    chosen.reverse();
+    Selection { chosen, used_now }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_dp_prefers_combination_over_head() {
+        // The paper's Figure 2 example: machine of 10, jobs of 7, 4, 6.
+        // Starting the head (7) wastes 3; the DP must pick {4, 6} = 10.
+        let sel = basic_dp(&[7, 4, 6], 10, 1);
+        assert_eq!(sel.used_now, 10);
+        assert_eq!(sel.chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn basic_dp_in_bluegene_units() {
+        // Same example scaled by the 32-processor node group.
+        let sel = basic_dp(&[224, 128, 192], 320, 32);
+        assert_eq!(sel.used_now, 320);
+        assert_eq!(sel.chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn basic_dp_takes_everything_when_it_fits() {
+        let sel = basic_dp(&[32, 64, 96], 320, 32);
+        assert_eq!(sel.used_now, 192);
+        assert_eq!(sel.chosen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn basic_dp_ignores_oversized_jobs() {
+        let sel = basic_dp(&[400, 64], 320, 32);
+        assert_eq!(sel.used_now, 64);
+        assert_eq!(sel.chosen, vec![1]);
+    }
+
+    #[test]
+    fn basic_dp_empty_inputs() {
+        assert_eq!(basic_dp(&[], 320, 32), Selection::default());
+        assert_eq!(basic_dp(&[32], 0, 32), Selection::default());
+    }
+
+    #[test]
+    fn basic_dp_tie_prefers_earlier_jobs() {
+        // {0} and {1} both give 32; the FIFO-preferring reconstruction
+        // must pick job 0.
+        let sel = basic_dp(&[32, 32], 32, 32);
+        assert_eq!(sel.chosen, vec![0]);
+        // {0,1} and {2} both give 64.
+        let sel = basic_dp(&[32, 32, 64], 64, 32);
+        assert_eq!(sel.chosen, vec![0, 1]);
+    }
+
+    #[test]
+    fn reservation_dp_respects_freeze_capacity() {
+        // Two jobs fit now, but only one may extend past the freeze.
+        let items = [
+            DpItem {
+                num: 64,
+                extends: true,
+            },
+            DpItem {
+                num: 64,
+                extends: true,
+            },
+        ];
+        let sel = reservation_dp(&items, 128, 64, 32);
+        assert_eq!(sel.used_now, 64);
+        assert_eq!(sel.chosen, vec![0]);
+    }
+
+    #[test]
+    fn reservation_dp_short_jobs_bypass_freeze() {
+        // Jobs that finish before the freeze end time don't consume frec.
+        let items = [
+            DpItem {
+                num: 64,
+                extends: false,
+            },
+            DpItem {
+                num: 64,
+                extends: false,
+            },
+        ];
+        let sel = reservation_dp(&items, 128, 0, 32);
+        assert_eq!(sel.used_now, 128);
+        assert_eq!(sel.chosen, vec![0, 1]);
+    }
+
+    #[test]
+    fn reservation_dp_mixes_short_and_long() {
+        let items = [
+            DpItem {
+                num: 96,
+                extends: true,
+            }, // long, would eat all frec
+            DpItem {
+                num: 64,
+                extends: false,
+            }, // short
+            DpItem {
+                num: 64,
+                extends: true,
+            }, // long, fits frec
+        ];
+        let sel = reservation_dp(&items, 160, 64, 32);
+        // Best: short 64 + long 64 = 128 now, freeze usage 64.
+        assert_eq!(sel.used_now, 128);
+        assert_eq!(sel.chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn reservation_dp_prefers_lower_freeze_usage_on_ties() {
+        let items = [
+            DpItem {
+                num: 64,
+                extends: true,
+            },
+            DpItem {
+                num: 64,
+                extends: false,
+            },
+        ];
+        // Both alone give 64 now; the non-extending one must win even
+        // though it is later in the queue, because it burns no frec.
+        let sel = reservation_dp(&items, 64, 64, 32);
+        assert_eq!(sel.used_now, 64);
+        assert_eq!(sel.chosen, vec![1]);
+    }
+
+    #[test]
+    fn reservation_dp_empty_and_zero_capacity() {
+        assert_eq!(
+            reservation_dp(&[], 320, 320, 32),
+            Selection::default()
+        );
+        let items = [DpItem {
+            num: 32,
+            extends: false,
+        }];
+        assert_eq!(reservation_dp(&items, 0, 320, 32), Selection::default());
+    }
+
+    #[test]
+    fn reservation_dp_zero_freeze_blocks_extenders() {
+        let items = [DpItem {
+            num: 32,
+            extends: true,
+        }];
+        let sel = reservation_dp(&items, 320, 0, 32);
+        assert_eq!(sel.used_now, 0);
+        assert!(sel.chosen.is_empty());
+    }
+
+    /// Exhaustive check against brute force on every subset.
+    fn brute_force(items: &[DpItem], cap_now: u32, cap_freeze: u32) -> u32 {
+        let n = items.len();
+        let mut best = 0u32;
+        for mask in 0u32..(1 << n) {
+            let mut now = 0u32;
+            let mut fr = 0u32;
+            for (i, it) in items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    now += it.num;
+                    if it.extends {
+                        fr += it.num;
+                    }
+                }
+            }
+            if now <= cap_now && fr <= cap_freeze {
+                best = best.max(now);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn reservation_dp_matches_brute_force_exhaustively() {
+        // Small deterministic sweep over many instances.
+        let sizes = [32u32, 64, 96, 128, 160];
+        let mut instance = 0u64;
+        for a in 0..sizes.len() {
+            for b in 0..sizes.len() {
+                for c in 0..sizes.len() {
+                    instance += 1;
+                    let items = [
+                        DpItem {
+                            num: sizes[a],
+                            extends: instance % 2 == 0,
+                        },
+                        DpItem {
+                            num: sizes[b],
+                            extends: instance % 3 == 0,
+                        },
+                        DpItem {
+                            num: sizes[c],
+                            extends: instance % 5 == 0,
+                        },
+                    ];
+                    for cap_now in [64u32, 160, 320] {
+                        for cap_freeze in [0u32, 96, 320] {
+                            let sel = reservation_dp(&items, cap_now, cap_freeze, 32);
+                            let expect = brute_force(&items, cap_now, cap_freeze);
+                            assert_eq!(
+                                sel.used_now, expect,
+                                "items {items:?} cap_now {cap_now} cap_freeze {cap_freeze}"
+                            );
+                            // And the reported selection is consistent.
+                            let now: u32 =
+                                sel.chosen.iter().map(|&i| items[i].num).sum();
+                            let fr: u32 = sel
+                                .chosen
+                                .iter()
+                                .filter(|&&i| items[i].extends)
+                                .map(|&i| items[i].num)
+                                .sum();
+                            assert_eq!(now, sel.used_now);
+                            assert!(now <= cap_now && fr <= cap_freeze);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn basic_dp_matches_brute_force_exhaustively() {
+        let sizes_pool = [32u32, 64, 96, 128, 224, 320];
+        for a in 0..sizes_pool.len() {
+            for b in 0..sizes_pool.len() {
+                for c in 0..sizes_pool.len() {
+                    for d in 0..sizes_pool.len() {
+                        let sizes = [sizes_pool[a], sizes_pool[b], sizes_pool[c], sizes_pool[d]];
+                        for cap in [96u32, 192, 320] {
+                            let sel = basic_dp(&sizes, cap, 32);
+                            let items: Vec<DpItem> = sizes
+                                .iter()
+                                .map(|&num| DpItem {
+                                    num,
+                                    extends: false,
+                                })
+                                .collect();
+                            let expect = brute_force(&items, cap, u32::MAX);
+                            assert_eq!(sel.used_now, expect, "sizes {sizes:?} cap {cap}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Hybrid-LOS (the paper's Algorithms 2 and 3) for heterogeneous
+//! workloads: batch jobs scheduled around rigid dedicated jobs.
+//!
+//! Structure of one cycle (Algorithm 2):
+//!
+//! * dedicated queue empty → fall back to Delayed-LOS (line 4);
+//! * dedicated head is *due* (`start ≤ t`) → move it to the head of the
+//!   batch queue with `scount = C_s` so the head-start rule fires it as
+//!   soon as capacity allows (Algorithm 3, lines 6–7 / 39–42);
+//! * dedicated head is in the future → compute the dedicated freeze
+//!   (`fret_d`, `frec_d`, lines 8–30) and run Reservation_DP over the
+//!   batch queue around that reservation, incrementing the batch head's
+//!   `scount` when it is skipped (lines 22, 30);
+//! * batch head's skip budget exhausted → start it right away
+//!   (lines 35–37). **Deviation:** the paper does not re-check
+//!   `w_1^b.num ≤ m` here; we do, since activating a job larger than the
+//!   free capacity would oversubscribe the machine (see DESIGN.md).
+
+use crate::delayed_los::delayed_los_cycle;
+use crate::dp::{reservation_dp, DpItem};
+use crate::freeze::dedicated_freeze;
+use crate::queue::{BatchQueue, DedicatedQueue};
+use crate::telemetry::Telemetry;
+use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler};
+
+/// The Hybrid-LOS scheduler (heterogeneous workloads).
+#[derive(Debug)]
+pub struct HybridLos {
+    batch: BatchQueue,
+    dedicated: DedicatedQueue,
+    cs: u32,
+    lookahead: usize,
+    telemetry: Telemetry,
+}
+
+impl HybridLos {
+    /// Hybrid-LOS with the default `C_s` and lookahead.
+    pub fn new() -> Self {
+        HybridLos::with_params(
+            crate::delayed_los::DEFAULT_MAX_SKIP,
+            crate::los::DEFAULT_LOOKAHEAD,
+        )
+    }
+
+    /// Hybrid-LOS with explicit `C_s` and lookahead.
+    pub fn with_params(cs: u32, lookahead: usize) -> Self {
+        HybridLos {
+            batch: BatchQueue::new(),
+            dedicated: DedicatedQueue::new(),
+            cs,
+            lookahead: lookahead.max(1),
+            telemetry: Telemetry::default(),
+        }
+    }
+
+    /// Decision counters accumulated so far.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Algorithm 3: move the dedicated head to the batch head with
+    /// `scount = C_s`, preserving its original arrival time.
+    fn move_dedicated_head_to_batch_head(&mut self) {
+        if let Some(view) = self.dedicated.pop_head() {
+            // `insert_priority` rather than a blind push-front: dedicated
+            // jobs promoted in *earlier* cycles must keep their
+            // requested-start precedence.
+            self.batch.insert_priority(view, self.cs);
+            self.telemetry.dedicated_promotions += 1;
+        }
+    }
+
+    /// The dedicated-freeze Reservation_DP pass (Algorithm 2 lines 8–33).
+    fn reservation_around_dedicated(
+        &mut self,
+        ctx: &mut dyn SchedContext,
+        bump_scount: bool,
+    ) {
+        let now = ctx.now();
+        let free = ctx.free();
+        let dhead = self.dedicated.head().expect("dedicated non-empty");
+        let start = dhead
+            .class
+            .requested_start()
+            .expect("dedicated job has a start");
+        let tot_start_num = self.dedicated.total_num_at_start(start);
+        let Some(freeze) = dedicated_freeze(ctx.running(), now, ctx.total(), start, tot_start_num)
+        else {
+            return; // dedicated bundle larger than the machine
+        };
+        let head_id = self.batch.head().expect("batch non-empty").view.id;
+        let candidates: Vec<(JobId, u32, Duration)> = self
+            .batch
+            .iter()
+            .filter(|w| w.view.num <= free)
+            .take(self.lookahead)
+            .map(|w| (w.view.id, w.view.num, w.view.dur))
+            .collect();
+        let items: Vec<DpItem> = candidates
+            .iter()
+            .map(|&(_, num, dur)| DpItem {
+                num,
+                extends: freeze.extends(now, dur),
+            })
+            .collect();
+        let sel = reservation_dp(&items, free, freeze.frec, ctx.unit());
+        self.telemetry.reservation_dp_calls += 1;
+        let head_selected = sel.chosen.iter().any(|&i| candidates[i].0 == head_id);
+        if bump_scount && !head_selected {
+            self.batch.head_mut().expect("batch non-empty").scount += 1;
+            self.telemetry.head_skips += 1;
+        }
+        for &i in &sel.chosen {
+            let (id, _, _) = candidates[i];
+            ctx.start(id).expect("DP selection fits");
+            self.batch.remove(id);
+            self.telemetry.dp_starts += 1;
+        }
+    }
+}
+
+impl Default for HybridLos {
+    fn default() -> Self {
+        HybridLos::new()
+    }
+}
+
+impl Scheduler for HybridLos {
+    fn on_arrival(&mut self, job: JobView) {
+        if job.class.is_dedicated() {
+            self.dedicated.insert(job);
+        } else {
+            self.batch.push_back(job);
+        }
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        if !self.batch.apply_ecc(id, num, dur) {
+            self.dedicated.apply_ecc(id, num, dur);
+        }
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        self.telemetry.cycles += 1;
+        let now = ctx.now();
+        let mut dp_done = false;
+        // Bounded loop: each iteration either starts a job, promotes one
+        // dedicated job, or returns — so it terminates.
+        for _ in 0..100_000 {
+            let m = ctx.free();
+            if m > 0 && !self.batch.is_empty() {
+                if self.dedicated.is_empty() {
+                    // Line 4: pure batch → Delayed-LOS.
+                    delayed_los_cycle(
+                        &mut self.batch,
+                        ctx,
+                        self.cs,
+                        self.lookahead,
+                        &mut self.telemetry,
+                    );
+                    return;
+                }
+                let head = self.batch.head().expect("batch non-empty");
+                let (head_id, head_num, head_scount) =
+                    (head.view.id, head.view.num, head.scount);
+                let dstart = self
+                    .dedicated
+                    .head()
+                    .and_then(|d| d.class.requested_start())
+                    .expect("dedicated job has a start");
+                if head_scount >= self.cs {
+                    // Lines 35–37 (guarded; see module docs).
+                    if head_num <= m {
+                        ctx.start(head_id).expect("head fit was checked");
+                        self.batch.pop_head();
+                        self.telemetry.head_force_starts += 1;
+                        continue;
+                    }
+                    // Head cannot start: schedule around the dedicated
+                    // reservation (no further scount bumping).
+                    if dstart <= now {
+                        self.move_dedicated_head_to_batch_head();
+                        continue;
+                    }
+                    if dp_done {
+                        return;
+                    }
+                    self.reservation_around_dedicated(ctx, false);
+                    dp_done = true;
+                    continue;
+                }
+                // Lines 6–7: dedicated head due → promote it.
+                if dstart <= now {
+                    self.move_dedicated_head_to_batch_head();
+                    continue;
+                }
+                // Lines 8–33: schedule around the future dedicated start.
+                if dp_done {
+                    return;
+                }
+                self.reservation_around_dedicated(ctx, true);
+                dp_done = true;
+                continue;
+            }
+            // Lines 39–42: batch empty (or machine full) — promote a due
+            // dedicated head so the next capacity release can start it.
+            if let Some(d) = self.dedicated.head() {
+                let dstart = d.class.requested_start().expect("dedicated start");
+                if dstart <= now {
+                    self.move_dedicated_head_to_batch_head();
+                    if ctx.free() == 0 {
+                        return;
+                    }
+                    continue;
+                }
+            }
+            return;
+        }
+        unreachable!("Hybrid-LOS cycle failed to converge");
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.batch.len() + self.dedicated.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Hybrid-LOS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine};
+
+    fn run(jobs: &[JobSpec]) -> elastisched_sim::SimResult {
+        simulate(
+            Machine::bluegene_p(),
+            HybridLos::new(),
+            EccPolicy::disabled(),
+            jobs,
+            &[],
+        )
+        .unwrap()
+    }
+
+    fn started(r: &elastisched_sim::SimResult, id: u64) -> u64 {
+        r.outcomes
+            .iter()
+            .find(|o| o.id.0 == id)
+            .unwrap()
+            .started
+            .as_secs()
+    }
+
+    #[test]
+    fn dedicated_job_starts_exactly_on_time_when_capacity_allows() {
+        let jobs = vec![
+            JobSpec::batch(1, 0, 128, 1_000),
+            JobSpec::dedicated(2, 10, 96, 100, 500),
+            JobSpec::batch(3, 20, 64, 100),
+        ];
+        let r = run(&jobs);
+        assert_eq!(started(&r, 2), 500, "dedicated start time honoured");
+        assert_eq!(started(&r, 1), 0);
+        assert_eq!(started(&r, 3), 20);
+    }
+
+    #[test]
+    fn batch_jobs_do_not_steal_dedicated_capacity() {
+        // Dedicated job needs the whole machine at t=100. A long batch
+        // job arriving at t=10 must NOT start (it would still hold
+        // processors at t=100); a short one may.
+        let jobs = vec![
+            JobSpec::dedicated(1, 0, 320, 50, 100),
+            JobSpec::batch(2, 10, 160, 500), // long — would collide
+            JobSpec::batch(3, 20, 160, 60),  // short — finishes at 80
+        ];
+        let r = run(&jobs);
+        assert_eq!(started(&r, 1), 100, "dedicated on time");
+        assert_eq!(started(&r, 3), 20, "short batch fills the gap");
+        assert!(started(&r, 2) >= 150, "long batch waits for the dedicated job");
+    }
+
+    #[test]
+    fn dedicated_delayed_when_capacity_insufficient() {
+        // The machine is fully busy until t=200; a dedicated job asking
+        // for t=100 is unavoidably delayed (paper: "this delay is
+        // unavoidable due to insufficient capacity").
+        let jobs = vec![
+            JobSpec::batch(1, 0, 320, 200),
+            JobSpec::dedicated(2, 10, 320, 50, 100),
+        ];
+        let r = run(&jobs);
+        assert_eq!(started(&r, 2), 200);
+        // Wait is measured from the requested start for dedicated jobs.
+        let o = r.outcomes.iter().find(|o| o.id.0 == 2).unwrap();
+        assert_eq!(o.wait.as_secs(), 100);
+    }
+
+    #[test]
+    fn equal_start_dedicated_jobs_all_reserved_together() {
+        // Two dedicated jobs share start t=100 (tot_start_num = 256).
+        // A batch job that would leave less than 256 at t=100 must wait.
+        let jobs = vec![
+            JobSpec::dedicated(1, 0, 128, 100, 100),
+            JobSpec::dedicated(2, 0, 128, 100, 100),
+            JobSpec::batch(3, 10, 128, 500), // long, collides with both
+            JobSpec::batch(4, 20, 64, 500),  // long but fits beside 256
+        ];
+        let r = run(&jobs);
+        assert_eq!(started(&r, 1), 100);
+        assert_eq!(started(&r, 2), 100);
+        assert!(started(&r, 3) >= 200, "would violate tot_start_num");
+        assert_eq!(started(&r, 4), 20, "64 procs fit alongside 256 dedicated");
+    }
+
+    #[test]
+    fn falls_back_to_delayed_los_without_dedicated_jobs() {
+        // The Figure 2 example must behave exactly like Delayed-LOS.
+        let jobs = vec![
+            JobSpec::batch(1, 0, 224, 100),
+            JobSpec::batch(2, 0, 128, 100),
+            JobSpec::batch(3, 0, 192, 100),
+        ];
+        let r = run(&jobs);
+        assert_eq!(started(&r, 2), 0);
+        assert_eq!(started(&r, 3), 0);
+        assert_eq!(started(&r, 1), 100);
+    }
+
+    #[test]
+    fn due_dedicated_jobs_preserve_start_order() {
+        // Two dedicated jobs with starts 100 and 150, both requiring the
+        // full machine, become due while it is busy until t=300. They
+        // must run in requested-start order afterwards.
+        let jobs = vec![
+            JobSpec::batch(1, 0, 320, 300),
+            JobSpec::dedicated(2, 10, 320, 50, 100),
+            JobSpec::dedicated(3, 10, 320, 50, 150),
+        ];
+        let r = run(&jobs);
+        assert_eq!(started(&r, 2), 300);
+        assert_eq!(started(&r, 3), 350);
+    }
+
+    #[test]
+    fn batch_head_skip_budget_still_bounds_waiting() {
+        // A stream of perfectly packing pairs plus a dedicated job far in
+        // the future: the 7-unit batch head must still be forced through
+        // after C_s skips.
+        let mut jobs = vec![
+            JobSpec::batch(1, 0, 224, 50),
+            JobSpec::dedicated(999, 0, 32, 10, 1_000_000),
+        ];
+        let mut id = 2;
+        for k in 0..20 {
+            jobs.push(JobSpec::batch(id, k * 50, 128, 50));
+            id += 1;
+            jobs.push(JobSpec::batch(id, k * 50, 160, 50));
+            id += 1;
+        }
+        let r = run(&jobs);
+        assert!(
+            started(&r, 1) <= 500,
+            "head start {} — starved despite C_s",
+            started(&r, 1)
+        );
+    }
+
+    #[test]
+    fn drains_mixed_workload() {
+        let mut jobs = Vec::new();
+        for i in 0..100u64 {
+            if i % 3 == 0 {
+                jobs.push(JobSpec::dedicated(
+                    i + 1,
+                    i * 13,
+                    32 * (1 + (i as u32) % 5),
+                    40 + i % 100,
+                    i * 13 + 200,
+                ));
+            } else {
+                jobs.push(JobSpec::batch(
+                    i + 1,
+                    i * 13,
+                    32 * (1 + (i as u32 * 7) % 10),
+                    40 + i % 200,
+                ));
+            }
+        }
+        let r = run(&jobs);
+        assert_eq!(r.outcomes.len(), 100);
+    }
+}

@@ -1,0 +1,51 @@
+//! # elastisched-sched
+//!
+//! Scheduling policies for parallel machines, reproducing the algorithm
+//! suite of *"Scheduling Batch and Heterogeneous Jobs with Runtime
+//! Elasticity in a Parallel Processing Environment"*:
+//!
+//! * baselines: [`Fcfs`], [`Conservative`], [`Easy`] (aggressive
+//!   backfilling), [`Los`] (Shmueli–Feitelson's Lookahead Optimizing
+//!   Scheduler with its Basic_DP / Reservation_DP kernels);
+//! * the paper's contributions: [`DelayedLos`] (Algorithm 1) and
+//!   [`HybridLos`] (Algorithms 2–3);
+//! * the dedicated-queue appends [`EasyD`] and [`LosD`];
+//! * the §V-A dynamic selection sketch, [`Adaptive`];
+//! * the [`Algorithm`] registry realizing the paper's Table III
+//!   (`-E` variants are the same policies run with the engine's ECC
+//!   processor enabled).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod conservative;
+pub mod dedicated;
+pub mod delayed_los;
+pub mod dp;
+pub mod easy;
+pub mod fcfs;
+pub mod freeze;
+pub mod hybrid_los;
+pub mod los;
+pub mod ordered;
+pub mod profile;
+pub mod queue;
+pub mod registry;
+pub mod telemetry;
+
+pub use adaptive::Adaptive;
+pub use conservative::Conservative;
+pub use dedicated::{EasyD, LosD};
+pub use delayed_los::{DelayedLos, DEFAULT_MAX_SKIP};
+pub use dp::{basic_dp, reservation_dp, DpItem, Selection};
+pub use easy::Easy;
+pub use fcfs::Fcfs;
+pub use freeze::{batch_head_freeze, dedicated_freeze, Freeze};
+pub use hybrid_los::HybridLos;
+pub use los::{Los, DEFAULT_LOOKAHEAD};
+pub use ordered::{OrderPolicy, Ordered};
+pub use profile::{ReserveError, ResourceProfile};
+pub use queue::{BatchQueue, DedicatedQueue, WaitingJob};
+pub use registry::{Algorithm, SchedParams};
+pub use telemetry::Telemetry;

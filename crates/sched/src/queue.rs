@@ -1,0 +1,333 @@
+//! Waiting-queue data structures.
+//!
+//! * [`BatchQueue`] is the paper's `W^b`: a FIFO queue of waiting batch
+//!   jobs, each carrying a skip count `scount` (the number of scheduling
+//!   cycles in which the job sat at the head without being selected).
+//! * [`DedicatedQueue`] is `W^d`: waiting dedicated jobs kept sorted by
+//!   increasing requested start time.
+
+use elastisched_sim::{Duration, JobId, JobView, SimTime};
+use std::collections::VecDeque;
+
+/// A waiting batch job with its skip count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitingJob {
+    /// The job's scheduler-facing attributes (`num`, `dur`, `arr`, …).
+    pub view: JobView,
+    /// `scount`: cycles this job was skipped while at the head.
+    pub scount: u32,
+}
+
+impl WaitingJob {
+    /// A freshly arrived job (`scount = 0`).
+    pub fn new(view: JobView) -> Self {
+        WaitingJob { view, scount: 0 }
+    }
+}
+
+/// The FIFO queue of waiting batch jobs (`W^b`).
+#[derive(Debug, Clone, Default)]
+pub struct BatchQueue {
+    jobs: VecDeque<WaitingJob>,
+}
+
+impl BatchQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of waiting jobs `B`.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Append a newly arrived job (FIFO order).
+    pub fn push_back(&mut self, view: JobView) {
+        self.jobs.push_back(WaitingJob::new(view));
+    }
+
+    /// Insert a job at the head of the queue with an explicit skip count —
+    /// used by `Move_Dedicated_Head_To_Batch_Head` (Algorithm 3), which
+    /// sets `scount = C_s` so the job starts as soon as capacity allows.
+    pub fn push_front_with_scount(&mut self, view: JobView, scount: u32) {
+        self.jobs.push_front(WaitingJob { view, scount });
+    }
+
+    /// Insert a promoted dedicated job into the priority region at the
+    /// front of the queue: after any leading dedicated jobs with an
+    /// earlier-or-equal requested start, before everything else. This
+    /// keeps repeatedly promoted dedicated jobs in requested-start order
+    /// even when promotions happen in different scheduling cycles.
+    pub fn insert_priority(&mut self, view: JobView, scount: u32) {
+        let my_start = view.class.requested_start().unwrap_or(SimTime::ZERO);
+        let mut pos = 0;
+        for j in &self.jobs {
+            match j.view.class.requested_start() {
+                Some(start) if start <= my_start => pos += 1,
+                _ => break,
+            }
+        }
+        self.jobs.insert(pos, WaitingJob { view, scount });
+    }
+
+    /// The head job `w_1^b`, if any.
+    pub fn head(&self) -> Option<&WaitingJob> {
+        self.jobs.front()
+    }
+
+    /// Mutable head access (for `scount++`).
+    pub fn head_mut(&mut self) -> Option<&mut WaitingJob> {
+        self.jobs.front_mut()
+    }
+
+    /// Remove and return the head job.
+    pub fn pop_head(&mut self) -> Option<WaitingJob> {
+        self.jobs.pop_front()
+    }
+
+    /// Iterate in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &WaitingJob> {
+        self.jobs.iter()
+    }
+
+    /// Remove one job by id; returns it if present.
+    pub fn remove(&mut self, id: JobId) -> Option<WaitingJob> {
+        let pos = self.jobs.iter().position(|j| j.view.id == id)?;
+        self.jobs.remove(pos)
+    }
+
+    /// Update a queued job after an Elastic Control Command changed its
+    /// requirements. Returns true if the job was found.
+    pub fn apply_ecc(&mut self, id: JobId, num: u32, dur: Duration) -> bool {
+        match self.jobs.iter_mut().find(|j| j.view.id == id) {
+            Some(j) => {
+                j.view.num = num;
+                j.view.dur = dur;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// FIFO invariant: arrival times are non-decreasing, except where a
+    /// dedicated job was explicitly promoted to the head.
+    #[cfg(test)]
+    pub fn check_fifo(&self) {
+        for w in self
+            .jobs
+            .iter()
+            .collect::<Vec<_>>()
+            .windows(2)
+            .filter(|w| !w[0].view.class.is_dedicated() && !w[1].view.class.is_dedicated())
+        {
+            assert!(w[0].view.submit <= w[1].view.submit, "batch queue not FIFO");
+        }
+    }
+}
+
+/// The sorted list of waiting dedicated jobs (`W^d`).
+#[derive(Debug, Clone, Default)]
+pub struct DedicatedQueue {
+    jobs: Vec<JobView>,
+}
+
+impl DedicatedQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of waiting dedicated jobs `D`.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    fn key(v: &JobView) -> (SimTime, SimTime, JobId) {
+        (
+            v.class.requested_start().unwrap_or(SimTime::ZERO),
+            v.submit,
+            v.id,
+        )
+    }
+
+    /// Insert keeping the sort order
+    /// `w_1^d.start ≤ w_2^d.start ≤ … ≤ w_D^d.start`.
+    pub fn insert(&mut self, view: JobView) {
+        debug_assert!(view.class.is_dedicated(), "batch job in dedicated queue");
+        let pos = self
+            .jobs
+            .partition_point(|j| Self::key(j) < Self::key(&view));
+        self.jobs.insert(pos, view);
+    }
+
+    /// The head `w_1^d` (earliest requested start), if any.
+    pub fn head(&self) -> Option<&JobView> {
+        self.jobs.first()
+    }
+
+    /// Remove and return the head.
+    pub fn pop_head(&mut self) -> Option<JobView> {
+        if self.jobs.is_empty() {
+            None
+        } else {
+            Some(self.jobs.remove(0))
+        }
+    }
+
+    /// Iterate in increasing requested-start order.
+    pub fn iter(&self) -> impl Iterator<Item = &JobView> {
+        self.jobs.iter()
+    }
+
+    /// Total processors requested by dedicated jobs whose requested start
+    /// equals `start` (the paper's `tot_start_num`, Algorithm 2 line 16).
+    pub fn total_num_at_start(&self, start: SimTime) -> u32 {
+        self.jobs
+            .iter()
+            .filter(|j| j.class.requested_start() == Some(start))
+            .map(|j| j.num)
+            .sum()
+    }
+
+    /// Update a queued dedicated job after an ECC. Returns true if found.
+    pub fn apply_ecc(&mut self, id: JobId, num: u32, dur: Duration) -> bool {
+        match self.jobs.iter_mut().find(|j| j.id == id) {
+            Some(j) => {
+                j.num = num;
+                j.dur = dur;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisched_sim::JobClass;
+
+    fn batch_view(id: u64, submit: u64, num: u32, dur: u64) -> JobView {
+        JobView {
+            id: JobId(id),
+            num,
+            dur: Duration::from_secs(dur),
+            submit: SimTime::from_secs(submit),
+            class: JobClass::Batch,
+        }
+    }
+
+    fn ded_view(id: u64, submit: u64, num: u32, dur: u64, start: u64) -> JobView {
+        JobView {
+            id: JobId(id),
+            num,
+            dur: Duration::from_secs(dur),
+            submit: SimTime::from_secs(submit),
+            class: JobClass::Dedicated {
+                requested_start: SimTime::from_secs(start),
+            },
+        }
+    }
+
+    #[test]
+    fn batch_queue_is_fifo() {
+        let mut q = BatchQueue::new();
+        q.push_back(batch_view(1, 0, 32, 10));
+        q.push_back(batch_view(2, 5, 64, 10));
+        q.push_back(batch_view(3, 9, 96, 10));
+        q.check_fifo();
+        assert_eq!(q.pop_head().unwrap().view.id, JobId(1));
+        assert_eq!(q.head().unwrap().view.id, JobId(2));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn push_front_with_scount_takes_head() {
+        let mut q = BatchQueue::new();
+        q.push_back(batch_view(1, 0, 32, 10));
+        q.push_front_with_scount(ded_view(9, 0, 64, 10, 100), 5);
+        let h = q.head().unwrap();
+        assert_eq!(h.view.id, JobId(9));
+        assert_eq!(h.scount, 5);
+    }
+
+    #[test]
+    fn batch_apply_ecc_updates_view() {
+        let mut q = BatchQueue::new();
+        q.push_back(batch_view(1, 0, 32, 10));
+        assert!(q.apply_ecc(JobId(1), 64, Duration::from_secs(99)));
+        let h = q.head().unwrap();
+        assert_eq!(h.view.num, 64);
+        assert_eq!(h.view.dur, Duration::from_secs(99));
+        assert!(!q.apply_ecc(JobId(7), 32, Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut q = BatchQueue::new();
+        q.push_back(batch_view(1, 0, 32, 10));
+        q.push_back(batch_view(2, 5, 64, 10));
+        assert_eq!(q.remove(JobId(2)).unwrap().view.id, JobId(2));
+        assert!(q.remove(JobId(2)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn scount_increment_via_head_mut() {
+        let mut q = BatchQueue::new();
+        q.push_back(batch_view(1, 0, 32, 10));
+        q.head_mut().unwrap().scount += 1;
+        assert_eq!(q.head().unwrap().scount, 1);
+    }
+
+    #[test]
+    fn dedicated_queue_sorts_by_start() {
+        let mut q = DedicatedQueue::new();
+        q.insert(ded_view(1, 0, 32, 10, 300));
+        q.insert(ded_view(2, 1, 32, 10, 100));
+        q.insert(ded_view(3, 2, 32, 10, 200));
+        let order: Vec<u64> = q.iter().map(|j| j.id.0).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        assert_eq!(q.pop_head().unwrap().id, JobId(2));
+    }
+
+    #[test]
+    fn dedicated_ties_broken_by_submit_then_id() {
+        let mut q = DedicatedQueue::new();
+        q.insert(ded_view(5, 10, 32, 10, 100));
+        q.insert(ded_view(2, 10, 32, 10, 100));
+        q.insert(ded_view(3, 5, 32, 10, 100));
+        let order: Vec<u64> = q.iter().map(|j| j.id.0).collect();
+        assert_eq!(order, vec![3, 2, 5]);
+    }
+
+    #[test]
+    fn total_num_at_start_sums_equal_starts() {
+        let mut q = DedicatedQueue::new();
+        q.insert(ded_view(1, 0, 32, 10, 100));
+        q.insert(ded_view(2, 0, 64, 10, 100));
+        q.insert(ded_view(3, 0, 96, 10, 200));
+        assert_eq!(q.total_num_at_start(SimTime::from_secs(100)), 96);
+        assert_eq!(q.total_num_at_start(SimTime::from_secs(200)), 96);
+        assert_eq!(q.total_num_at_start(SimTime::from_secs(999)), 0);
+    }
+
+    #[test]
+    fn dedicated_apply_ecc() {
+        let mut q = DedicatedQueue::new();
+        q.insert(ded_view(1, 0, 32, 10, 100));
+        assert!(q.apply_ecc(JobId(1), 96, Duration::from_secs(77)));
+        assert_eq!(q.head().unwrap().num, 96);
+    }
+}

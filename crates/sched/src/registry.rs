@@ -1,0 +1,313 @@
+//! The algorithm registry: the paper's Table III plus extra baselines.
+//!
+//! Each [`Algorithm`] names one of the twelve paper configurations
+//! (EASY/LOS/Delayed-LOS/Hybrid-LOS × {plain, -D, -E, -DE}) or one of the
+//! additional baselines (FCFS, Conservative, Adaptive). The `-E` suffix
+//! is realized by the engine's ECC policy, not by a different scheduler
+//! struct — exactly as in the paper, where the ECC processor is appended
+//! to an existing algorithm.
+
+use crate::adaptive::Adaptive;
+use crate::conservative::Conservative;
+use crate::dedicated::{EasyD, LosD};
+use crate::delayed_los::{DelayedLos, DEFAULT_MAX_SKIP};
+use crate::easy::Easy;
+use crate::fcfs::Fcfs;
+use crate::hybrid_los::HybridLos;
+use crate::los::{Los, DEFAULT_LOOKAHEAD};
+use crate::ordered::{OrderPolicy, Ordered};
+use elastisched_sim::{EccPolicy, Scheduler};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Tunables shared by the LOS family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedParams {
+    /// Maximum skip count `C_s` (Delayed-LOS / Hybrid-LOS).
+    pub cs: u32,
+    /// DP lookahead window (LOS family).
+    pub lookahead: usize,
+}
+
+impl Default for SchedParams {
+    fn default() -> Self {
+        SchedParams {
+            cs: DEFAULT_MAX_SKIP,
+            lookahead: DEFAULT_LOOKAHEAD,
+        }
+    }
+}
+
+impl SchedParams {
+    /// Params with an explicit `C_s`.
+    pub fn with_cs(cs: u32) -> Self {
+        SchedParams {
+            cs,
+            ..SchedParams::default()
+        }
+    }
+}
+
+/// Every algorithm this library can run (paper Table III + baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// First-come first-served (baseline, §II-B).
+    Fcfs,
+    /// Conservative backfilling (baseline, §II-B).
+    Conservative,
+    /// EASY backfilling, batch only.
+    Easy,
+    /// EASY with a dedicated queue.
+    EasyD,
+    /// EASY with the ECC processor.
+    EasyE,
+    /// EASY with dedicated queue and ECC processor.
+    EasyDE,
+    /// Lookahead Optimizing Scheduler, batch only.
+    Los,
+    /// LOS with a dedicated queue.
+    LosD,
+    /// LOS with the ECC processor.
+    LosE,
+    /// LOS with dedicated queue and ECC processor.
+    LosDE,
+    /// The paper's Delayed-LOS (Algorithm 1).
+    DelayedLos,
+    /// The paper's Hybrid-LOS (Algorithm 2).
+    HybridLos,
+    /// Delayed-LOS with the ECC processor.
+    DelayedLosE,
+    /// Hybrid-LOS with the ECC processor.
+    HybridLosE,
+    /// Dynamic EASY/Delayed-LOS selection (paper §V-A sketch).
+    Adaptive,
+    /// Shortest-job-first (related work [3]).
+    Sjf,
+    /// Shortest-job-first with EASY-style backfilling.
+    SjfBf,
+    /// Smallest-job-first with backfilling (related work [10]).
+    SmallestFirstBf,
+    /// Largest-job-first with backfilling (related work [11]).
+    LargestFirstBf,
+}
+
+impl Algorithm {
+    /// The twelve configurations of the paper's Table III, in table order.
+    pub const PAPER_TABLE_III: [Algorithm; 12] = [
+        Algorithm::Easy,
+        Algorithm::EasyD,
+        Algorithm::EasyE,
+        Algorithm::EasyDE,
+        Algorithm::Los,
+        Algorithm::LosD,
+        Algorithm::LosE,
+        Algorithm::LosDE,
+        Algorithm::DelayedLos,
+        Algorithm::HybridLos,
+        Algorithm::DelayedLosE,
+        Algorithm::HybridLosE,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Fcfs => "FCFS",
+            Algorithm::Conservative => "Conservative",
+            Algorithm::Easy => "EASY",
+            Algorithm::EasyD => "EASY-D",
+            Algorithm::EasyE => "EASY-E",
+            Algorithm::EasyDE => "EASY-DE",
+            Algorithm::Los => "LOS",
+            Algorithm::LosD => "LOS-D",
+            Algorithm::LosE => "LOS-E",
+            Algorithm::LosDE => "LOS-DE",
+            Algorithm::DelayedLos => "Delayed-LOS",
+            Algorithm::HybridLos => "Hybrid-LOS",
+            Algorithm::DelayedLosE => "Delayed-LOS-E",
+            Algorithm::HybridLosE => "Hybrid-LOS-E",
+            Algorithm::Adaptive => "Adaptive",
+            Algorithm::Sjf => "SJF",
+            Algorithm::SjfBf => "SJF-BF",
+            Algorithm::SmallestFirstBf => "Smallest-First-BF",
+            Algorithm::LargestFirstBf => "Largest-First-BF",
+        }
+    }
+
+    /// Whether the algorithm schedules heterogeneous workloads (has a
+    /// dedicated queue) — the "Workload Scheduling" column of Table III.
+    pub fn heterogeneous(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::EasyD
+                | Algorithm::EasyDE
+                | Algorithm::LosD
+                | Algorithm::LosDE
+                | Algorithm::HybridLos
+                | Algorithm::HybridLosE
+        )
+    }
+
+    /// Whether the ECC processor is attached — the "ECC Processor"
+    /// column of Table III.
+    pub fn elastic(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::EasyE
+                | Algorithm::EasyDE
+                | Algorithm::LosE
+                | Algorithm::LosDE
+                | Algorithm::DelayedLosE
+                | Algorithm::HybridLosE
+        )
+    }
+
+    /// The ECC policy the engine should run with.
+    pub fn ecc_policy(&self) -> EccPolicy {
+        if self.elastic() {
+            EccPolicy::time_only()
+        } else {
+            EccPolicy::disabled()
+        }
+    }
+
+    /// Instantiate the scheduler.
+    pub fn build(&self, params: SchedParams) -> Box<dyn Scheduler + Send> {
+        match self {
+            Algorithm::Fcfs => Box::new(Fcfs::new()),
+            Algorithm::Conservative => Box::new(Conservative::new()),
+            Algorithm::Easy | Algorithm::EasyE => Box::new(Easy::new()),
+            Algorithm::EasyD | Algorithm::EasyDE => Box::new(EasyD::new()),
+            Algorithm::Los | Algorithm::LosE => Box::new(Los::with_lookahead(params.lookahead)),
+            Algorithm::LosD | Algorithm::LosDE => Box::new(LosD::new()),
+            Algorithm::DelayedLos | Algorithm::DelayedLosE => {
+                Box::new(DelayedLos::with_params(params.cs, params.lookahead))
+            }
+            Algorithm::HybridLos | Algorithm::HybridLosE => {
+                Box::new(HybridLos::with_params(params.cs, params.lookahead))
+            }
+            Algorithm::Adaptive => Box::new(Adaptive::new()),
+            Algorithm::Sjf => Box::new(Ordered::new(OrderPolicy::ShortestJobFirst)),
+            Algorithm::SjfBf => Box::new(Ordered::with_backfill(OrderPolicy::ShortestJobFirst)),
+            Algorithm::SmallestFirstBf => {
+                Box::new(Ordered::with_backfill(OrderPolicy::SmallestJobFirst))
+            }
+            Algorithm::LargestFirstBf => {
+                Box::new(Ordered::with_backfill(OrderPolicy::LargestJobFirst))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let canon = s.to_ascii_lowercase().replace(['_', ' '], "-");
+        let all = [
+            Algorithm::Fcfs,
+            Algorithm::Conservative,
+            Algorithm::Easy,
+            Algorithm::EasyD,
+            Algorithm::EasyE,
+            Algorithm::EasyDE,
+            Algorithm::Los,
+            Algorithm::LosD,
+            Algorithm::LosE,
+            Algorithm::LosDE,
+            Algorithm::DelayedLos,
+            Algorithm::HybridLos,
+            Algorithm::DelayedLosE,
+            Algorithm::HybridLosE,
+            Algorithm::Adaptive,
+            Algorithm::Sjf,
+            Algorithm::SjfBf,
+            Algorithm::SmallestFirstBf,
+            Algorithm::LargestFirstBf,
+        ];
+        all.into_iter()
+            .find(|a| a.name().to_ascii_lowercase() == canon)
+            .ok_or_else(|| format!("unknown algorithm {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_capability_matrix() {
+        use Algorithm::*;
+        // (algorithm, heterogeneous, elastic) exactly as in Table III.
+        let expected = [
+            (Easy, false, false),
+            (EasyD, true, false),
+            (EasyE, false, true),
+            (EasyDE, true, true),
+            (Los, false, false),
+            (LosD, true, false),
+            (LosE, false, true),
+            (LosDE, true, true),
+            (DelayedLos, false, false),
+            (HybridLos, true, false),
+            (DelayedLosE, false, true),
+            (HybridLosE, true, true),
+        ];
+        for (a, het, el) in expected {
+            assert_eq!(a.heterogeneous(), het, "{a}");
+            assert_eq!(a.elastic(), el, "{a}");
+        }
+        assert_eq!(Algorithm::PAPER_TABLE_III.len(), 12);
+    }
+
+    #[test]
+    fn ecc_policy_matches_elasticity() {
+        assert!(!Algorithm::Easy.ecc_policy().time_elasticity);
+        assert!(Algorithm::EasyE.ecc_policy().time_elasticity);
+        assert!(Algorithm::HybridLosE.ecc_policy().time_elasticity);
+        assert!(!Algorithm::HybridLos.ecc_policy().time_elasticity);
+    }
+
+    #[test]
+    fn build_produces_named_schedulers() {
+        let p = SchedParams::default();
+        for a in Algorithm::PAPER_TABLE_III {
+            let s = a.build(p);
+            // The -E variants reuse the base scheduler struct.
+            let base = a.name().trim_end_matches("-E").trim_end_matches("-DE");
+            assert!(
+                s.name().starts_with(base) || a.name().starts_with(s.name()),
+                "{a} built {}",
+                s.name()
+            );
+        }
+        assert_eq!(Algorithm::Fcfs.build(p).name(), "FCFS");
+        assert_eq!(Algorithm::Adaptive.build(p).name(), "Adaptive");
+    }
+
+    #[test]
+    fn from_str_roundtrips() {
+        for a in Algorithm::PAPER_TABLE_III {
+            assert_eq!(a.name().parse::<Algorithm>().unwrap(), a);
+        }
+        assert_eq!("easy".parse::<Algorithm>().unwrap(), Algorithm::Easy);
+        assert_eq!(
+            "delayed_los".parse::<Algorithm>().unwrap(),
+            Algorithm::DelayedLos
+        );
+        assert!("bogus".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn params_builder() {
+        let p = SchedParams::with_cs(12);
+        assert_eq!(p.cs, 12);
+        assert_eq!(p.lookahead, DEFAULT_LOOKAHEAD);
+    }
+}

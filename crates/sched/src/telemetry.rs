@@ -1,0 +1,59 @@
+//! Decision telemetry for the LOS scheduler family.
+//!
+//! Counters updated by Delayed-LOS and Hybrid-LOS as they run, making
+//! the algorithms' internal behaviour observable: how often the head was
+//! forced through by the skip budget, how often each DP kernel ran, how
+//! many dedicated promotions happened. Used by tests to pin behavioural
+//! contracts and by analyses of the `C_s` trade-off.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one scheduler instance's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Jobs started by the "head fits and `scount ≥ C_s`" rule
+    /// (Algorithm 1 lines 3–5 / Algorithm 2 lines 35–37).
+    pub head_force_starts: u64,
+    /// Basic_DP invocations (Algorithm 1 line 7).
+    pub basic_dp_calls: u64,
+    /// Reservation_DP invocations (Algorithm 1 line 17 / Algorithm 2
+    /// lines 20, 28).
+    pub reservation_dp_calls: u64,
+    /// Times the head job was skipped by a DP selection (`scount++`).
+    pub head_skips: u64,
+    /// Jobs started out of DP selections.
+    pub dp_starts: u64,
+    /// Dedicated jobs promoted to the batch head (Algorithm 3).
+    pub dedicated_promotions: u64,
+    /// Scheduling cycles observed.
+    pub cycles: u64,
+}
+
+impl Telemetry {
+    /// Total jobs started through any path.
+    pub fn total_starts(&self) -> u64 {
+        self.head_force_starts + self.dp_starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let t = Telemetry::default();
+        assert_eq!(t.total_starts(), 0);
+        assert_eq!(t.cycles, 0);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let t = Telemetry {
+            head_force_starts: 3,
+            dp_starts: 7,
+            ..Telemetry::default()
+        };
+        assert_eq!(t.total_starts(), 10);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the DP kernels and the resource profile.
+
+use elastisched_sched::{basic_dp, reservation_dp, DpItem, ResourceProfile};
+use elastisched_sim::{Duration, SimTime};
+use proptest::prelude::*;
+
+fn brute_force_best(items: &[DpItem], cap_now: u32, cap_freeze: u32) -> u32 {
+    let n = items.len();
+    let mut best = 0u32;
+    for mask in 0u32..(1 << n) {
+        let mut now = 0u32;
+        let mut fr = 0u32;
+        for (i, it) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                now += it.num;
+                if it.extends {
+                    fr += it.num;
+                }
+            }
+        }
+        if now <= cap_now && fr <= cap_freeze {
+            best = best.max(now);
+        }
+    }
+    best
+}
+
+fn arb_items() -> impl Strategy<Value = Vec<DpItem>> {
+    prop::collection::vec((1u32..=10, prop::bool::ANY), 0..12).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(units, extends)| DpItem {
+                num: units * 32,
+                extends,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Basic_DP finds the true optimum (vs 2^n brute force) and its
+    /// reported selection is consistent and within capacity.
+    #[test]
+    fn basic_dp_is_optimal(items in arb_items(), cap_units in 0u32..=12) {
+        let cap = cap_units * 32;
+        let sizes: Vec<u32> = items.iter().map(|i| i.num).collect();
+        let sel = basic_dp(&sizes, cap, 32);
+        let expect = brute_force_best(&items, cap, u32::MAX);
+        prop_assert_eq!(sel.used_now, expect);
+        let total: u32 = sel.chosen.iter().map(|&i| sizes[i]).sum();
+        prop_assert_eq!(total, sel.used_now);
+        prop_assert!(total <= cap);
+        // Indices strictly increasing and unique.
+        for w in sel.chosen.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Reservation_DP finds the true optimum under both constraints.
+    #[test]
+    fn reservation_dp_is_optimal(
+        items in arb_items(),
+        cap_units in 0u32..=12,
+        freeze_units in 0u32..=12,
+    ) {
+        let cap = cap_units * 32;
+        let freeze = freeze_units * 32;
+        let sel = reservation_dp(&items, cap, freeze, 32);
+        let expect = brute_force_best(&items, cap, freeze);
+        prop_assert_eq!(sel.used_now, expect);
+        let now: u32 = sel.chosen.iter().map(|&i| items[i].num).sum();
+        let fr: u32 = sel
+            .chosen
+            .iter()
+            .filter(|&&i| items[i].extends)
+            .map(|&i| items[i].num)
+            .sum();
+        prop_assert_eq!(now, sel.used_now);
+        prop_assert!(now <= cap);
+        prop_assert!(fr <= freeze);
+    }
+
+    /// Reservation_DP with infinite freeze degenerates to Basic_DP.
+    #[test]
+    fn reservation_dp_degenerates_to_basic(items in arb_items(), cap_units in 0u32..=12) {
+        let cap = cap_units * 32;
+        let sizes: Vec<u32> = items.iter().map(|i| i.num).collect();
+        let basic = basic_dp(&sizes, cap, 32);
+        let res = reservation_dp(&items, cap, 320 * 100, 32);
+        prop_assert_eq!(basic.used_now, res.used_now);
+    }
+
+    /// Unit-1 machines (SDSC-like) give the same optima as unit-32 when
+    /// sizes are unit multiples.
+    #[test]
+    fn unit_invariance(items in arb_items(), cap_units in 0u32..=12) {
+        let cap = cap_units * 32;
+        let sizes: Vec<u32> = items.iter().map(|i| i.num).collect();
+        let a = basic_dp(&sizes, cap, 32);
+        let b = basic_dp(&sizes, cap, 1);
+        prop_assert_eq!(a.used_now, b.used_now);
+    }
+}
+
+fn arb_reservations() -> impl Strategy<Value = Vec<(u64, u64, u32)>> {
+    prop::collection::vec((0u64..500, 1u64..300, 1u32..=10), 0..12)
+        .prop_map(|v| v.into_iter().map(|(s, d, u)| (s, d, u * 32)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The resource profile never reports negative capacity, reservations
+    /// placed at `earliest_start` always succeed, and `free_at` is
+    /// consistent with `min_free`.
+    #[test]
+    fn profile_reservation_soundness(reservations in arb_reservations()) {
+        let mut profile = ResourceProfile::idle(SimTime::ZERO, 320);
+        for (start, dur, num) in reservations {
+            let dur = Duration::from_secs(dur);
+            let at = profile
+                .earliest_start(SimTime::from_secs(start), num, dur)
+                .expect("num <= total always placeable");
+            prop_assert!(at >= SimTime::from_secs(start));
+            prop_assert!(profile.min_free(at, dur) >= num);
+            profile.try_reserve(at, dur, num).expect("placement fits");
+        }
+        // Post-conditions: capacity bounded everywhere we can observe.
+        for t in (0..1_000).step_by(37) {
+            let f = profile.free_at(SimTime::from_secs(t));
+            prop_assert!(f <= 320);
+            prop_assert_eq!(
+                profile.min_free(SimTime::from_secs(t), Duration::ZERO),
+                f
+            );
+        }
+    }
+
+    /// earliest_start returns the *earliest* feasible instant: one second
+    /// earlier (when representable and past `from`) must not fit.
+    #[test]
+    fn earliest_start_is_tight(reservations in arb_reservations(), num_units in 1u32..=10, dur in 1u64..200) {
+        let mut profile = ResourceProfile::idle(SimTime::ZERO, 320);
+        for (start, d, num) in reservations {
+            // Best-effort packing; skip infeasible draws.
+            let _ = profile.try_reserve(
+                SimTime::from_secs(start),
+                Duration::from_secs(d),
+                num,
+            );
+        }
+        let num = num_units * 32;
+        let dur = Duration::from_secs(dur);
+        let from = SimTime::ZERO;
+        let at = profile.earliest_start(from, num, dur).expect("placeable");
+        prop_assert!(profile.min_free(at, dur) >= num);
+        if at > from {
+            let earlier = SimTime::from_secs(at.as_secs() - 1);
+            prop_assert!(
+                profile.min_free(earlier, dur) < num,
+                "start {} not tight: {} also fits",
+                at.as_secs(),
+                earlier.as_secs()
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Elastic Control Commands (paper §III-C, §IV-C).
+//!
+//! ECCs are explicit, user-issued commands that change a previously
+//! submitted job's resource requirements *at runtime* — the paper's core
+//! notion of runtime elasticity. CWF fields 20–21 encode them: `ET`/`RT`
+//! extend/reduce execution time, `EP`/`RP` extend/reduce processor counts
+//! (the paper's future-work resource dimension, which this library also
+//! implements).
+
+use crate::job::JobId;
+use crate::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of elasticity request (CWF "Request Type", field 20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccKind {
+    /// `ET`: extend execution time.
+    ExtendTime,
+    /// `RT`: reduce execution time.
+    ReduceTime,
+    /// `EP`: extend processor allocation (resource-dimension elasticity,
+    /// paper §VI future work).
+    ExtendProcs,
+    /// `RP`: reduce processor allocation.
+    ReduceProcs,
+}
+
+impl EccKind {
+    /// The CWF field-20 code for this kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            EccKind::ExtendTime => "ET",
+            EccKind::ReduceTime => "RT",
+            EccKind::ExtendProcs => "EP",
+            EccKind::ReduceProcs => "RP",
+        }
+    }
+
+    /// Parse a CWF field-20 code (`S` is a submission, not an ECC).
+    pub fn from_code(code: &str) -> Option<EccKind> {
+        match code {
+            "ET" => Some(EccKind::ExtendTime),
+            "RT" => Some(EccKind::ReduceTime),
+            "EP" => Some(EccKind::ExtendProcs),
+            "RP" => Some(EccKind::ReduceProcs),
+            _ => None,
+        }
+    }
+
+    /// Whether this command operates on the time dimension.
+    pub fn is_time(self) -> bool {
+        matches!(self, EccKind::ExtendTime | EccKind::ReduceTime)
+    }
+}
+
+impl fmt::Display for EccKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One Elastic Control Command in a workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EccSpec {
+    /// The job this command targets (same ID as a previous `S` record).
+    pub job: JobId,
+    /// When the user issues the command.
+    pub issue_at: SimTime,
+    /// What is requested.
+    pub kind: EccKind,
+    /// Extension/reduction amount (CWF field 21): seconds for `ET`/`RT`,
+    /// processors for `EP`/`RP`.
+    pub amount: u64,
+}
+
+impl EccSpec {
+    /// A time-extension command.
+    pub fn extend_time(job: JobId, issue_at: SimTime, secs: u64) -> Self {
+        EccSpec {
+            job,
+            issue_at,
+            kind: EccKind::ExtendTime,
+            amount: secs,
+        }
+    }
+
+    /// A time-reduction command.
+    pub fn reduce_time(job: JobId, issue_at: SimTime, secs: u64) -> Self {
+        EccSpec {
+            job,
+            issue_at,
+            kind: EccKind::ReduceTime,
+            amount: secs,
+        }
+    }
+
+    /// The amount as a [`Duration`] (only meaningful for time commands).
+    pub fn time_amount(&self) -> Duration {
+        Duration::from_secs(self.amount)
+    }
+}
+
+/// How the engine handles ECCs (the "-E" suffix in Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EccPolicy {
+    /// Process time-dimension commands (ET/RT). When false, the engine
+    /// drops every ECC — this is how non-`-E` algorithms behave.
+    pub time_elasticity: bool,
+    /// Also process processor-dimension commands (EP/RP) — the paper's
+    /// future-work extension.
+    pub resource_elasticity: bool,
+    /// Maximum number of ECCs honoured per job (paper: "a maximum count
+    /// on number of ECCs can be imposed"); `u32::MAX` = unlimited.
+    pub max_per_job: u32,
+}
+
+impl EccPolicy {
+    /// Ignore all ECCs (plain EASY/LOS/Delayed-LOS/Hybrid-LOS).
+    pub fn disabled() -> Self {
+        EccPolicy {
+            time_elasticity: false,
+            resource_elasticity: false,
+            max_per_job: 0,
+        }
+    }
+
+    /// Time-dimension elasticity only (the paper's `-E` algorithms).
+    pub fn time_only() -> Self {
+        EccPolicy {
+            time_elasticity: true,
+            resource_elasticity: false,
+            max_per_job: u32::MAX,
+        }
+    }
+
+    /// Time and processor elasticity (paper §VI future work).
+    pub fn with_resource_elasticity() -> Self {
+        EccPolicy {
+            time_elasticity: true,
+            resource_elasticity: true,
+            max_per_job: u32::MAX,
+        }
+    }
+
+    /// Cap the number of commands honoured per job.
+    pub fn max_per_job(mut self, n: u32) -> Self {
+        self.max_per_job = n;
+        self
+    }
+}
+
+impl Default for EccPolicy {
+    fn default() -> Self {
+        EccPolicy::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for k in [
+            EccKind::ExtendTime,
+            EccKind::ReduceTime,
+            EccKind::ExtendProcs,
+            EccKind::ReduceProcs,
+        ] {
+            assert_eq!(EccKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(EccKind::from_code("S"), None);
+        assert_eq!(EccKind::from_code("XX"), None);
+    }
+
+    #[test]
+    fn time_kinds_classified() {
+        assert!(EccKind::ExtendTime.is_time());
+        assert!(EccKind::ReduceTime.is_time());
+        assert!(!EccKind::ExtendProcs.is_time());
+        assert!(!EccKind::ReduceProcs.is_time());
+    }
+
+    #[test]
+    fn policy_presets() {
+        let off = EccPolicy::disabled();
+        assert!(!off.time_elasticity && !off.resource_elasticity);
+        let t = EccPolicy::time_only();
+        assert!(t.time_elasticity && !t.resource_elasticity);
+        let full = EccPolicy::with_resource_elasticity().max_per_job(3);
+        assert!(full.time_elasticity && full.resource_elasticity);
+        assert_eq!(full.max_per_job, 3);
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let e = EccSpec::extend_time(JobId(9), SimTime::from_secs(100), 60);
+        assert_eq!(e.kind, EccKind::ExtendTime);
+        assert_eq!(e.time_amount(), Duration::from_secs(60));
+        let r = EccSpec::reduce_time(JobId(9), SimTime::from_secs(100), 60);
+        assert_eq!(r.kind, EccKind::ReduceTime);
+    }
+}

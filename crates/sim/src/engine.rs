@@ -1,0 +1,864 @@
+//! The discrete-event simulation engine.
+//!
+//! Plays a workload (job submissions plus Elastic Control Commands)
+//! against a [`Scheduler`] on a [`Machine`], producing per-job outcomes
+//! and the machine utilization integral. This is the Rust substitute for
+//! the paper's GridSim + ALEA stack (§IV-A, §IV-B): an event-ordered
+//! virtual clock, job arrival/completion events, an ECC processor, and a
+//! scheduling cycle fired once per distinct event timestamp.
+
+use crate::ecc::{EccKind, EccPolicy, EccSpec};
+use crate::event::{Event, EventQueue};
+use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, JobState};
+use crate::machine::Machine;
+use crate::running::{RunningJob, RunningSet};
+use crate::sched_api::{JobView, SchedContext, Scheduler, StartError};
+use crate::time::{Duration, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Simulation-level failures.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum SimError {
+    /// Two jobs share an id.
+    DuplicateJobId(JobId),
+    /// A job requests more processors than the machine has, or violates
+    /// the allocation granularity — it could never be scheduled.
+    ImpossibleJob { id: JobId, num: u32 },
+    /// The event queue drained but jobs are still waiting: the scheduler
+    /// starved them.
+    Starvation { waiting: usize },
+    /// A scheduler start request failed in a way that indicates an engine
+    /// or scheduler bug (oversubscription attempts are bugs, not events).
+    Start(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DuplicateJobId(id) => write!(f, "duplicate job id {id}"),
+            SimError::ImpossibleJob { id, num } => {
+                write!(f, "{id} requests {num} processors and can never run")
+            }
+            SimError::Starvation { waiting } => {
+                write!(f, "simulation ended with {waiting} jobs starved in queue")
+            }
+            SimError::Start(msg) => write!(f, "start failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Counters describing what the ECC processor did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EccStats {
+    /// Commands applied to running jobs.
+    pub applied_running: u64,
+    /// Commands applied to queued (waiting or not-yet-arrived) jobs.
+    pub applied_queued: u64,
+    /// Commands dropped by policy (elasticity disabled or per-job cap).
+    pub dropped_policy: u64,
+    /// Commands that arrived after their job completed, or that could not
+    /// be honoured (e.g. EP with no spare capacity).
+    pub dropped_stale: u64,
+}
+
+impl EccStats {
+    /// Total commands applied.
+    pub fn applied(&self) -> u64 {
+        self.applied_running + self.applied_queued
+    }
+}
+
+/// A periodic snapshot of system state (sampling must be enabled on the
+/// engine via [`Engine::enable_sampling`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Free processors after the scheduling cycle.
+    pub free: u32,
+    /// Jobs waiting in the scheduler's queues.
+    pub waiting: usize,
+    /// Jobs running.
+    pub running: usize,
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Scheduler name the run used.
+    pub scheduler: &'static str,
+    /// One outcome per completed job, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Machine size the run used.
+    pub machine_total: u32,
+    /// Busy processor-seconds integrated over the whole run.
+    pub busy_area: f64,
+    /// First job arrival.
+    pub first_arrival: SimTime,
+    /// Last job arrival.
+    pub last_arrival: SimTime,
+    /// Last job completion (the makespan horizon).
+    pub makespan: SimTime,
+    /// ECC processor counters.
+    pub ecc: EccStats,
+    /// Periodic state samples (empty unless sampling was enabled).
+    pub samples: Vec<StateSample>,
+}
+
+impl SimResult {
+    /// Mean machine utilization over `[0, makespan]` — the paper's
+    /// utilization metric.
+    pub fn mean_utilization(&self) -> f64 {
+        let h = self.makespan.as_secs() as f64;
+        if h <= 0.0 {
+            return 0.0;
+        }
+        self.busy_area / (self.machine_total as f64 * h)
+    }
+}
+
+fn round_up_to_unit(n: u32, unit: u32) -> u32 {
+    n.div_ceil(unit) * unit
+}
+
+fn round_down_to_unit(n: u32, unit: u32) -> u32 {
+    (n / unit) * unit
+}
+
+struct EngineState {
+    now: SimTime,
+    machine: Machine,
+    running: RunningSet,
+    records: Vec<JobRecord>,
+    id_map: HashMap<JobId, usize>,
+    queue: EventQueue,
+    outcomes: Vec<JobOutcome>,
+    ecc_policy: EccPolicy,
+    ecc_stats: EccStats,
+    makespan: SimTime,
+}
+
+impl EngineState {
+    fn record(&self, id: JobId) -> Option<&JobRecord> {
+        self.id_map.get(&id).map(|&i| &self.records[i])
+    }
+
+    fn record_mut(&mut self, id: JobId) -> Option<&mut JobRecord> {
+        match self.id_map.get(&id) {
+            Some(&i) => Some(&mut self.records[i]),
+            None => None,
+        }
+    }
+}
+
+impl SchedContext for EngineState {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn total(&self) -> u32 {
+        self.machine.total()
+    }
+
+    fn free(&self) -> u32 {
+        self.machine.free()
+    }
+
+    fn unit(&self) -> u32 {
+        self.machine.unit()
+    }
+
+    fn running(&self) -> &RunningSet {
+        &self.running
+    }
+
+    fn start(&mut self, id: JobId) -> Result<(), StartError> {
+        let now = self.now;
+        let rec = self.record_mut(id).ok_or(StartError::UnknownJob(id))?;
+        if rec.state != JobState::Waiting {
+            return Err(StartError::NotWaiting(id));
+        }
+        let alloc = rec.alloc;
+        let kill_by = now + rec.est_dur;
+        let completes = now + rec.actual_dur.min(rec.est_dur);
+        let epoch = rec.completion_epoch;
+        // Allocate before mutating state so a machine refusal leaves the
+        // job safely in the queue.
+        self.machine.allocate(alloc, now)?;
+        let rec = self.record_mut(id).expect("record vanished");
+        rec.state = JobState::Running {
+            started: now,
+            finish: kill_by,
+        };
+        self.running.insert(RunningJob {
+            id,
+            num: alloc,
+            finish: kill_by,
+        });
+        self.queue.push(completes, Event::Completion { job: id, epoch });
+        Ok(())
+    }
+
+    fn waiting_dur(&self, id: JobId) -> Option<Duration> {
+        let rec = self.record(id)?;
+        if rec.state == JobState::Waiting {
+            Some(rec.est_dur)
+        } else {
+            None
+        }
+    }
+
+    fn request_wakeup(&mut self, at: SimTime) {
+        self.queue.push(at.max(self.now), Event::Wakeup);
+    }
+}
+
+/// The simulation driver, generic over the scheduling policy.
+pub struct Engine<S: Scheduler> {
+    scheduler: S,
+    state: EngineState,
+    first_arrival: SimTime,
+    last_arrival: SimTime,
+    sample_every: Option<Duration>,
+    last_sample: Option<SimTime>,
+    samples: Vec<StateSample>,
+}
+
+impl<S: Scheduler> Engine<S> {
+    /// Build an engine over `machine` with the given ECC policy.
+    pub fn new(machine: Machine, scheduler: S, ecc_policy: EccPolicy) -> Self {
+        Engine {
+            scheduler,
+            state: EngineState {
+                now: SimTime::ZERO,
+                machine,
+                running: RunningSet::new(),
+                records: Vec::new(),
+                id_map: HashMap::new(),
+                queue: EventQueue::new(),
+                outcomes: Vec::new(),
+                ecc_policy,
+                ecc_stats: EccStats::default(),
+                makespan: SimTime::ZERO,
+            },
+            first_arrival: SimTime::MAX,
+            last_arrival: SimTime::ZERO,
+            sample_every: None,
+            last_sample: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record a [`StateSample`] after the scheduling cycle of the first
+    /// event timestamp in every `interval`-long window.
+    pub fn enable_sampling(&mut self, interval: Duration) {
+        assert!(interval > Duration::ZERO, "sampling interval must be positive");
+        self.sample_every = Some(interval);
+    }
+
+    /// Load jobs and ECCs, validating feasibility.
+    pub fn load(&mut self, jobs: &[JobSpec], eccs: &[EccSpec]) -> Result<(), SimError> {
+        for spec in jobs {
+            self.state
+                .machine
+                .is_valid_request(spec.num)
+                .map_err(|_| SimError::ImpossibleJob {
+                    id: spec.id,
+                    num: spec.num,
+                })?;
+            let idx = self.state.records.len();
+            if self.state.id_map.insert(spec.id, idx).is_some() {
+                return Err(SimError::DuplicateJobId(spec.id));
+            }
+            self.state.records.push(JobRecord::new(spec.clone()));
+            self.state.queue.push(spec.submit, Event::Arrival(spec.id));
+            self.first_arrival = self.first_arrival.min(spec.submit);
+            self.last_arrival = self.last_arrival.max(spec.submit);
+        }
+        for ecc in eccs {
+            self.state.queue.push(ecc.issue_at, Event::Ecc(ecc.clone()));
+        }
+        Ok(())
+    }
+
+    /// Run to completion and return the collected result.
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        while let Some(t) = self.state.queue.peek_time() {
+            debug_assert!(t >= self.state.now, "event time went backwards");
+            self.state.now = t;
+            self.state.machine.advance_to(t);
+            // Dispatch every event at this instant, then run one cycle.
+            while self.state.queue.peek_time() == Some(t) {
+                let (_, ev) = self.state.queue.pop().expect("peeked event vanished");
+                self.dispatch(ev)?;
+            }
+            self.scheduler.cycle(&mut self.state);
+            if let Some(every) = self.sample_every {
+                let due = match self.last_sample {
+                    None => true,
+                    Some(prev) => t.saturating_since(prev) >= every,
+                };
+                if due {
+                    self.last_sample = Some(t);
+                    self.samples.push(StateSample {
+                        at: t,
+                        free: self.state.machine.free(),
+                        waiting: self.scheduler.waiting_len(),
+                        running: self.state.running.len(),
+                    });
+                }
+            }
+            #[cfg(debug_assertions)]
+            {
+                self.state.running.check_invariants();
+                debug_assert_eq!(
+                    self.state.running.used(),
+                    self.state.machine.used(),
+                    "running set and machine disagree on allocation"
+                );
+            }
+        }
+        if self.scheduler.waiting_len() > 0 {
+            return Err(SimError::Starvation {
+                waiting: self.scheduler.waiting_len(),
+            });
+        }
+        let state = self.state;
+        Ok(SimResult {
+            scheduler: self.scheduler.name(),
+            outcomes: state.outcomes,
+            machine_total: state.machine.total(),
+            busy_area: state.machine.busy_area(),
+            first_arrival: if self.first_arrival == SimTime::MAX {
+                SimTime::ZERO
+            } else {
+                self.first_arrival
+            },
+            last_arrival: self.last_arrival,
+            makespan: state.makespan,
+            ecc: state.ecc_stats,
+            samples: self.samples,
+        })
+    }
+
+    fn dispatch(&mut self, ev: Event) -> Result<(), SimError> {
+        match ev {
+            Event::Arrival(id) => self.handle_arrival(id),
+            Event::Completion { job, epoch } => self.handle_completion(job, epoch),
+            Event::Ecc(ecc) => self.handle_ecc(ecc),
+            Event::Wakeup => Ok(()),
+        }
+    }
+
+    fn handle_arrival(&mut self, id: JobId) -> Result<(), SimError> {
+        let now = self.state.now;
+        let rec = self
+            .state
+            .record_mut(id)
+            .expect("arrival for unknown job");
+        debug_assert_eq!(rec.state, JobState::Future, "double arrival");
+        rec.state = JobState::Waiting;
+        let view = JobView {
+            id,
+            num: rec.alloc,
+            dur: rec.est_dur,
+            submit: rec.spec.submit,
+            class: rec.spec.class,
+        };
+        // Ensure a cycle fires exactly at a dedicated job's requested
+        // start time, even if no other event lands there.
+        if let Some(start) = rec.spec.class.requested_start() {
+            if start > now {
+                self.state.queue.push(start, Event::Wakeup);
+            }
+        }
+        self.scheduler.on_arrival(view);
+        Ok(())
+    }
+
+    fn handle_completion(&mut self, id: JobId, epoch: u64) -> Result<(), SimError> {
+        let now = self.state.now;
+        let (alloc, started) = {
+            let rec = match self.state.record_mut(id) {
+                Some(r) => r,
+                None => return Ok(()),
+            };
+            if rec.completion_epoch != epoch {
+                return Ok(()); // stale: an ECC rescheduled this completion
+            }
+            let started = match rec.state {
+                JobState::Running { started, .. } => started,
+                // A reduce-time ECC may complete the job inline and leave
+                // the original completion event dangling.
+                _ => return Ok(()),
+            };
+            rec.state = JobState::Completed {
+                started,
+                finished: now,
+            };
+            (rec.alloc, started)
+        };
+        self.state
+            .machine
+            .release(alloc, now)
+            .map_err(|e| SimError::Start(e.to_string()))?;
+        self.state.running.remove(id);
+        self.push_outcome(id, started, now, alloc);
+        self.scheduler.on_completion(id);
+        Ok(())
+    }
+
+    fn push_outcome(&mut self, id: JobId, started: SimTime, finished: SimTime, num: u32) {
+        let rec = self.state.record(id).expect("outcome for unknown job");
+        let spec = &rec.spec;
+        let eligible = spec.eligible_at();
+        let outcome = JobOutcome {
+            id,
+            submit: spec.submit,
+            requested_start: spec.class.requested_start(),
+            started,
+            finished,
+            num,
+            runtime: finished.saturating_since(started),
+            wait: started.saturating_since(eligible),
+        };
+        self.state.makespan = self.state.makespan.max(finished);
+        self.state.outcomes.push(outcome);
+    }
+
+    fn handle_ecc(&mut self, ecc: EccSpec) -> Result<(), SimError> {
+        let policy = self.state.ecc_policy;
+        let allowed = if ecc.kind.is_time() {
+            policy.time_elasticity
+        } else {
+            policy.resource_elasticity
+        };
+        if !allowed {
+            self.state.ecc_stats.dropped_policy += 1;
+            return Ok(());
+        }
+        let now = self.state.now;
+        let unit = self.state.machine.unit();
+        let total = self.state.machine.total();
+
+        let Some(rec) = self.state.record_mut(ecc.job) else {
+            self.state.ecc_stats.dropped_stale += 1;
+            return Ok(());
+        };
+        if rec.ecc_count >= policy.max_per_job {
+            self.state.ecc_stats.dropped_policy += 1;
+            return Ok(());
+        }
+
+        match rec.state {
+            JobState::Completed { .. } => {
+                self.state.ecc_stats.dropped_stale += 1;
+                Ok(())
+            }
+            JobState::Running { started, finish } => {
+                self.apply_running_ecc(ecc, started, finish, now, unit)
+            }
+            JobState::Future | JobState::Waiting => {
+                let was_waiting = rec.state == JobState::Waiting;
+                let amount = Duration::from_secs(ecc.amount);
+                match ecc.kind {
+                    EccKind::ExtendTime => {
+                        rec.est_dur = rec.est_dur.saturating_add(amount);
+                        rec.actual_dur = rec.actual_dur.saturating_add(amount);
+                    }
+                    EccKind::ReduceTime => {
+                        // A queued job keeps at least one second of work.
+                        rec.est_dur =
+                            rec.est_dur.saturating_sub(amount).max(Duration::from_secs(1));
+                        rec.actual_dur = rec
+                            .actual_dur
+                            .saturating_sub(amount)
+                            .max(Duration::from_secs(1));
+                    }
+                    EccKind::ExtendProcs => {
+                        let grown = rec.alloc.saturating_add(round_up_to_unit(
+                            ecc.amount.min(u64::from(u32::MAX)) as u32,
+                            unit,
+                        ));
+                        rec.alloc = grown.min(total);
+                    }
+                    EccKind::ReduceProcs => {
+                        let shrink =
+                            round_down_to_unit(ecc.amount.min(u64::from(u32::MAX)) as u32, unit);
+                        rec.alloc = rec.alloc.saturating_sub(shrink).max(unit);
+                    }
+                }
+                rec.ecc_count += 1;
+                let (id, num, dur) = (ecc.job, rec.alloc, rec.est_dur);
+                self.state.ecc_stats.applied_queued += 1;
+                if was_waiting {
+                    self.scheduler.on_queued_ecc(id, num, dur);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn apply_running_ecc(
+        &mut self,
+        ecc: EccSpec,
+        started: SimTime,
+        finish: SimTime,
+        now: SimTime,
+        unit: u32,
+    ) -> Result<(), SimError> {
+        let id = ecc.job;
+        match ecc.kind {
+            EccKind::ExtendTime | EccKind::ReduceTime => {
+                let amount = Duration::from_secs(ecc.amount);
+                let new_finish = if ecc.kind == EccKind::ExtendTime {
+                    finish + amount
+                } else {
+                    // Cannot cut below "complete right now".
+                    SimTime::from_secs(finish.as_secs().saturating_sub(amount.as_secs())).max(now)
+                };
+                let rec = self.state.record_mut(id).expect("checked above");
+                rec.est_dur = new_finish - started;
+                rec.actual_dur = rec.est_dur;
+                rec.completion_epoch += 1;
+                rec.ecc_count += 1;
+                let epoch = rec.completion_epoch;
+                rec.state = JobState::Running {
+                    started,
+                    finish: new_finish,
+                };
+                self.state.running.update_finish(id, new_finish);
+                self.state
+                    .queue
+                    .push(new_finish, Event::Completion { job: id, epoch });
+                self.state.ecc_stats.applied_running += 1;
+                Ok(())
+            }
+            EccKind::ExtendProcs => {
+                let grow = round_up_to_unit(ecc.amount.min(u64::from(u32::MAX)) as u32, unit);
+                if grow == 0 || !self.state.machine.can_fit(grow) {
+                    self.state.ecc_stats.dropped_stale += 1;
+                    return Ok(());
+                }
+                self.state
+                    .machine
+                    .allocate(grow, now)
+                    .map_err(|e| SimError::Start(e.to_string()))?;
+                let rec = self.state.record_mut(id).expect("checked above");
+                rec.alloc += grow;
+                rec.ecc_count += 1;
+                let alloc = rec.alloc;
+                self.state.running.update_num(id, alloc);
+                self.state.ecc_stats.applied_running += 1;
+                Ok(())
+            }
+            EccKind::ReduceProcs => {
+                let rec = self.state.record_mut(id).expect("checked above");
+                let shrink = round_down_to_unit(ecc.amount.min(u64::from(u32::MAX)) as u32, unit)
+                    .min(rec.alloc.saturating_sub(unit));
+                if shrink == 0 {
+                    self.state.ecc_stats.dropped_stale += 1;
+                    return Ok(());
+                }
+                rec.alloc -= shrink;
+                rec.ecc_count += 1;
+                let alloc = rec.alloc;
+                self.state.running.update_num(id, alloc);
+                self.state
+                    .machine
+                    .release(shrink, now)
+                    .map_err(|e| SimError::Start(e.to_string()))?;
+                self.state.ecc_stats.applied_running += 1;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Convenience: build, load, and run in one call.
+pub fn simulate<S: Scheduler>(
+    machine: Machine,
+    scheduler: S,
+    ecc_policy: EccPolicy,
+    jobs: &[JobSpec],
+    eccs: &[EccSpec],
+) -> Result<SimResult, SimError> {
+    let mut engine = Engine::new(machine, scheduler, ecc_policy);
+    engine.load(jobs, eccs)?;
+    engine.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    /// A trivial FIFO scheduler used only to exercise the engine: starts
+    /// the head job whenever it fits, never reorders.
+    struct TestFifo {
+        queue: std::collections::VecDeque<JobView>,
+    }
+
+    impl TestFifo {
+        fn new() -> Self {
+            TestFifo {
+                queue: std::collections::VecDeque::new(),
+            }
+        }
+    }
+
+    impl Scheduler for TestFifo {
+        fn on_arrival(&mut self, job: JobView) {
+            self.queue.push_back(job);
+        }
+
+        fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+            if let Some(j) = self.queue.iter_mut().find(|j| j.id == id) {
+                j.num = num;
+                j.dur = dur;
+            }
+        }
+
+        fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+            while let Some(head) = self.queue.front() {
+                if head.num <= ctx.free() {
+                    let id = head.id;
+                    ctx.start(id).expect("fit was checked");
+                    self.queue.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn waiting_len(&self) -> usize {
+            self.queue.len()
+        }
+
+        fn name(&self) -> &'static str {
+            "TestFifo"
+        }
+    }
+
+    fn run_jobs(jobs: &[JobSpec], eccs: &[EccSpec], policy: EccPolicy) -> SimResult {
+        simulate(Machine::bluegene_p(), TestFifo::new(), policy, jobs, eccs).unwrap()
+    }
+
+    #[test]
+    fn two_sequential_jobs_complete() {
+        let jobs = vec![
+            JobSpec::batch(1, 0, 320, 100),
+            JobSpec::batch(2, 0, 320, 100),
+        ];
+        let r = run_jobs(&jobs, &[], EccPolicy::disabled());
+        assert_eq!(r.outcomes.len(), 2);
+        let o1 = &r.outcomes[0];
+        let o2 = &r.outcomes[1];
+        assert_eq!(o1.started, SimTime::from_secs(0));
+        assert_eq!(o1.finished, SimTime::from_secs(100));
+        assert_eq!(o2.started, SimTime::from_secs(100));
+        assert_eq!(o2.finished, SimTime::from_secs(200));
+        assert_eq!(r.makespan, SimTime::from_secs(200));
+        // Both jobs kept the whole machine busy: utilization == 1.
+        assert!((r.mean_utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_jobs_share_machine() {
+        let jobs = vec![
+            JobSpec::batch(1, 0, 160, 100),
+            JobSpec::batch(2, 0, 160, 100),
+        ];
+        let r = run_jobs(&jobs, &[], EccPolicy::disabled());
+        assert_eq!(r.makespan, SimTime::from_secs(100));
+        assert!((r.mean_utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_area_equals_work_done() {
+        let jobs = vec![
+            JobSpec::batch(1, 0, 96, 50),
+            JobSpec::batch(2, 10, 64, 200),
+            JobSpec::batch(3, 400, 32, 10),
+        ];
+        let r = run_jobs(&jobs, &[], EccPolicy::disabled());
+        let work: f64 = r
+            .outcomes
+            .iter()
+            .map(|o| o.num as f64 * o.runtime.as_secs_f64())
+            .sum();
+        assert!((r.busy_area - work).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extend_time_delays_completion() {
+        let jobs = vec![JobSpec::batch(1, 0, 320, 100)];
+        let eccs = vec![EccSpec::extend_time(JobId(1), SimTime::from_secs(50), 40)];
+        let r = run_jobs(&jobs, &eccs, EccPolicy::time_only());
+        assert_eq!(r.outcomes[0].finished, SimTime::from_secs(140));
+        assert_eq!(r.ecc.applied_running, 1);
+    }
+
+    #[test]
+    fn reduce_time_hastens_completion() {
+        let jobs = vec![JobSpec::batch(1, 0, 320, 100)];
+        let eccs = vec![EccSpec::reduce_time(JobId(1), SimTime::from_secs(50), 30)];
+        let r = run_jobs(&jobs, &eccs, EccPolicy::time_only());
+        assert_eq!(r.outcomes[0].finished, SimTime::from_secs(70));
+    }
+
+    #[test]
+    fn reduce_time_clamps_at_now() {
+        let jobs = vec![JobSpec::batch(1, 0, 320, 100)];
+        let eccs = vec![EccSpec::reduce_time(JobId(1), SimTime::from_secs(90), 500)];
+        let r = run_jobs(&jobs, &eccs, EccPolicy::time_only());
+        assert_eq!(r.outcomes[0].finished, SimTime::from_secs(90));
+    }
+
+    #[test]
+    fn ecc_on_queued_job_changes_runtime() {
+        let jobs = vec![
+            JobSpec::batch(1, 0, 320, 100),
+            JobSpec::batch(2, 0, 320, 100), // waits behind job 1
+        ];
+        let eccs = vec![EccSpec::extend_time(JobId(2), SimTime::from_secs(10), 50)];
+        let r = run_jobs(&jobs, &eccs, EccPolicy::time_only());
+        let o2 = r.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
+        assert_eq!(o2.runtime, Duration::from_secs(150));
+        assert_eq!(r.ecc.applied_queued, 1);
+    }
+
+    #[test]
+    fn disabled_policy_drops_all_eccs() {
+        let jobs = vec![JobSpec::batch(1, 0, 320, 100)];
+        let eccs = vec![EccSpec::extend_time(JobId(1), SimTime::from_secs(50), 40)];
+        let r = run_jobs(&jobs, &eccs, EccPolicy::disabled());
+        assert_eq!(r.outcomes[0].finished, SimTime::from_secs(100));
+        assert_eq!(r.ecc.dropped_policy, 1);
+    }
+
+    #[test]
+    fn per_job_ecc_cap_enforced() {
+        let jobs = vec![JobSpec::batch(1, 0, 320, 100)];
+        let eccs = vec![
+            EccSpec::extend_time(JobId(1), SimTime::from_secs(10), 10),
+            EccSpec::extend_time(JobId(1), SimTime::from_secs(20), 10),
+            EccSpec::extend_time(JobId(1), SimTime::from_secs(30), 10),
+        ];
+        let r = run_jobs(&jobs, &eccs, EccPolicy::time_only().max_per_job(2));
+        assert_eq!(r.outcomes[0].finished, SimTime::from_secs(120));
+        assert_eq!(r.ecc.dropped_policy, 1);
+    }
+
+    #[test]
+    fn ecc_after_completion_is_stale() {
+        let jobs = vec![JobSpec::batch(1, 0, 320, 10)];
+        let eccs = vec![EccSpec::extend_time(JobId(1), SimTime::from_secs(50), 40)];
+        let r = run_jobs(&jobs, &eccs, EccPolicy::time_only());
+        assert_eq!(r.outcomes[0].finished, SimTime::from_secs(10));
+        assert_eq!(r.ecc.dropped_stale, 1);
+    }
+
+    #[test]
+    fn processor_extension_grows_running_job() {
+        let jobs = vec![JobSpec::batch(1, 0, 64, 100)];
+        let eccs = vec![EccSpec {
+            job: JobId(1),
+            issue_at: SimTime::from_secs(50),
+            kind: EccKind::ExtendProcs,
+            amount: 64,
+        }];
+        let r = run_jobs(&jobs, &eccs, EccPolicy::with_resource_elasticity());
+        assert_eq!(r.outcomes[0].num, 128);
+        // 64 procs * 50 s + 128 procs * 50 s
+        assert!((r.busy_area - (64.0 * 50.0 + 128.0 * 50.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn processor_reduction_shrinks_but_keeps_a_unit() {
+        let jobs = vec![JobSpec::batch(1, 0, 64, 100)];
+        let eccs = vec![EccSpec {
+            job: JobId(1),
+            issue_at: SimTime::from_secs(50),
+            kind: EccKind::ReduceProcs,
+            amount: 1000,
+        }];
+        let r = run_jobs(&jobs, &eccs, EccPolicy::with_resource_elasticity());
+        assert_eq!(r.outcomes[0].num, 32, "cannot shrink below one unit");
+    }
+
+    #[test]
+    fn impossible_job_rejected_at_load() {
+        let jobs = vec![JobSpec::batch(1, 0, 352, 100)];
+        let err = simulate(
+            Machine::bluegene_p(),
+            TestFifo::new(),
+            EccPolicy::disabled(),
+            &jobs,
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::ImpossibleJob { .. }));
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let jobs = vec![JobSpec::batch(1, 0, 32, 100), JobSpec::batch(1, 5, 32, 10)];
+        let err = simulate(
+            Machine::bluegene_p(),
+            TestFifo::new(),
+            EccPolicy::disabled(),
+            &jobs,
+            &[],
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::DuplicateJobId(JobId(1)));
+    }
+
+    #[test]
+    fn dedicated_wakeup_triggers_cycle_at_requested_start() {
+        // FIFO ignores requested starts, but the engine must still fire a
+        // wakeup event at t=500 — observable as the job starting then,
+        // because nothing else happens at t=500.
+        let jobs = vec![
+            JobSpec::batch(1, 0, 320, 100),
+            JobSpec::dedicated(2, 0, 32, 10, 500),
+        ];
+        let r = run_jobs(&jobs, &[], EccPolicy::disabled());
+        assert_eq!(r.outcomes.len(), 2);
+    }
+
+    #[test]
+    fn wait_times_recorded_from_eligibility() {
+        let jobs = vec![
+            JobSpec::batch(1, 0, 320, 100),
+            JobSpec::batch(2, 30, 320, 50),
+        ];
+        let r = run_jobs(&jobs, &[], EccPolicy::disabled());
+        let o2 = r.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
+        assert_eq!(o2.wait, Duration::from_secs(70)); // started at 100, arrived 30
+    }
+
+    #[test]
+    fn zero_duration_job_completes_immediately() {
+        let jobs = vec![JobSpec::batch(1, 0, 32, 0)];
+        let r = run_jobs(&jobs, &[], EccPolicy::disabled());
+        assert_eq!(r.outcomes[0].runtime, Duration::ZERO);
+        assert_eq!(r.outcomes[0].finished, SimTime::ZERO);
+    }
+
+    #[test]
+    fn overestimated_job_releases_early() {
+        // est 100s but actually runs 40s: the next job starts at t=40.
+        let mut j1 = JobSpec::batch(1, 0, 320, 100);
+        j1.actual = Duration::from_secs(40);
+        let jobs = vec![j1, JobSpec::batch(2, 0, 320, 10)];
+        let r = run_jobs(&jobs, &[], EccPolicy::disabled());
+        let o2 = r.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
+        assert_eq!(o2.started, SimTime::from_secs(40));
+    }
+}

@@ -1,0 +1,156 @@
+//! The discrete-event queue.
+//!
+//! Events are processed in non-decreasing time order; events at the same
+//! instant are processed in insertion order (FIFO), which makes
+//! simulations fully deterministic.
+
+use crate::ecc::EccSpec;
+use crate::job::JobId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum Event {
+    /// A job arrived (its submit time was reached).
+    Arrival(JobId),
+    /// A running job reached its kill-by time. `epoch` invalidates
+    /// completions that were rescheduled by an ECC.
+    Completion { job: JobId, epoch: u64 },
+    /// An Elastic Control Command was issued.
+    Ecc(EccSpec),
+    /// A scheduler wakeup with no state change of its own (used to force a
+    /// scheduling cycle at a dedicated job's requested start time).
+    Wakeup,
+}
+
+#[derive(Debug)]
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered, insertion-stable event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at time `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), Event::Wakeup);
+        q.push(t(10), Event::Arrival(JobId(1)));
+        q.push(t(20), Event::Arrival(JobId(2)));
+        assert_eq!(q.pop().unwrap().0, t(10));
+        assert_eq!(q.pop().unwrap().0, t(20));
+        assert_eq!(q.pop().unwrap().0, t(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for id in 0..100u64 {
+            q.push(t(5), Event::Arrival(JobId(id)));
+        }
+        for id in 0..100u64 {
+            match q.pop().unwrap().1 {
+                Event::Arrival(j) => assert_eq!(j, JobId(id)),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(42), Event::Wakeup);
+        assert_eq!(q.peek_time(), Some(t(42)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(t(10), Event::Wakeup);
+        q.push(t(5), Event::Wakeup);
+        assert_eq!(q.pop().unwrap().0, t(5));
+        q.push(t(7), Event::Wakeup);
+        q.push(t(3), Event::Wakeup);
+        assert_eq!(q.pop().unwrap().0, t(3));
+        assert_eq!(q.pop().unwrap().0, t(7));
+        assert_eq!(q.pop().unwrap().0, t(10));
+    }
+}

@@ -1,0 +1,275 @@
+//! Job descriptions and lifecycle state.
+//!
+//! A [`JobSpec`] is the immutable description of a job as it appears in a
+//! workload trace (CWF/SWF). The engine tracks the mutable lifecycle in a
+//! [`JobRecord`]. Runtime elasticity (Elastic Control Commands) mutates the
+//! *record*, never the spec, so a simulation can always be replayed from
+//! the same workload.
+
+use crate::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique job identifier (the SWF "Job ID" field).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Whether a job is a flexible batch job or a rigid dedicated/interactive
+/// job with a user-requested start time (paper §I-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobClass {
+    /// Scheduled by the scheduler at an optimal time.
+    Batch,
+    /// Must be triggered at (or as soon after as capacity allows) the
+    /// user-requested start time.
+    Dedicated {
+        /// CWF field 19, "Requested Start Time".
+        requested_start: SimTime,
+    },
+}
+
+impl JobClass {
+    /// True for dedicated/interactive jobs.
+    #[inline]
+    pub fn is_dedicated(&self) -> bool {
+        matches!(self, JobClass::Dedicated { .. })
+    }
+
+    /// The requested start time, if dedicated.
+    #[inline]
+    pub fn requested_start(&self) -> Option<SimTime> {
+        match self {
+            JobClass::Batch => None,
+            JobClass::Dedicated { requested_start } => Some(*requested_start),
+        }
+    }
+}
+
+/// Immutable description of one job in a workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique identifier.
+    pub id: JobId,
+    /// Arrival (submit) time.
+    pub submit: SimTime,
+    /// Number of processors requested (`num` in the paper's notation).
+    /// On a BlueGene/P-style machine this is a multiple of the allocation
+    /// unit; the machine model enforces it.
+    pub num: u32,
+    /// User-estimated execution time (`dur`). Also the initial kill-by
+    /// horizon; ECCs modify the *effective* duration in the job record.
+    pub dur: Duration,
+    /// Actual execution time. For synthetic workloads this equals `dur`
+    /// unless an over-estimation factor was applied at generation time.
+    pub actual: Duration,
+    /// Batch or dedicated.
+    pub class: JobClass,
+}
+
+impl JobSpec {
+    /// Convenience constructor for a batch job whose actual runtime equals
+    /// its estimate.
+    pub fn batch(id: u64, submit: u64, num: u32, dur: u64) -> Self {
+        JobSpec {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            num,
+            dur: Duration::from_secs(dur),
+            actual: Duration::from_secs(dur),
+            class: JobClass::Batch,
+        }
+    }
+
+    /// Convenience constructor for a dedicated job.
+    pub fn dedicated(id: u64, submit: u64, num: u32, dur: u64, requested_start: u64) -> Self {
+        JobSpec {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            num,
+            dur: Duration::from_secs(dur),
+            actual: Duration::from_secs(dur),
+            class: JobClass::Dedicated {
+                requested_start: SimTime::from_secs(requested_start),
+            },
+        }
+    }
+
+    /// The moment from which this job is *eligible* to run: its submit
+    /// time for batch jobs, the later of submit and requested start for
+    /// dedicated jobs.
+    pub fn eligible_at(&self) -> SimTime {
+        match self.class {
+            JobClass::Batch => self.submit,
+            JobClass::Dedicated { requested_start } => self.submit.max(requested_start),
+        }
+    }
+}
+
+/// Lifecycle state of a job inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum JobState {
+    /// Not yet arrived (before its submit event fired).
+    Future,
+    /// In a waiting queue.
+    Waiting,
+    /// Running since `started`, will complete at `finish` unless an ECC
+    /// moves the kill-by time.
+    Running { started: SimTime, finish: SimTime },
+    /// Finished.
+    Completed { started: SimTime, finished: SimTime },
+}
+
+/// Mutable per-job bookkeeping owned by the engine.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The immutable trace-level description.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Effective user-estimated duration: `spec.dur` plus/minus any time
+    /// ECCs applied while the job was queued.
+    pub est_dur: Duration,
+    /// Effective actual runtime (tracks `est_dur` for synthetic traces).
+    pub actual_dur: Duration,
+    /// Current processor allocation (differs from `spec.num` only when
+    /// processor-dimension elasticity, EP/RP, is enabled).
+    pub alloc: u32,
+    /// Number of ECCs applied to this job so far.
+    pub ecc_count: u32,
+    /// Epoch counter used to invalidate stale completion events after an
+    /// ECC reschedules the kill-by time.
+    pub completion_epoch: u64,
+}
+
+impl JobRecord {
+    /// Fresh record for a job that has not yet arrived.
+    pub fn new(spec: JobSpec) -> Self {
+        let est_dur = spec.dur;
+        let actual_dur = spec.actual;
+        let alloc = spec.num;
+        JobRecord {
+            spec,
+            state: JobState::Future,
+            est_dur,
+            actual_dur,
+            alloc,
+            ecc_count: 0,
+            completion_epoch: 0,
+        }
+    }
+
+    /// True if the job is currently running.
+    #[inline]
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, JobState::Running { .. })
+    }
+
+    /// True if the job finished.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        matches!(self.state, JobState::Completed { .. })
+    }
+
+    /// Scheduled completion time, if running.
+    #[inline]
+    pub fn finish_time(&self) -> Option<SimTime> {
+        match self.state {
+            JobState::Running { finish, .. } => Some(finish),
+            _ => None,
+        }
+    }
+
+    /// Residual (remaining) execution time at `now`, if running
+    /// (`res` in the paper's notation).
+    #[inline]
+    pub fn residual(&self, now: SimTime) -> Option<Duration> {
+        self.finish_time().map(|f| f.saturating_since(now))
+    }
+}
+
+/// Final, immutable outcome of one job, for metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Which job.
+    pub id: JobId,
+    /// Trace arrival time.
+    pub submit: SimTime,
+    /// For dedicated jobs, the requested start; `None` for batch.
+    pub requested_start: Option<SimTime>,
+    /// When the scheduler activated the job.
+    pub started: SimTime,
+    /// When it completed.
+    pub finished: SimTime,
+    /// Processors actually held at completion.
+    pub num: u32,
+    /// Effective runtime (finished - started).
+    pub runtime: Duration,
+    /// Waiting time: `started - submit` for batch jobs, and
+    /// `started - max(submit, requested_start)` for dedicated jobs.
+    pub wait: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_constructor_defaults() {
+        let j = JobSpec::batch(1, 10, 64, 300);
+        assert_eq!(j.id, JobId(1));
+        assert_eq!(j.num, 64);
+        assert_eq!(j.dur, j.actual);
+        assert!(!j.class.is_dedicated());
+        assert_eq!(j.eligible_at(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn dedicated_eligibility_is_later_of_submit_and_start() {
+        let j = JobSpec::dedicated(2, 10, 64, 300, 100);
+        assert_eq!(j.eligible_at(), SimTime::from_secs(100));
+        let early = JobSpec::dedicated(3, 200, 64, 300, 100);
+        assert_eq!(early.eligible_at(), SimTime::from_secs(200));
+        assert_eq!(j.class.requested_start(), Some(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn record_residual_tracks_finish() {
+        let mut r = JobRecord::new(JobSpec::batch(1, 0, 32, 100));
+        assert_eq!(r.residual(SimTime::ZERO), None);
+        r.state = JobState::Running {
+            started: SimTime::from_secs(5),
+            finish: SimTime::from_secs(105),
+        };
+        assert_eq!(
+            r.residual(SimTime::from_secs(50)),
+            Some(Duration::from_secs(55))
+        );
+        assert_eq!(
+            r.residual(SimTime::from_secs(200)),
+            Some(Duration::ZERO),
+            "residual saturates at zero past the finish time"
+        );
+        assert!(r.is_running());
+        assert!(!r.is_completed());
+    }
+
+    #[test]
+    fn new_record_copies_spec_dimensions() {
+        let r = JobRecord::new(JobSpec::batch(7, 0, 96, 1234));
+        assert_eq!(r.est_dur, Duration::from_secs(1234));
+        assert_eq!(r.actual_dur, Duration::from_secs(1234));
+        assert_eq!(r.alloc, 96);
+        assert_eq!(r.ecc_count, 0);
+        assert_eq!(r.state, JobState::Future);
+    }
+}

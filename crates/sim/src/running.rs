@@ -1,0 +1,271 @@
+//! The set of active (running) jobs.
+//!
+//! This is the paper's list `A = {a_1, …, a_A}`: running jobs (batch and
+//! dedicated), maintained sorted by increasing residual execution time
+//! `a_1.res ≤ a_2.res ≤ … ≤ a_A.res` — i.e. by scheduled finish time.
+//! Every scheduler reads it to compute shadow/freeze times.
+
+use crate::job::JobId;
+use crate::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A running job as seen by schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunningJob {
+    /// Which job.
+    pub id: JobId,
+    /// Processors it holds (`num`).
+    pub num: u32,
+    /// Scheduled completion (kill-by) time.
+    pub finish: SimTime,
+}
+
+impl RunningJob {
+    /// Residual execution time at `now` (`res`).
+    #[inline]
+    pub fn residual(&self, now: SimTime) -> Duration {
+        self.finish.saturating_since(now)
+    }
+}
+
+/// Running jobs sorted by finish time (equivalently, by residual time).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningSet {
+    jobs: Vec<RunningJob>,
+}
+
+impl RunningSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of active jobs `A`.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when nothing is running.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Jobs in increasing finish-time order.
+    pub fn iter(&self) -> impl Iterator<Item = &RunningJob> {
+        self.jobs.iter()
+    }
+
+    /// The jobs as a slice (increasing finish-time order).
+    pub fn as_slice(&self) -> &[RunningJob] {
+        &self.jobs
+    }
+
+    /// Sum of processors held by active jobs (`Σ a_i.num`).
+    pub fn used(&self) -> u32 {
+        self.jobs.iter().map(|j| j.num).sum()
+    }
+
+    /// Insert a newly started job, keeping the sort order. Ties on finish
+    /// time are broken by job id for determinism.
+    pub fn insert(&mut self, job: RunningJob) {
+        let pos = self
+            .jobs
+            .partition_point(|j| (j.finish, j.id) < (job.finish, job.id));
+        self.jobs.insert(pos, job);
+    }
+
+    /// Remove a job by id; returns it if present.
+    pub fn remove(&mut self, id: JobId) -> Option<RunningJob> {
+        let pos = self.jobs.iter().position(|j| j.id == id)?;
+        Some(self.jobs.remove(pos))
+    }
+
+    /// Look up a running job by id.
+    pub fn get(&self, id: JobId) -> Option<&RunningJob> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// Change a running job's finish time (an ET/RT command landed),
+    /// preserving the sort order. Returns false if the job is not present.
+    pub fn update_finish(&mut self, id: JobId, finish: SimTime) -> bool {
+        match self.remove(id) {
+            Some(mut j) => {
+                j.finish = finish;
+                self.insert(j);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Change a running job's processor count (an EP/RP command landed).
+    /// Returns false if the job is not present.
+    pub fn update_num(&mut self, id: JobId, num: u32) -> bool {
+        match self.jobs.iter_mut().find(|j| j.id == id) {
+            Some(j) => {
+                j.num = num;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The earliest time at which at least `needed` processors will be
+    /// free, given `total` machine processors, assuming no new starts.
+    /// This is the paper's shadow / freeze-end computation: walk active
+    /// jobs in finish order accumulating released capacity.
+    ///
+    /// Returns `(time, extra)` where `extra` is the capacity that will be
+    /// free *beyond* `needed` at that time (the "freeze end capacity").
+    /// Returns `None` if `needed` exceeds `total`.
+    pub fn earliest_fit(&self, now: SimTime, total: u32, needed: u32) -> Option<(SimTime, u32)> {
+        if needed > total {
+            return None;
+        }
+        let mut free = total - self.used();
+        if free >= needed {
+            return Some((now, free - needed));
+        }
+        for j in &self.jobs {
+            free += j.num;
+            if free >= needed {
+                return Some((j.finish.max(now), free - needed));
+            }
+        }
+        None // unreachable when Σ num + free == total and needed <= total
+    }
+
+    /// Capacity in use by jobs that are still running at time `at`
+    /// (using the paper's convention: a job with `finish == at` has
+    /// already released its processors at `at`).
+    pub fn used_at(&self, at: SimTime) -> u32 {
+        self.jobs
+            .iter()
+            .filter(|j| j.finish > at)
+            .map(|j| j.num)
+            .sum()
+    }
+
+    /// Invariant check: sorted by finish and no duplicate ids.
+    #[cfg(any(test, debug_assertions))]
+    pub fn check_invariants(&self) {
+        for w in self.jobs.windows(2) {
+            assert!(
+                (w[0].finish, w[0].id) <= (w[1].finish, w[1].id),
+                "running set out of order"
+            );
+            assert_ne!(w[0].id, w[1].id, "duplicate running job id");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn rj(id: u64, num: u32, finish: u64) -> RunningJob {
+        RunningJob {
+            id: JobId(id),
+            num,
+            finish: t(finish),
+        }
+    }
+
+    #[test]
+    fn insert_keeps_sorted() {
+        let mut s = RunningSet::new();
+        s.insert(rj(1, 32, 100));
+        s.insert(rj(2, 64, 50));
+        s.insert(rj(3, 32, 75));
+        let order: Vec<u64> = s.iter().map(|j| j.id.0).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn used_sums_allocations() {
+        let mut s = RunningSet::new();
+        s.insert(rj(1, 32, 100));
+        s.insert(rj(2, 64, 50));
+        assert_eq!(s.used(), 96);
+        s.remove(JobId(1));
+        assert_eq!(s.used(), 64);
+    }
+
+    #[test]
+    fn update_finish_resorts() {
+        let mut s = RunningSet::new();
+        s.insert(rj(1, 32, 100));
+        s.insert(rj(2, 64, 50));
+        assert!(s.update_finish(JobId(2), t(200)));
+        let order: Vec<u64> = s.iter().map(|j| j.id.0).collect();
+        assert_eq!(order, vec![1, 2]);
+        assert!(!s.update_finish(JobId(99), t(5)));
+        s.check_invariants();
+    }
+
+    #[test]
+    fn earliest_fit_now_when_capacity_free() {
+        let s = RunningSet::new();
+        assert_eq!(s.earliest_fit(t(10), 320, 64), Some((t(10), 256)));
+    }
+
+    #[test]
+    fn earliest_fit_walks_completions() {
+        let mut s = RunningSet::new();
+        s.insert(rj(1, 128, 100));
+        s.insert(rj(2, 128, 200));
+        // total 320, used 256, free 64.
+        // Need 100: after job 1 finishes (t=100) free = 192.
+        assert_eq!(s.earliest_fit(t(0), 320, 100), Some((t(100), 92)));
+        // Need 200: after both finish.
+        assert_eq!(s.earliest_fit(t(0), 320, 200), Some((t(200), 120)));
+        // Need more than the machine.
+        assert_eq!(s.earliest_fit(t(0), 320, 400), None);
+    }
+
+    #[test]
+    fn earliest_fit_never_before_now() {
+        let mut s = RunningSet::new();
+        s.insert(rj(1, 320, 5));
+        // At t=10 the job's finish (5) is in the past but it is still in
+        // the set (engine removes at completion); the max(now) clamp
+        // protects against stale reads.
+        assert_eq!(s.earliest_fit(t(10), 320, 320), Some((t(10), 0)));
+    }
+
+    #[test]
+    fn used_at_respects_release_at_boundary() {
+        let mut s = RunningSet::new();
+        s.insert(rj(1, 128, 100));
+        s.insert(rj(2, 64, 150));
+        assert_eq!(s.used_at(t(99)), 192);
+        assert_eq!(s.used_at(t(100)), 64, "finish==at releases capacity");
+        assert_eq!(s.used_at(t(150)), 0);
+    }
+
+    #[test]
+    fn get_and_update_num() {
+        let mut s = RunningSet::new();
+        s.insert(rj(1, 128, 100));
+        assert_eq!(s.get(JobId(1)).unwrap().num, 128);
+        assert!(s.update_num(JobId(1), 160));
+        assert_eq!(s.get(JobId(1)).unwrap().num, 160);
+        assert!(!s.update_num(JobId(9), 32));
+        assert!(s.get(JobId(9)).is_none());
+    }
+
+    #[test]
+    fn finish_tie_broken_by_id() {
+        let mut s = RunningSet::new();
+        s.insert(rj(5, 32, 100));
+        s.insert(rj(2, 32, 100));
+        s.insert(rj(9, 32, 100));
+        let order: Vec<u64> = s.iter().map(|j| j.id.0).collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+}

@@ -1,0 +1,212 @@
+//! The interface between the simulation engine and scheduling policies.
+//!
+//! The engine owns ground truth (machine state, running set, job records,
+//! event queue). A [`Scheduler`] owns only its waiting-queue data
+//! structures and decides, at each scheduling cycle, which waiting jobs to
+//! activate via [`SchedContext::start`].
+
+use crate::job::{JobClass, JobId};
+use crate::machine::MachineError;
+use crate::running::RunningSet;
+use crate::time::{Duration, SimTime};
+use std::fmt;
+
+/// A scheduler-facing snapshot of one waiting job.
+///
+/// `dur` is the *current effective* user estimate — ECCs applied while the
+/// job was queued are already folded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobView {
+    /// Job id.
+    pub id: JobId,
+    /// Requested processors (current effective value).
+    pub num: u32,
+    /// Current effective user-estimated duration.
+    pub dur: Duration,
+    /// Arrival time.
+    pub submit: SimTime,
+    /// Batch or dedicated.
+    pub class: JobClass,
+}
+
+impl crate::job::JobSpec {
+    /// The scheduler-facing view of this spec (no ECCs applied yet).
+    pub fn to_view(&self) -> JobView {
+        JobView {
+            id: self.id,
+            num: self.num,
+            dur: self.dur,
+            submit: self.submit,
+            class: self.class,
+        }
+    }
+}
+
+impl From<&crate::job::JobSpec> for JobView {
+    fn from(spec: &crate::job::JobSpec) -> Self {
+        spec.to_view()
+    }
+}
+
+/// Why a start request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartError {
+    /// The job id is unknown to the engine.
+    UnknownJob(JobId),
+    /// The job is not in the waiting state (double start, or already done).
+    NotWaiting(JobId),
+    /// The machine refused the allocation.
+    Machine(MachineError),
+}
+
+impl fmt::Display for StartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartError::UnknownJob(id) => write!(f, "{id} is unknown"),
+            StartError::NotWaiting(id) => write!(f, "{id} is not waiting"),
+            StartError::Machine(e) => write!(f, "machine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+impl From<MachineError> for StartError {
+    fn from(e: MachineError) -> Self {
+        StartError::Machine(e)
+    }
+}
+
+/// Engine services available to a scheduler during a cycle.
+pub trait SchedContext {
+    /// Current simulated time `t`.
+    fn now(&self) -> SimTime;
+    /// Total machine processors `M`.
+    fn total(&self) -> u32;
+    /// Free processors `m`.
+    fn free(&self) -> u32;
+    /// Machine allocation unit (node-group size).
+    fn unit(&self) -> u32;
+    /// The active-job list `A`, sorted by residual time.
+    fn running(&self) -> &RunningSet;
+    /// Activate a waiting job now: allocate processors and schedule its
+    /// completion. On success the job is no longer the scheduler's
+    /// responsibility.
+    fn start(&mut self, id: JobId) -> Result<(), StartError>;
+    /// Current effective duration of a waiting job (after queued ECCs).
+    /// `None` if the job is not waiting.
+    fn waiting_dur(&self, id: JobId) -> Option<Duration>;
+    /// Request a scheduler wakeup (an empty event forcing a cycle) at `at`.
+    /// Used to revisit dedicated jobs at their requested start times.
+    fn request_wakeup(&mut self, at: SimTime);
+}
+
+/// A scheduling policy.
+///
+/// The engine calls `on_arrival` when a job's submit event fires,
+/// `on_queued_ecc` when an ECC changes a *waiting* job's requirements
+/// (running-job ECCs are engine-internal: the running set and completion
+/// event are updated in place), and `cycle` once per distinct event
+/// timestamp after all events at that instant are dispatched.
+pub trait Scheduler {
+    /// A new job entered the system.
+    fn on_arrival(&mut self, job: JobView);
+
+    /// A waiting job's requirements changed (`num`/`dur` are the new
+    /// effective values). Schedulers must refresh their queued copy.
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        let _ = (id, num, dur);
+    }
+
+    /// A running job completed. Most schedulers need no action beyond the
+    /// cycle that follows.
+    fn on_completion(&mut self, id: JobId) {
+        let _ = id;
+    }
+
+    /// One scheduling cycle: examine queues and start jobs via
+    /// [`SchedContext::start`].
+    fn cycle(&mut self, ctx: &mut dyn SchedContext);
+
+    /// Number of jobs still waiting in this scheduler's queues.
+    fn waiting_len(&self) -> usize;
+
+    /// Short algorithm name (e.g. `"Delayed-LOS"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Mutable references schedule too, letting a caller keep ownership of
+/// the scheduler (e.g. to read telemetry after the run).
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn on_arrival(&mut self, job: JobView) {
+        (**self).on_arrival(job)
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        (**self).on_queued_ecc(id, num, dur)
+    }
+
+    fn on_completion(&mut self, id: JobId) {
+        (**self).on_completion(id)
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        (**self).cycle(ctx)
+    }
+
+    fn waiting_len(&self) -> usize {
+        (**self).waiting_len()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Boxed schedulers (e.g. from an algorithm registry) schedule too, so
+/// the generic engine can drive trait objects.
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn on_arrival(&mut self, job: JobView) {
+        (**self).on_arrival(job)
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        (**self).on_queued_ecc(id, num, dur)
+    }
+
+    fn on_completion(&mut self, id: JobId) {
+        (**self).on_completion(id)
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        (**self).cycle(ctx)
+    }
+
+    fn waiting_len(&self) -> usize {
+        (**self).waiting_len()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineError;
+
+    #[test]
+    fn start_error_displays() {
+        let e = StartError::UnknownJob(JobId(3));
+        assert!(e.to_string().contains("job#3"));
+        let e: StartError = MachineError::InsufficientCapacity {
+            requested: 64,
+            free: 32,
+        }
+        .into();
+        assert!(e.to_string().contains("machine error"));
+        let e = StartError::NotWaiting(JobId(1));
+        assert!(e.to_string().contains("not waiting"));
+    }
+}

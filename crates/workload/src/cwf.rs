@@ -1,0 +1,411 @@
+//! The Cloud Workload Format (CWF), the paper's §IV-C contribution.
+//!
+//! CWF extends SWF with three fields (Fig. 4 of the paper):
+//!
+//! * **19 — Requested Start Time**: for dedicated/interactive jobs; `-1`
+//!   for batch jobs.
+//! * **20 — Request Type**: `S` for a submission, `ET`/`EP` for time /
+//!   processor extensions, `RT`/`RP` for reductions, applied to a
+//!   previously submitted job with the same ID.
+//! * **21 — Extension/Reduction Amount**: seconds for `ET`/`RT`,
+//!   processors for `EP`/`RP`; `-1` for submissions.
+//!
+//! For ECC rows (`ET`/`EP`/`RT`/`RP`), field 2 (submit time) carries the
+//! command's issue time and the remaining SWF fields are `-1`.
+//! Plain 18-field SWF lines are accepted and treated as batch `S` rows,
+//! so every SWF file is a valid CWF file.
+
+use crate::set::Workload;
+use crate::swf::{parse_int_fields, record_from_fields, ParseError, SwfRecord};
+use elastisched_sim::{EccKind, EccSpec, JobClass, JobId, JobSpec, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// CWF field 20.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestType {
+    /// A usual job submission.
+    Submit,
+    /// An Elastic Control Command.
+    Ecc(EccKind),
+}
+
+impl RequestType {
+    /// The field-20 token.
+    pub fn code(self) -> &'static str {
+        match self {
+            RequestType::Submit => "S",
+            RequestType::Ecc(k) => k.code(),
+        }
+    }
+
+    /// Parse a field-20 token.
+    pub fn from_code(code: &str) -> Option<RequestType> {
+        if code == "S" {
+            return Some(RequestType::Submit);
+        }
+        EccKind::from_code(code).map(RequestType::Ecc)
+    }
+}
+
+/// One CWF record: the 18 SWF fields plus fields 19–21.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CwfRecord {
+    /// Fields 1–18.
+    pub swf: SwfRecord,
+    /// Field 19: requested start time; `-1` for batch jobs.
+    pub requested_start: i64,
+    /// Field 20.
+    pub request_type: RequestType,
+    /// Field 21: extension/reduction amount; `-1` for submissions.
+    pub amount: i64,
+}
+
+impl CwfRecord {
+    /// A batch-job submission row.
+    pub fn submit_batch(job_id: u64, submit: u64, procs: u32, runtime: u64, estimate: u64) -> Self {
+        CwfRecord {
+            swf: SwfRecord::synthetic(job_id, submit, procs, runtime, estimate),
+            requested_start: -1,
+            request_type: RequestType::Submit,
+            amount: -1,
+        }
+    }
+
+    /// A dedicated-job submission row.
+    pub fn submit_dedicated(
+        job_id: u64,
+        submit: u64,
+        procs: u32,
+        runtime: u64,
+        estimate: u64,
+        requested_start: u64,
+    ) -> Self {
+        CwfRecord {
+            swf: SwfRecord::synthetic(job_id, submit, procs, runtime, estimate),
+            requested_start: requested_start as i64,
+            request_type: RequestType::Submit,
+            amount: -1,
+        }
+    }
+
+    /// An ECC row targeting a previously submitted job.
+    pub fn ecc(job_id: u64, issue_at: u64, kind: EccKind, amount: u64) -> Self {
+        let mut swf = SwfRecord::synthetic(job_id, issue_at, 0, 0, 0);
+        swf.allocated_procs = -1;
+        swf.requested_procs = -1;
+        swf.run_time = -1;
+        swf.requested_time = -1;
+        swf.status = -1;
+        CwfRecord {
+            swf,
+            requested_start: -1,
+            request_type: RequestType::Ecc(kind),
+            amount: amount as i64,
+        }
+    }
+
+    /// Whether this row is a submission.
+    pub fn is_submit(&self) -> bool {
+        self.request_type == RequestType::Submit
+    }
+
+    /// Convert a submission row to a [`JobSpec`] (batch or dedicated).
+    /// `None` for ECC rows or incomplete submissions.
+    pub fn to_job_spec(&self) -> Option<JobSpec> {
+        if !self.is_submit() {
+            return None;
+        }
+        let mut spec = self.swf.to_job_spec()?;
+        if self.requested_start >= 0 {
+            spec.class = JobClass::Dedicated {
+                requested_start: SimTime::from_secs(self.requested_start as u64),
+            };
+        }
+        Some(spec)
+    }
+
+    /// Convert an ECC row to an [`EccSpec`]. `None` for submissions or
+    /// rows with a missing amount.
+    pub fn to_ecc_spec(&self) -> Option<EccSpec> {
+        let RequestType::Ecc(kind) = self.request_type else {
+            return None;
+        };
+        let amount = u64::try_from(self.amount).ok()?;
+        let issue_at = u64::try_from(self.swf.submit).ok()?;
+        Some(EccSpec {
+            job: JobId(self.swf.job_id),
+            issue_at: SimTime::from_secs(issue_at),
+            kind,
+            amount,
+        })
+    }
+
+    fn render_line(&self) -> String {
+        let mut s = String::new();
+        let f18 = [
+            self.swf.job_id as i64,
+            self.swf.submit,
+            self.swf.wait,
+            self.swf.run_time,
+            self.swf.allocated_procs,
+            self.swf.avg_cpu_time,
+            self.swf.used_memory,
+            self.swf.requested_procs,
+            self.swf.requested_time,
+            self.swf.requested_memory,
+            self.swf.status,
+            self.swf.user,
+            self.swf.group,
+            self.swf.executable,
+            self.swf.queue,
+            self.swf.partition,
+            self.swf.preceding_job,
+            self.swf.think_time,
+        ];
+        for v in f18 {
+            s.push_str(&v.to_string());
+            s.push(' ');
+        }
+        s.push_str(&self.requested_start.to_string());
+        s.push(' ');
+        s.push_str(self.request_type.code());
+        s.push(' ');
+        s.push_str(&self.amount.to_string());
+        s
+    }
+}
+
+/// A parsed CWF file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CwfFile {
+    /// Header/comment lines (without the leading `;`).
+    pub comments: Vec<String>,
+    /// Rows in file order.
+    pub records: Vec<CwfRecord>,
+}
+
+impl CwfFile {
+    /// Parse CWF text. Plain 18-field SWF lines are accepted as batch
+    /// submissions.
+    pub fn parse(input: &str) -> Result<CwfFile, ParseError> {
+        let mut out = CwfFile::default();
+        for (idx, raw) in input.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix(';') {
+                out.comments.push(comment.trim().to_string());
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens.len() {
+                18 => {
+                    let fields = parse_int_fields(line, lineno)?;
+                    let swf = record_from_fields(&fields, lineno)?;
+                    out.records.push(CwfRecord {
+                        swf,
+                        requested_start: -1,
+                        request_type: RequestType::Submit,
+                        amount: -1,
+                    });
+                }
+                21 => {
+                    // Fields 1-19 and 21 are integers; field 20 is a code.
+                    let head = tokens[..19].join(" ");
+                    let ints = parse_int_fields(&head, lineno)?;
+                    let swf = record_from_fields(&ints[..18], lineno)?;
+                    let requested_start = ints[18];
+                    let request_type =
+                        RequestType::from_code(tokens[19]).ok_or_else(|| ParseError {
+                            line: lineno,
+                            message: format!("unknown request type {:?}", tokens[19]),
+                        })?;
+                    let amount = tokens[20].parse::<i64>().map_err(|_| ParseError {
+                        line: lineno,
+                        message: format!("invalid amount {:?}", tokens[20]),
+                    })?;
+                    out.records.push(CwfRecord {
+                        swf,
+                        requested_start,
+                        request_type,
+                        amount,
+                    });
+                }
+                n => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("expected 18 (SWF) or 21 (CWF) fields, found {n}"),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serialize to CWF text.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for c in &self.comments {
+            s.push_str("; ");
+            s.push_str(c);
+            s.push('\n');
+        }
+        for r in &self.records {
+            s.push_str(&r.render_line());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Split into simulator inputs: jobs and ECCs.
+    pub fn to_workload(&self) -> Workload {
+        Workload {
+            jobs: self.records.iter().filter_map(|r| r.to_job_spec()).collect(),
+            eccs: self.records.iter().filter_map(|r| r.to_ecc_spec()).collect(),
+        }
+    }
+
+    /// Build a CWF file from an in-memory workload, interleaving ECC rows
+    /// by issue time after all submissions (record order in the file is
+    /// submissions by submit time, then ECCs by issue time; the simulator
+    /// orders by timestamps anyway).
+    pub fn from_workload(w: &Workload) -> CwfFile {
+        let mut records: Vec<CwfRecord> = Vec::with_capacity(w.jobs.len() + w.eccs.len());
+        for j in &w.jobs {
+            let rec = match j.class {
+                JobClass::Batch => CwfRecord::submit_batch(
+                    j.id.0,
+                    j.submit.as_secs(),
+                    j.num,
+                    j.actual.as_secs(),
+                    j.dur.as_secs(),
+                ),
+                JobClass::Dedicated { requested_start } => CwfRecord::submit_dedicated(
+                    j.id.0,
+                    j.submit.as_secs(),
+                    j.num,
+                    j.actual.as_secs(),
+                    j.dur.as_secs(),
+                    requested_start.as_secs(),
+                ),
+            };
+            records.push(rec);
+        }
+        for e in &w.eccs {
+            records.push(CwfRecord::ecc(e.job.0, e.issue_at.as_secs(), e.kind, e.amount));
+        }
+        CwfFile {
+            comments: vec!["Cloud Workload Format (CWF) — SWF + fields 19-21".to_string()],
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisched_sim::Duration;
+
+    const SAMPLE: &str = "\
+; CWF sample
+1 0 -1 120 64 -1 -1 64 150 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 S -1
+2 30 -1 600 96 -1 -1 96 600 -1 1 -1 -1 -1 -1 -1 -1 -1 500 S -1
+1 60 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 ET 300
+";
+
+    #[test]
+    fn parses_batch_dedicated_and_ecc_rows() {
+        let f = CwfFile::parse(SAMPLE).unwrap();
+        assert_eq!(f.records.len(), 3);
+        assert!(f.records[0].is_submit());
+        assert_eq!(f.records[1].requested_start, 500);
+        assert_eq!(
+            f.records[2].request_type,
+            RequestType::Ecc(EccKind::ExtendTime)
+        );
+    }
+
+    #[test]
+    fn to_workload_splits_jobs_and_eccs() {
+        let w = CwfFile::parse(SAMPLE).unwrap().to_workload();
+        assert_eq!(w.jobs.len(), 2);
+        assert_eq!(w.eccs.len(), 1);
+        assert!(w.jobs[1].class.is_dedicated());
+        assert_eq!(
+            w.jobs[1].class.requested_start(),
+            Some(SimTime::from_secs(500))
+        );
+        let e = &w.eccs[0];
+        assert_eq!(e.job, JobId(1));
+        assert_eq!(e.issue_at, SimTime::from_secs(60));
+        assert_eq!(e.amount, 300);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let f = CwfFile::parse(SAMPLE).unwrap();
+        let g = CwfFile::parse(&f.to_text()).unwrap();
+        assert_eq!(f.records, g.records);
+    }
+
+    #[test]
+    fn roundtrip_through_workload() {
+        let w = CwfFile::parse(SAMPLE).unwrap().to_workload();
+        let f = CwfFile::from_workload(&w);
+        let w2 = f.to_workload();
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn plain_swf_lines_are_batch_submissions() {
+        let text = "5 10 -1 60 32 -1 -1 32 60 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+        let f = CwfFile::parse(text).unwrap();
+        assert_eq!(f.records.len(), 1);
+        assert!(f.records[0].is_submit());
+        let w = f.to_workload();
+        assert_eq!(w.jobs.len(), 1);
+        assert_eq!(w.jobs[0].dur, Duration::from_secs(60));
+    }
+
+    #[test]
+    fn unknown_request_type_is_error() {
+        let text = "1 0 -1 1 1 -1 -1 1 1 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 XX 5\n";
+        let err = CwfFile::parse(text).unwrap_err();
+        assert!(err.message.contains("unknown request type"));
+    }
+
+    #[test]
+    fn wrong_arity_is_error() {
+        let err = CwfFile::parse("1 2 3 4 5\n").unwrap_err();
+        assert!(err.message.contains("18 (SWF) or 21 (CWF)"));
+    }
+
+    #[test]
+    fn ecc_row_constructors() {
+        let r = CwfRecord::ecc(7, 99, EccKind::ReduceProcs, 64);
+        assert_eq!(r.to_ecc_spec().unwrap().kind, EccKind::ReduceProcs);
+        assert!(r.to_job_spec().is_none());
+        let s = CwfRecord::submit_batch(1, 0, 32, 10, 10);
+        assert!(s.to_ecc_spec().is_none());
+    }
+
+    #[test]
+    fn all_ecc_kinds_roundtrip() {
+        for kind in [
+            EccKind::ExtendTime,
+            EccKind::ReduceTime,
+            EccKind::ExtendProcs,
+            EccKind::ReduceProcs,
+        ] {
+            let rec = CwfRecord::ecc(1, 10, kind, 42);
+            let f = CwfFile {
+                comments: vec![],
+                records: vec![rec],
+            };
+            let g = CwfFile::parse(&f.to_text()).unwrap();
+            assert_eq!(g.records[0].to_ecc_spec().unwrap().kind, kind);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The CWF workload generator (paper §IV-D).
+//!
+//! Produces a synthetic sequence of jobs in the Cloud Workload Format:
+//! sizes from the two-stage uniform model, runtimes from the size
+//! correlated bimodal hyper-Gamma, arrivals from the Lublin model, a
+//! `P_D` fraction of dedicated jobs with exponentially distributed
+//! requested-start offsets, and ET/RT Elastic Control Commands injected
+//! with probabilities `P_E` and `P_R` and exponentially distributed
+//! amounts.
+
+use crate::dist::{Exponential, Sample};
+use crate::lublin::{ArrivalModel, ArrivalParams, RuntimeModel, RuntimeParams};
+use crate::set::Workload;
+use crate::sizes::SizeModel;
+use elastisched_sim::{Duration, EccSpec, JobClass, JobId, JobSpec, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Everything the generator needs. Defaults reproduce the paper's
+/// experimental setup (§V): 500 jobs on a 320-processor BlueGene/P,
+/// `P_S = 0.5`, batch-only, no ECCs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of jobs `N_J`.
+    pub n_jobs: usize,
+    /// Machine size `M` (used only for sanity clamping of sizes).
+    pub machine_procs: u32,
+    /// Job-size model (`P_S` lives here).
+    pub size_model: SizeModel,
+    /// Runtime-model parameters (paper Table I).
+    pub runtime: RuntimeParams,
+    /// Arrival-model parameters (paper Table II; `β_arr` is the load knob).
+    pub arrival: ArrivalParams,
+    /// Probability that a job is dedicated (`P_D`).
+    pub p_dedicated: f64,
+    /// Mean of the exponential requested-start offset for dedicated jobs,
+    /// in seconds ("sampled from a Poisson (exponential) distribution").
+    pub dedicated_advance_mean: f64,
+    /// Probability that a job receives an `ET` command (`P_E`, paper: 0.2).
+    pub p_extend: f64,
+    /// Probability that a job receives an `RT` command (`P_R`, paper: 0.1).
+    pub p_reduce: f64,
+    /// Mean of the exponential extension/reduction amount, in seconds.
+    pub ecc_amount_mean: f64,
+    /// User-estimate inflation: `est = ceil(actual × factor)`. 1.0 means
+    /// perfect estimates (the paper's setting); 2.0 reproduces the
+    /// Mu'alem–Feitelson over-estimation experiment.
+    pub overestimate_factor: f64,
+    /// RNG seed — same seed, same workload.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            n_jobs: 500,
+            machine_procs: 320,
+            size_model: SizeModel::paper(0.5),
+            runtime: RuntimeParams::default(),
+            arrival: ArrivalParams::default(),
+            p_dedicated: 0.0,
+            dedicated_advance_mean: 1_800.0,
+            p_extend: 0.0,
+            p_reduce: 0.0,
+            ecc_amount_mean: 600.0,
+            overestimate_factor: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Paper batch workload with the given small-job probability `P_S`.
+    pub fn paper_batch(p_small: f64) -> Self {
+        GeneratorConfig {
+            size_model: SizeModel::paper(p_small),
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// Paper heterogeneous workload with small-job probability `P_S` and
+    /// dedicated probability `P_D`.
+    pub fn paper_heterogeneous(p_small: f64, p_dedicated: f64) -> Self {
+        GeneratorConfig {
+            p_dedicated,
+            ..GeneratorConfig::paper_batch(p_small)
+        }
+    }
+
+    /// A synthetic SDSC-SP2-like trace for the Figure 1 experiment
+    /// (DESIGN.md substitution #2): a 128-processor machine with unit-1
+    /// allocation and power-of-two-dominated job sizes. Load is varied by
+    /// scaling arrival times, exactly as in the paper's Fig. 1.
+    pub fn sdsc_like() -> Self {
+        GeneratorConfig {
+            machine_procs: 128,
+            size_model: SizeModel::sdsc_like(),
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// Enable the paper's elastic workload injection: `P_E = 0.2`,
+    /// `P_R = 0.1`.
+    pub fn with_paper_eccs(mut self) -> Self {
+        self.p_extend = 0.2;
+        self.p_reduce = 0.1;
+        self
+    }
+
+    /// Set the number of jobs.
+    pub fn with_jobs(mut self, n: usize) -> Self {
+        self.n_jobs = n;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set `β_arr` (the load knob).
+    pub fn with_beta_arr(mut self, beta_arr: f64) -> Self {
+        self.arrival.beta_arr = beta_arr;
+        self
+    }
+}
+
+/// Generate a workload from a configuration. Deterministic in the seed.
+pub fn generate(config: &GeneratorConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let runtime_model = RuntimeModel::new(config.runtime);
+    let mut arrival_model = ArrivalModel::new(config.arrival);
+    let advance = Exponential::new(config.dedicated_advance_mean.max(1.0));
+    let ecc_amount = Exponential::new(config.ecc_amount_mean.max(1.0));
+
+    let mut jobs = Vec::with_capacity(config.n_jobs);
+    let mut eccs = Vec::new();
+
+    for i in 0..config.n_jobs {
+        let id = JobId(i as u64 + 1);
+        let submit = SimTime::from_secs(arrival_model.next_arrival(&mut rng));
+        let num = config.size_model.sample(&mut rng).min(config.machine_procs);
+        let actual_secs = runtime_model.sample_runtime(num, &mut rng);
+        let est_secs = ((actual_secs as f64) * config.overestimate_factor.max(1.0)).ceil() as u64;
+
+        let class = if rng.gen::<f64>() < config.p_dedicated {
+            // Invariant from the paper's notation box: start ≥ t + 1.
+            let offset = advance.sample(&mut rng).max(1.0).round() as u64;
+            JobClass::Dedicated {
+                requested_start: submit + Duration::from_secs(offset),
+            }
+        } else {
+            JobClass::Batch
+        };
+
+        jobs.push(JobSpec {
+            id,
+            submit,
+            num,
+            dur: Duration::from_secs(est_secs),
+            actual: Duration::from_secs(actual_secs),
+            class,
+        });
+
+        // ECC injection: issue somewhere in the job's nominal lifetime
+        // (it may land while the job queues or while it runs; both are
+        // legal per §III-C).
+        if rng.gen::<f64>() < config.p_extend {
+            let frac: f64 = rng.gen_range(0.1..0.9);
+            let issue = submit + Duration::from_secs((est_secs as f64 * frac) as u64);
+            let amount = ecc_amount.sample(&mut rng).max(1.0).round() as u64;
+            eccs.push(EccSpec::extend_time(id, issue, amount));
+        }
+        if rng.gen::<f64>() < config.p_reduce {
+            let frac: f64 = rng.gen_range(0.1..0.9);
+            let issue = submit + Duration::from_secs((est_secs as f64 * frac) as u64);
+            let amount = ecc_amount.sample(&mut rng).max(1.0).round() as u64;
+            eccs.push(EccSpec::reduce_time(id, issue, amount));
+        }
+    }
+
+    eccs.sort_by_key(|e| (e.issue_at, e.job));
+    Workload { jobs, eccs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_job_count() {
+        let w = generate(&GeneratorConfig::paper_batch(0.5).with_jobs(500));
+        assert_eq!(w.len(), 500);
+        assert!(w.eccs.is_empty());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = GeneratorConfig::paper_heterogeneous(0.5, 0.5)
+            .with_paper_eccs()
+            .with_seed(42);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        let c = generate(&cfg.with_seed(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_ids_unique() {
+        let w = generate(&GeneratorConfig::paper_batch(0.2).with_jobs(1000));
+        for pair in w.jobs.windows(2) {
+            assert!(pair[0].submit <= pair[1].submit);
+            assert!(pair[0].id < pair[1].id);
+        }
+    }
+
+    #[test]
+    fn sizes_respect_machine_and_unit() {
+        let w = generate(&GeneratorConfig::paper_batch(0.5).with_jobs(2000));
+        for j in &w.jobs {
+            assert!(j.num >= 32 && j.num <= 320);
+            assert_eq!(j.num % 32, 0);
+        }
+    }
+
+    #[test]
+    fn dedicated_fraction_tracks_pd() {
+        let w = generate(
+            &GeneratorConfig::paper_heterogeneous(0.5, 0.9)
+                .with_jobs(5000)
+                .with_seed(7),
+        );
+        let frac = w.dedicated_count() as f64 / w.len() as f64;
+        assert!((frac - 0.9).abs() < 0.02, "P_D fraction {frac}");
+        // Requested starts are strictly after submission.
+        for j in &w.jobs {
+            if let Some(start) = j.class.requested_start() {
+                assert!(start > j.submit);
+            }
+        }
+    }
+
+    #[test]
+    fn ecc_injection_rates() {
+        let w = generate(
+            &GeneratorConfig::paper_batch(0.5)
+                .with_paper_eccs()
+                .with_jobs(5000)
+                .with_seed(3),
+        );
+        let n = w.len() as f64;
+        let et = w
+            .eccs
+            .iter()
+            .filter(|e| e.kind == elastisched_sim::EccKind::ExtendTime)
+            .count() as f64;
+        let rt = w.eccs.len() as f64 - et;
+        assert!((et / n - 0.2).abs() < 0.02, "P_E rate {}", et / n);
+        assert!((rt / n - 0.1).abs() < 0.02, "P_R rate {}", rt / n);
+        // Sorted by issue time.
+        for pair in w.eccs.windows(2) {
+            assert!(pair[0].issue_at <= pair[1].issue_at);
+        }
+    }
+
+    #[test]
+    fn ecc_issue_times_after_submit() {
+        let w = generate(
+            &GeneratorConfig::paper_batch(0.5)
+                .with_paper_eccs()
+                .with_jobs(2000)
+                .with_seed(5),
+        );
+        let submit_of = |id: JobId| w.jobs[(id.0 - 1) as usize].submit;
+        for e in &w.eccs {
+            assert!(e.issue_at >= submit_of(e.job));
+        }
+    }
+
+    #[test]
+    fn overestimate_factor_inflates_estimates() {
+        let mut cfg = GeneratorConfig::paper_batch(0.5).with_jobs(500);
+        cfg.overestimate_factor = 2.0;
+        let w = generate(&cfg);
+        for j in &w.jobs {
+            assert!(j.dur.as_secs() >= 2 * j.actual.as_secs());
+        }
+    }
+
+    #[test]
+    fn mean_size_shifts_with_ps() {
+        // Paper: P_S=0.5 → n̄ ≈ 139–144; P_S=0.2 → n̄ ≈ 181–192;
+        // P_S=0.8 → n̄ ≈ 90–96 (sampling noise inside each run).
+        let w_02 = generate(&GeneratorConfig::paper_batch(0.2).with_jobs(4000));
+        let w_05 = generate(&GeneratorConfig::paper_batch(0.5).with_jobs(4000));
+        let w_08 = generate(&GeneratorConfig::paper_batch(0.8).with_jobs(4000));
+        assert!(w_02.mean_size() > w_05.mean_size());
+        assert!(w_05.mean_size() > w_08.mean_size());
+        assert!((w_05.mean_size() - 144.0).abs() < 8.0);
+    }
+
+    #[test]
+    fn beta_arr_changes_offered_load() {
+        let lo = generate(
+            &GeneratorConfig::paper_batch(0.5)
+                .with_jobs(2000)
+                .with_beta_arr(0.6101),
+        );
+        let hi = generate(
+            &GeneratorConfig::paper_batch(0.5)
+                .with_jobs(2000)
+                .with_beta_arr(0.4101),
+        );
+        assert!(
+            hi.offered_load(320) > lo.offered_load(320),
+            "smaller β_arr must increase load: hi={} lo={}",
+            hi.offered_load(320),
+            lo.offered_load(320)
+        );
+    }
+}

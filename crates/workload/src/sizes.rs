@@ -1,0 +1,332 @@
+//! Job-size models.
+//!
+//! The paper's generator (§IV-D) samples job sizes from a **two-stage
+//! uniform** distribution: with probability `P_S` a *small* job of
+//! `uniform{1..3} × 32` processors, otherwise a *large* job of
+//! `uniform{4..10} × 32` processors. Varying `P_S` varies the packing
+//! properties of the workload, which is the crux of the paper's claim
+//! about LOS.
+//!
+//! A power-of-two model is also provided to synthesise SDSC-SP2-like
+//! traces for the Figure 1 experiment (see DESIGN.md substitution #2).
+
+use crate::dist::UniformInt;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A job-size sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeModel {
+    /// The paper's two-stage uniform model.
+    TwoStageUniform {
+        /// Probability of drawing a small job (`P_S`).
+        p_small: f64,
+        /// Inclusive unit-range of small jobs (paper: 1..=3).
+        small: (u32, u32),
+        /// Inclusive unit-range of large jobs (paper: 4..=10).
+        large: (u32, u32),
+        /// Processors per unit (paper: 32, the BlueGene/P node group).
+        unit: u32,
+    },
+    /// Power-of-two dominated sizes in `[2^min_exp, 2^max_exp]`, as seen
+    /// in SP2-class logs. With probability `pow2_fraction` the size is an
+    /// exact power of two chosen log-uniformly; otherwise uniform in
+    /// `[1, 2^max_exp]` rounded up to the allocation unit.
+    PowerOfTwo {
+        /// Smallest exponent.
+        min_exp: u32,
+        /// Largest exponent (`2^max_exp` must not exceed the machine).
+        max_exp: u32,
+        /// Fraction of jobs that are exact powers of two.
+        pow2_fraction: f64,
+        /// Allocation unit of the target machine.
+        unit: u32,
+    },
+    /// Every job has the same size (for controlled experiments/tests).
+    Constant(u32),
+    /// Lublin & Feitelson's original parallelism model: `log₂(size)` is
+    /// drawn from a two-stage uniform over `[lo, med]` / `[med, hi]`
+    /// (the second stage with probability `p_second`), and the result is
+    /// snapped to an exact power of two with probability `p_pow2` —
+    /// capturing real logs' strong power-of-two preference.
+    LublinLog2 {
+        /// Lower log₂ bound (e.g. 0.8 in the original fit).
+        lo: f64,
+        /// Break point between the two uniform stages.
+        med: f64,
+        /// Upper log₂ bound (log₂ of the machine size).
+        hi: f64,
+        /// Probability of sampling the upper stage.
+        p_second: f64,
+        /// Probability of snapping to the nearest power of two.
+        p_pow2: f64,
+        /// Allocation unit of the target machine (sizes round up to it).
+        unit: u32,
+        /// Machine size cap in processors.
+        max: u32,
+    },
+}
+
+impl SizeModel {
+    /// The paper's model with the given `P_S`.
+    pub fn paper(p_small: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_small), "P_S must be in [0,1]");
+        SizeModel::TwoStageUniform {
+            p_small,
+            small: (1, 3),
+            large: (4, 10),
+            unit: 32,
+        }
+    }
+
+    /// The original Lublin fit for a 128-processor SP2-class machine:
+    /// `log₂(size) ~` two-stage uniform over `[0.8, 3.5, 7.0]`, 86 % of
+    /// jobs snapped to exact powers of two.
+    pub fn lublin_128() -> Self {
+        SizeModel::LublinLog2 {
+            lo: 0.8,
+            med: 3.5,
+            hi: 7.0,
+            p_second: 0.55,
+            p_pow2: 0.86,
+            unit: 1,
+            max: 128,
+        }
+    }
+
+    /// An SDSC-SP2-like model for a 128-processor machine with unit 1.
+    pub fn sdsc_like() -> Self {
+        SizeModel::PowerOfTwo {
+            min_exp: 0,
+            max_exp: 7,
+            pow2_fraction: 0.75,
+            unit: 1,
+        }
+    }
+
+    /// Draw one job size in processors.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match *self {
+            SizeModel::TwoStageUniform {
+                p_small,
+                small,
+                large,
+                unit,
+            } => {
+                let range = if rng.gen::<f64>() < p_small {
+                    UniformInt::new(small.0, small.1)
+                } else {
+                    UniformInt::new(large.0, large.1)
+                };
+                range.sample(rng) * unit
+            }
+            SizeModel::PowerOfTwo {
+                min_exp,
+                max_exp,
+                pow2_fraction,
+                unit,
+            } => {
+                let size = if rng.gen::<f64>() < pow2_fraction {
+                    1u32 << UniformInt::new(min_exp, max_exp).sample(rng)
+                } else {
+                    UniformInt::new(1, 1 << max_exp).sample(rng)
+                };
+                // Round up to the allocation unit.
+                size.div_ceil(unit) * unit
+            }
+            SizeModel::Constant(n) => n,
+            SizeModel::LublinLog2 {
+                lo,
+                med,
+                hi,
+                p_second,
+                p_pow2,
+                unit,
+                max,
+            } => {
+                let log2 = if rng.gen::<f64>() < p_second {
+                    rng.gen_range(med..hi)
+                } else {
+                    rng.gen_range(lo..med)
+                };
+                let raw = if rng.gen::<f64>() < p_pow2 {
+                    2f64.powf(log2.round())
+                } else {
+                    2f64.powf(log2)
+                };
+                let size = (raw.round() as u32).clamp(1, max);
+                (size.div_ceil(unit) * unit).min(max)
+            }
+        }
+    }
+
+    /// Expected job size in processors (`n̄` in the paper's notation).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeModel::TwoStageUniform {
+                p_small,
+                small,
+                large,
+                unit,
+            } => {
+                let ms = (small.0 + small.1) as f64 / 2.0;
+                let ml = (large.0 + large.1) as f64 / 2.0;
+                (p_small * ms + (1.0 - p_small) * ml) * unit as f64
+            }
+            SizeModel::PowerOfTwo {
+                min_exp,
+                max_exp,
+                pow2_fraction,
+                ..
+            } => {
+                // Mean of a log-uniform power of two.
+                let k = (max_exp - min_exp + 1) as f64;
+                let pow2_mean: f64 =
+                    (min_exp..=max_exp).map(|e| (1u64 << e) as f64).sum::<f64>() / k;
+                let uni_mean = (1.0 + (1u64 << max_exp) as f64) / 2.0;
+                pow2_fraction * pow2_mean + (1.0 - pow2_fraction) * uni_mean
+            }
+            SizeModel::Constant(n) => n as f64,
+            SizeModel::LublinLog2 {
+                lo,
+                med,
+                hi,
+                p_second,
+                ..
+            } => {
+                // Approximate: E[2^U(a,b)] = (2^b - 2^a) / ((b-a) ln 2).
+                let seg = |a: f64, b: f64| {
+                    (2f64.powf(b) - 2f64.powf(a)) / ((b - a) * std::f64::consts::LN_2)
+                };
+                (1.0 - p_second) * seg(lo, med) + p_second * seg(med, hi)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn paper_model_yields_valid_sizes() {
+        let m = SizeModel::paper(0.5);
+        let mut r = rng();
+        for _ in 0..20_000 {
+            let s = m.sample(&mut r);
+            assert_eq!(s % 32, 0);
+            assert!((32..=320).contains(&s));
+        }
+    }
+
+    #[test]
+    fn paper_model_small_large_split() {
+        let m = SizeModel::paper(0.8);
+        let mut r = rng();
+        let n = 50_000;
+        let small = (0..n).filter(|_| m.sample(&mut r) <= 96).count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.01, "small fraction {frac}");
+    }
+
+    #[test]
+    fn paper_mean_matches_formula() {
+        // P_S = 0.5: 0.5·2·32 + 0.5·7·32 = 144.
+        assert!((SizeModel::paper(0.5).mean() - 144.0).abs() < 1e-9);
+        // P_S = 0.2: 0.2·2·32 + 0.8·7·32 = 192.
+        assert!((SizeModel::paper(0.2).mean() - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_mean_tracks_theory() {
+        for p in [0.2, 0.5, 0.8] {
+            let m = SizeModel::paper(p);
+            let mut r = rng();
+            let n = 100_000;
+            let mean = (0..n).map(|_| m.sample(&mut r) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - m.mean()).abs() / m.mean() < 0.01,
+                "P_S={p}: {mean} vs {}",
+                m.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn sdsc_like_sizes_fit_128() {
+        let m = SizeModel::sdsc_like();
+        let mut r = rng();
+        let mut pow2 = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let s = m.sample(&mut r);
+            assert!((1..=128).contains(&s));
+            if s.is_power_of_two() {
+                pow2 += 1;
+            }
+        }
+        // At least the configured fraction (uniform draws can also land
+        // on powers of two).
+        assert!(pow2 as f64 / n as f64 > 0.7, "pow2 fraction too low");
+    }
+
+    #[test]
+    fn constant_model_is_constant() {
+        let m = SizeModel::Constant(64);
+        let mut r = rng();
+        assert!((0..100).all(|_| m.sample(&mut r) == 64));
+        assert_eq!(m.mean(), 64.0);
+    }
+
+    #[test]
+    fn lublin_log2_sizes_in_range_and_mostly_pow2() {
+        let m = SizeModel::lublin_128();
+        let mut r = rng();
+        let n = 30_000;
+        let mut pow2 = 0;
+        for _ in 0..n {
+            let s = m.sample(&mut r);
+            assert!((1..=128).contains(&s));
+            if s.is_power_of_two() {
+                pow2 += 1;
+            }
+        }
+        let frac = pow2 as f64 / n as f64;
+        assert!(frac > 0.8, "power-of-two fraction {frac}");
+    }
+
+    #[test]
+    fn lublin_log2_mean_tracks_formula() {
+        let m = SizeModel::lublin_128();
+        let mut r = rng();
+        let n = 100_000;
+        let mean = (0..n).map(|_| m.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        // Snapping to powers of two perturbs the continuous-mean formula;
+        // allow a generous band.
+        assert!(
+            (mean - m.mean()).abs() / m.mean() < 0.15,
+            "empirical {mean} vs model {}",
+            m.mean()
+        );
+    }
+
+    #[test]
+    fn power_of_two_respects_unit_rounding() {
+        let m = SizeModel::PowerOfTwo {
+            min_exp: 0,
+            max_exp: 7,
+            pow2_fraction: 0.0,
+            unit: 32,
+        };
+        let mut r = rng();
+        for _ in 0..5_000 {
+            assert_eq!(m.sample(&mut r) % 32, 0);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Working with workload traces: SWF in, CWF out (paper §IV-C).
+//!
+//! The Cloud Workload Format extends the Standard Workload Format with
+//! fields 19–21 (requested start time, request type, amount), so every
+//! SWF file is a valid CWF file. This example parses an SWF fragment,
+//! upgrades it to CWF by adding a dedicated job and Elastic Control
+//! Commands, round-trips it through text, and schedules it.
+//!
+//! ```text
+//! cargo run --release --example trace_tools
+//! ```
+
+use elastisched::prelude::*;
+use elastisched_workload::cwf::CwfRecord;
+
+const SWF_FRAGMENT: &str = "\
+; Version: 2.2
+; Computer: synthetic 320-processor BlueGene/P
+; Note: wait-time fields are outputs and ignored on input
+1 0 -1 3600 -1 -1 -1 128 4000 -1 1 3 1 -1 1 -1 -1 -1
+2 120 -1 1800 -1 -1 -1 64 2000 -1 1 3 1 -1 1 -1 -1 -1
+3 240 -1 7200 -1 -1 -1 256 7500 -1 1 5 2 -1 1 -1 -1 -1
+4 600 -1 900 -1 -1 -1 32 1000 -1 1 7 2 -1 1 -1 -1 -1
+";
+
+fn main() {
+    // Parse SWF.
+    let swf = SwfFile::parse(SWF_FRAGMENT).expect("valid SWF");
+    println!(
+        "parsed SWF: {} header lines, {} jobs, offered load {:.3}",
+        swf.comments.len(),
+        swf.records.len(),
+        swf.offered_load(320)
+    );
+
+    // Upgrade to CWF: same jobs + a dedicated job + two ECCs.
+    let mut cwf = CwfFile::parse(SWF_FRAGMENT).expect("SWF is valid CWF");
+    cwf.records.push(CwfRecord::submit_dedicated(
+        5, 300, 96, 1200, 1200, 5_000, // rigid start at t=5000
+    ));
+    cwf.records
+        .push(CwfRecord::ecc(3, 3_000, EccKind::ExtendTime, 1_800));
+    cwf.records
+        .push(CwfRecord::ecc(2, 1_000, EccKind::ReduceTime, 600));
+
+    // Round-trip through text (what `escli generate` writes).
+    let text = cwf.to_text();
+    println!("\nCWF text ({} bytes):\n{text}", text.len());
+    let reparsed = CwfFile::parse(&text).expect("round-trip");
+    assert_eq!(reparsed.records, cwf.records);
+
+    // Schedule it.
+    let w = reparsed.to_workload();
+    println!(
+        "workload: {} jobs ({} dedicated), {} ECCs",
+        w.len(),
+        w.dedicated_count(),
+        w.eccs.len()
+    );
+    let m = Experiment::new(Algorithm::HybridLosE)
+        .run(&w)
+        .expect("simulation completes");
+    println!(
+        "\nHybrid-LOS-E: utilization {:.4}, mean wait {:.1}s, slowdown {:.3}, \
+         ECCs applied {}, dedicated on time {}/{}",
+        m.utilization,
+        m.mean_wait,
+        m.slowdown,
+        m.eccs_applied,
+        m.dedicated_on_time,
+        m.dedicated_jobs
+    );
+}
