@@ -6,6 +6,7 @@
 //! repro table3|table4|table5|table6|table7 [--quick]
 //! repro baselines [--quick]              # §II-B related-work disciplines
 //! repro ablation-lookahead|ablation-overestimate|ablation-contiguity [--quick]
+//! repro bench-dp                         # DP-kernel perf → BENCH_dp_kernels.json
 //! ```
 //!
 //! Figures are emitted as text series, CSV, JSON, and SVG plots.
@@ -106,6 +107,19 @@ fn run(target: &str, cfg: &ReproConfig, opts: &Opts) -> Result<(), String> {
         }
         "ablation-lookahead" => emit_figure(&figures::ablation_lookahead(cfg), opts),
         "ablation-overestimate" => emit_figure(&figures::ablation_overestimate(cfg), opts),
+        "bench-dp" => {
+            // Perf-trajectory snapshot: run with `--release`; the JSON
+            // lands next to the manifest so it can be committed.
+            let report = elastisched_bench::dpbench::run();
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            println!("{json}");
+            let path = "BENCH_dp_kernels.json";
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
         "all" => {
             table3();
             emit_figure(&figures::fig1(cfg), opts);
@@ -148,7 +162,7 @@ fn run(target: &str, cfg: &ReproConfig, opts: &Opts) -> Result<(), String> {
         other => {
             return Err(format!(
                 "unknown target {other:?}; try: all, fig1, fig5-fig11, table3-table7, \
-                 ablation-lookahead, ablation-overestimate"
+                 ablation-lookahead, ablation-overestimate, bench-dp"
             ))
         }
     }
@@ -162,7 +176,8 @@ fn main() -> ExitCode {
             "usage: repro <target> [--quick] [--out DIR]\n\
              targets: all, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11,\n\
              \x20        table3, table4, table5, table6, table7,\n\
-             \x20        baselines, ablation-lookahead, ablation-overestimate, ablation-contiguity"
+             \x20        baselines, ablation-lookahead, ablation-overestimate, ablation-contiguity,\n\
+             \x20        bench-dp"
         );
         return ExitCode::from(2);
     }

@@ -1,0 +1,218 @@
+//! The `repro bench-dp` target: a self-contained timing harness for the
+//! DP kernels, emitting `BENCH_dp_kernels.json` so successive PRs can
+//! track the perf trajectory without a criterion run.
+//!
+//! Methodology: each case is timed as ~15 samples of a batched loop
+//! (batch sized so one sample is well above timer resolution); the
+//! reported figure is the **median ns per solve**. The end-to-end case
+//! runs a 500-job Delayed-LOS simulation and reports engine events per
+//! second, counting one arrival + one completion per job plus every ECC
+//! application.
+
+use elastisched::prelude::*;
+use elastisched_sched::dp::{basic_dp_reference, reservation_dp_reference};
+use elastisched_sched::{DpItem, DpSolver};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Median ns/op for one kernel case, bitset vs scalar reference vs the
+/// caching solver's steady-state (hit) path.
+#[derive(Debug, Serialize)]
+pub struct KernelCase {
+    /// Candidate-queue depth (16 = paper scale, 160 = 10×).
+    pub queue_depth: usize,
+    pub reference_ns: f64,
+    pub bitset_ns: f64,
+    pub solver_cached_ns: f64,
+    /// `reference_ns / bitset_ns`.
+    pub speedup: f64,
+}
+
+/// End-to-end simulation throughput.
+#[derive(Debug, Serialize)]
+pub struct EndToEnd {
+    pub algorithm: String,
+    pub jobs: usize,
+    /// Arrivals + completions + ECC applications per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// The whole `BENCH_dp_kernels.json` document.
+#[derive(Debug, Serialize)]
+pub struct BenchReport {
+    /// Machine the kernel cases model (the paper's BlueGene/P slice).
+    pub machine: MachineInfo,
+    pub basic_dp: Vec<KernelCase>,
+    pub reservation_dp: Vec<KernelCase>,
+    pub end_to_end: EndToEnd,
+}
+
+#[derive(Debug, Serialize)]
+pub struct MachineInfo {
+    pub total_procs: u32,
+    pub unit: u32,
+}
+
+const TOTAL: u32 = 320;
+const UNIT: u32 = 32;
+const FREEZE: u32 = 160;
+const SAMPLES: usize = 15;
+
+/// Deterministic job sizes (xorshift, 1–10 units).
+fn sizes(n: usize, seed: u64) -> Vec<u32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (1 + state % 10) as u32 * UNIT
+        })
+        .collect()
+}
+
+fn items(n: usize, seed: u64) -> Vec<DpItem> {
+    sizes(2 * n, seed)
+        .chunks(2)
+        .map(|c| DpItem {
+            num: c[0],
+            extends: c[1] / UNIT % 2 == 0,
+        })
+        .collect()
+}
+
+/// Median ns/op of `f` over [`SAMPLES`] batched samples.
+fn median_ns(mut f: impl FnMut() -> u32) -> f64 {
+    // Calibrate the batch so one sample takes ≳200 µs.
+    let mut batch = 1u64;
+    loop {
+        let t0 = Instant::now();
+        let mut sink = 0u32;
+        for _ in 0..batch {
+            sink = sink.wrapping_add(f());
+        }
+        let ns = t0.elapsed().as_nanos() as u64;
+        std::hint::black_box(sink);
+        if ns >= 200_000 || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            let mut sink = 0u32;
+            for _ in 0..batch {
+                sink = sink.wrapping_add(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64;
+            std::hint::black_box(sink);
+            ns / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn basic_case(depth: usize) -> KernelCase {
+    let s = sizes(depth, depth as u64);
+    let reference_ns = median_ns(|| basic_dp_reference(&s, TOTAL, UNIT).used_now);
+    let bitset_ns = median_ns(|| elastisched_sched::basic_dp(&s, TOTAL, UNIT).used_now);
+    let mut solver = DpSolver::new();
+    solver.timed = false;
+    solver.basic(&s, TOTAL, UNIT);
+    let solver_cached_ns = median_ns(|| solver.basic(&s, TOTAL, UNIT).used_now);
+    KernelCase {
+        queue_depth: depth,
+        reference_ns,
+        bitset_ns,
+        solver_cached_ns,
+        speedup: reference_ns / bitset_ns,
+    }
+}
+
+fn reservation_case(depth: usize) -> KernelCase {
+    let it = items(depth, depth as u64);
+    let reference_ns =
+        median_ns(|| reservation_dp_reference(&it, TOTAL, FREEZE, UNIT).used_now);
+    let bitset_ns =
+        median_ns(|| elastisched_sched::reservation_dp(&it, TOTAL, FREEZE, UNIT).used_now);
+    let mut solver = DpSolver::new();
+    solver.timed = false;
+    solver.reservation(&it, TOTAL, FREEZE, UNIT);
+    let solver_cached_ns = median_ns(|| solver.reservation(&it, TOTAL, FREEZE, UNIT).used_now);
+    KernelCase {
+        queue_depth: depth,
+        reference_ns,
+        bitset_ns,
+        solver_cached_ns,
+        speedup: reference_ns / bitset_ns,
+    }
+}
+
+fn end_to_end() -> EndToEnd {
+    let mut w = generate(&GeneratorConfig::paper_batch(0.5).with_jobs(500).with_seed(1));
+    w.scale_to_load(TOTAL, 0.9);
+    let exp = Experiment::new(Algorithm::DelayedLos);
+    // One warm-up, then time the best of three runs.
+    exp.run(&w).expect("workload valid");
+    let mut best = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = exp.run(&w).expect("workload valid");
+        let secs = t0.elapsed().as_secs_f64();
+        events = 2 * r.jobs as u64 + r.eccs_applied;
+        best = best.min(secs);
+    }
+    EndToEnd {
+        algorithm: "Delayed-LOS".to_string(),
+        jobs: 500,
+        events_per_sec: events as f64 / best,
+    }
+}
+
+/// Run every case and build the report. Depths: 16 (paper scale) and
+/// 160 (10×).
+pub fn run() -> BenchReport {
+    BenchReport {
+        machine: MachineInfo {
+            total_procs: TOTAL,
+            unit: UNIT,
+        },
+        basic_dp: vec![basic_case(16), basic_case(160)],
+        reservation_dp: vec![reservation_case(16), reservation_case(160)],
+        end_to_end: end_to_end(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_deterministic_and_unit_sized() {
+        assert_eq!(sizes(16, 16), sizes(16, 16));
+        assert!(sizes(16, 16).iter().all(|&s| s % UNIT == 0 && s <= TOTAL));
+        assert_eq!(items(160, 160).len(), 160);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = BenchReport {
+            machine: MachineInfo {
+                total_procs: TOTAL,
+                unit: UNIT,
+            },
+            basic_dp: vec![],
+            reservation_dp: vec![],
+            end_to_end: EndToEnd {
+                algorithm: "x".into(),
+                jobs: 0,
+                events_per_sec: 0.0,
+            },
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("total_procs"));
+    }
+}

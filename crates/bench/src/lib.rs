@@ -1,1 +1,3 @@
 //! Benchmark and reproduction harness library (see `src/bin/repro.rs` and `benches/`).
+
+pub mod dpbench;

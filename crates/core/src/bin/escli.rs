@@ -140,6 +140,15 @@ fn print_metrics(m: &RunMetrics) {
         m.mean_dedicated_delay,
         m.eccs_applied
     );
+    if m.dp_cache_hits + m.dp_cache_misses > 0 {
+        println!(
+            "{:<14} dp solves {} ({} cached), dp time {:.3}ms",
+            "",
+            m.dp_cache_hits + m.dp_cache_misses,
+            m.dp_cache_hits,
+            m.dp_nanos as f64 / 1e6
+        );
+    }
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {

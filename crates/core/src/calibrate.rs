@@ -40,8 +40,6 @@ pub fn search_beta_arr(
     seed: u64,
     tolerance: f64,
 ) -> (f64, Workload) {
-    let mut lo = 0.05_f64; // very fast arrivals → very high load
-    let mut hi = 1.5_f64; // very slow arrivals → very low load
     let gen_at = |beta: f64| {
         let cfg = GeneratorConfig {
             seed,
@@ -53,7 +51,42 @@ pub fn search_beta_arr(
     };
     let mut best = (base.arrival.beta_arr, gen_at(base.arrival.beta_arr));
     let mut best_err = (best.1.offered_load(machine.total) - load).abs();
-    for _ in 0..40 {
+
+    // The load(β) curve is only monotone in expectation: each β draws a
+    // fresh arrival sequence, so sampling noise can locally invert it
+    // and strand a pure bisection in the wrong bracket. Scan a coarse
+    // grid first to find the bracket that truly straddles the target,
+    // then bisect inside it.
+    const GRID: usize = 16;
+    let (mut lo, mut hi) = (0.05_f64, 1.5_f64); // fast → high load, slow → low
+    let mut grid_loads = [0.0_f64; GRID + 1];
+    for (i, slot) in grid_loads.iter_mut().enumerate() {
+        let beta = lo + (hi - lo) * i as f64 / GRID as f64;
+        let w = gen_at(beta);
+        let achieved = w.offered_load(machine.total);
+        *slot = achieved;
+        let err = (achieved - load).abs();
+        if err < best_err {
+            best = (beta, w);
+            best_err = err;
+        }
+        if err <= tolerance {
+            return best;
+        }
+    }
+    if let Some(i) = (0..GRID)
+        .filter(|&i| (grid_loads[i] - load) * (grid_loads[i + 1] - load) <= 0.0)
+        .min_by(|&a, &b| {
+            let ea = (grid_loads[a] - load).abs().min((grid_loads[a + 1] - load).abs());
+            let eb = (grid_loads[b] - load).abs().min((grid_loads[b + 1] - load).abs());
+            ea.partial_cmp(&eb).unwrap()
+        })
+    {
+        let step = (hi - lo) / GRID as f64;
+        hi = lo + step * (i + 1) as f64;
+        lo += step * i as f64;
+    }
+    for _ in 0..24 {
         let mid = (lo + hi) / 2.0;
         let w = gen_at(mid);
         let achieved = w.offered_load(machine.total);
@@ -69,6 +102,23 @@ pub fn search_beta_arr(
             lo = mid; // too much load → slow down arrivals
         } else {
             hi = mid;
+        }
+    }
+    // Near the crossing the curve's sampling noise can exceed the
+    // tolerance, leaving bisection stuck just outside it. A dense local
+    // scan around the best-so-far almost surely samples a draw inside.
+    let step = (1.5 - 0.05) / GRID as f64;
+    let center = best.0;
+    for k in 0..48 {
+        if best_err <= tolerance {
+            break;
+        }
+        let beta = (center - step + step * k as f64 / 24.0).clamp(0.05, 1.5);
+        let w = gen_at(beta);
+        let err = (w.offered_load(machine.total) - load).abs();
+        if err < best_err {
+            best = (beta, w);
+            best_err = err;
         }
     }
     best

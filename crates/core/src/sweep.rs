@@ -11,10 +11,21 @@ use std::thread;
 
 /// Number of worker threads to use: the available parallelism, capped by
 /// the number of tasks.
+///
+/// The `ELASTISCHED_THREADS` environment variable overrides the detected
+/// parallelism (clamped to ≥ 1, still capped by the task count), so CI
+/// and benchmark runs are reproducible on shared machines. Unparseable
+/// values are ignored.
 pub fn worker_count(tasks: usize) -> usize {
-    let hw = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    let hw = std::env::var("ELASTISCHED_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
     hw.min(tasks).max(1)
 }
 
@@ -90,6 +101,21 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn env_override_clamps_and_caps() {
+        // Other tests in this binary tolerate any worker count, so
+        // briefly flipping the process-global var is safe.
+        std::env::set_var("ELASTISCHED_THREADS", "3");
+        assert_eq!(worker_count(100), 3);
+        assert_eq!(worker_count(2), 2, "still capped by the task count");
+        std::env::set_var("ELASTISCHED_THREADS", "0");
+        assert_eq!(worker_count(100), 1, "clamped to at least one worker");
+        std::env::set_var("ELASTISCHED_THREADS", "not-a-number");
+        assert!(worker_count(100) >= 1, "junk values fall back to detection");
+        std::env::remove_var("ELASTISCHED_THREADS");
+        assert!(worker_count(100) >= 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use elastisched_sim::SimResult;
 use serde::{Deserialize, Serialize};
 
 /// The paper's metrics for one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// Scheduler name.
     pub scheduler: String,
@@ -41,6 +41,40 @@ pub struct RunMetrics {
     pub makespan: f64,
     /// ECCs applied (running + queued).
     pub eccs_applied: u64,
+    /// DP solves answered from the scheduler's selection cache
+    /// (0 for schedulers without DP kernels).
+    #[serde(default)]
+    pub dp_cache_hits: u64,
+    /// DP solves that actually ran a kernel.
+    #[serde(default)]
+    pub dp_cache_misses: u64,
+    /// Cumulative wall-clock nanoseconds the scheduler spent in DP
+    /// solves.
+    #[serde(default)]
+    pub dp_nanos: u64,
+}
+
+/// Equality ignores `dp_nanos`: it is wall-clock diagnostic timing and
+/// varies between otherwise identical (deterministic) runs. Two metrics
+/// are equal when every simulation-derived quantity matches.
+impl PartialEq for RunMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        self.scheduler == other.scheduler
+            && self.jobs == other.jobs
+            && self.utilization == other.utilization
+            && self.mean_wait == other.mean_wait
+            && self.slowdown == other.slowdown
+            && self.mean_bounded_slowdown == other.mean_bounded_slowdown
+            && self.mean_runtime == other.mean_runtime
+            && self.wait_summary == other.wait_summary
+            && self.mean_dedicated_delay == other.mean_dedicated_delay
+            && self.dedicated_jobs == other.dedicated_jobs
+            && self.dedicated_on_time == other.dedicated_on_time
+            && self.makespan == other.makespan
+            && self.eccs_applied == other.eccs_applied
+            && self.dp_cache_hits == other.dp_cache_hits
+            && self.dp_cache_misses == other.dp_cache_misses
+    }
 }
 
 impl RunMetrics {
@@ -92,6 +126,9 @@ impl RunMetrics {
             dedicated_on_time: on_time,
             makespan: result.makespan.as_secs() as f64,
             eccs_applied: result.ecc.applied(),
+            dp_cache_hits: result.sched_stats.dp_cache_hits,
+            dp_cache_misses: result.sched_stats.dp_cache_misses,
+            dp_nanos: result.sched_stats.dp_nanos,
         }
     }
 }
@@ -100,7 +137,7 @@ impl RunMetrics {
 mod tests {
     use super::*;
     use elastisched_sim::{
-        Duration, EccStats, JobId, JobOutcome, SimResult, SimTime,
+        Duration, EccStats, JobId, JobOutcome, SchedStats, SimResult, SimTime,
     };
 
     fn outcome(id: u64, submit: u64, started: u64, finished: u64, num: u32) -> JobOutcome {
@@ -132,6 +169,7 @@ mod tests {
             makespan,
             ecc: EccStats::default(),
             samples: Vec::new(),
+            sched_stats: SchedStats::default(),
         }
     }
 

@@ -11,11 +11,12 @@
 //! Delayed-LOS wins at low `P_S` and the two converge at high `P_S`.
 
 use crate::delayed_los::{delayed_los_cycle, DEFAULT_MAX_SKIP};
+use crate::dp::DpWork;
 use crate::telemetry::Telemetry;
 use crate::easy::easy_cycle;
 use crate::los::DEFAULT_LOOKAHEAD;
 use crate::queue::BatchQueue;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler};
+use elastisched_sim::{Duration, JobId, JobView, SchedContext, SchedStats, Scheduler};
 use std::collections::VecDeque;
 
 /// Adaptive EASY / Delayed-LOS selection.
@@ -32,6 +33,7 @@ pub struct Adaptive {
     cs: u32,
     lookahead: usize,
     telemetry: Telemetry,
+    work: DpWork,
 }
 
 impl Adaptive {
@@ -46,6 +48,7 @@ impl Adaptive {
             cs: DEFAULT_MAX_SKIP,
             lookahead: DEFAULT_LOOKAHEAD,
             telemetry: Telemetry::default(),
+            work: DpWork::default(),
         }
     }
 
@@ -92,7 +95,9 @@ impl Scheduler for Adaptive {
                 self.cs,
                 self.lookahead,
                 &mut self.telemetry,
+                &mut self.work,
             );
+            self.telemetry.record_dp(self.work.stats());
         }
     }
 
@@ -102,6 +107,10 @@ impl Scheduler for Adaptive {
 
     fn name(&self) -> &'static str {
         "Adaptive"
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.work.stats().into()
     }
 }
 

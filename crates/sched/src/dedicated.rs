@@ -9,11 +9,12 @@
 //! window (`fret_d`, `frec_d`) constrains every start decision — EASY's
 //! backfill checks and LOS's Reservation_DP both respect it.
 
+use crate::dp::DpWork;
 use crate::easy::easy_cycle;
 use crate::freeze::{dedicated_freeze, Freeze};
 use crate::los::{los_cycle, DEFAULT_LOOKAHEAD};
 use crate::queue::{BatchQueue, DedicatedQueue};
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler, SimTime};
+use elastisched_sim::{Duration, JobId, JobView, SchedContext, SchedStats, Scheduler, SimTime};
 
 /// Promote every due dedicated job (requested start ≤ now) to the head of
 /// the batch queue, preserving requested-start order (the earliest due
@@ -51,6 +52,7 @@ macro_rules! dedicated_wrapper {
             batch: BatchQueue,
             dedicated: DedicatedQueue,
             lookahead: usize,
+            work: DpWork,
         }
 
         impl $name {
@@ -60,6 +62,7 @@ macro_rules! dedicated_wrapper {
                     batch: BatchQueue::new(),
                     dedicated: DedicatedQueue::new(),
                     lookahead: DEFAULT_LOOKAHEAD,
+                    work: DpWork::default(),
                 }
             }
         }
@@ -92,7 +95,7 @@ macro_rules! dedicated_wrapper {
                     return;
                 }
                 #[allow(clippy::redundant_closure_call)]
-                ($cycle)(&mut self.batch, ctx, self.lookahead, freeze);
+                ($cycle)(&mut self.batch, ctx, self.lookahead, freeze, &mut self.work);
             }
 
             fn waiting_len(&self) -> usize {
@@ -102,6 +105,10 @@ macro_rules! dedicated_wrapper {
             fn name(&self) -> &'static str {
                 $display
             }
+
+            fn stats(&self) -> SchedStats {
+                self.work.stats().into()
+            }
         }
     };
 }
@@ -109,17 +116,21 @@ macro_rules! dedicated_wrapper {
 dedicated_wrapper!(
     EasyD,
     "EASY-D",
-    |queue: &mut BatchQueue, ctx: &mut dyn SchedContext, _look: usize, fr: Option<Freeze>| {
-        easy_cycle(queue, ctx, fr)
-    }
+    |queue: &mut BatchQueue,
+     ctx: &mut dyn SchedContext,
+     _look: usize,
+     fr: Option<Freeze>,
+     _work: &mut DpWork| { easy_cycle(queue, ctx, fr) }
 );
 
 dedicated_wrapper!(
     LosD,
     "LOS-D",
-    |queue: &mut BatchQueue, ctx: &mut dyn SchedContext, look: usize, fr: Option<Freeze>| {
-        los_cycle(queue, ctx, look, fr)
-    }
+    |queue: &mut BatchQueue,
+     ctx: &mut dyn SchedContext,
+     look: usize,
+     fr: Option<Freeze>,
+     work: &mut DpWork| { los_cycle(queue, ctx, look, fr, work) }
 );
 
 #[cfg(test)]

@@ -13,12 +13,12 @@
 //! * head does not fit → freeze for the head, Reservation_DP over the
 //!   queue (lines 12–20).
 
-use crate::dp::{basic_dp, reservation_dp, DpItem};
+use crate::dp::{DpItem, DpWork};
 use crate::freeze::batch_head_freeze;
 use crate::los::DEFAULT_LOOKAHEAD;
 use crate::queue::BatchQueue;
 use crate::telemetry::Telemetry;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler};
+use elastisched_sim::{Duration, JobId, JobView, SchedContext, SchedStats, Scheduler};
 
 /// Default maximum skip count. The paper's Fig. 5 finds the sweet spot at
 /// `C_s ≈ 7–8` for `P_S = 0.5`.
@@ -33,6 +33,7 @@ pub(crate) fn delayed_los_cycle(
     cs: u32,
     lookahead: usize,
     telemetry: &mut Telemetry,
+    work: &mut DpWork,
 ) {
     let now = ctx.now();
     let mut dp_done = false;
@@ -56,22 +57,20 @@ pub(crate) fn delayed_los_cycle(
         }
         if head_num <= free {
             // Lines 6–11: Basic_DP over the waiting queue.
-            let candidates: Vec<(JobId, u32)> = queue
-                .iter()
-                .filter(|w| w.view.num <= free)
-                .take(lookahead)
-                .map(|w| (w.view.id, w.view.num))
-                .collect();
-            let sizes: Vec<u32> = candidates.iter().map(|&(_, n)| n).collect();
-            let sel = basic_dp(&sizes, free, ctx.unit());
+            work.clear_candidates();
+            for w in queue.iter().filter(|w| w.view.num <= free).take(lookahead) {
+                work.ids.push(w.view.id);
+                work.sizes.push(w.view.num);
+            }
+            let sel = work.solver.basic(&work.sizes, free, ctx.unit());
             telemetry.basic_dp_calls += 1;
-            let head_selected = sel.chosen.iter().any(|&i| candidates[i].0 == head_id);
+            let head_selected = sel.chosen.iter().any(|&i| work.ids[i] == head_id);
             if !head_selected {
                 queue.head_mut().expect("still non-empty").scount += 1;
                 telemetry.head_skips += 1;
             }
             for &i in &sel.chosen {
-                let (id, _) = candidates[i];
+                let id = work.ids[i];
                 ctx.start(id).expect("DP selection fits");
                 queue.remove(id);
                 telemetry.dp_starts += 1;
@@ -83,24 +82,23 @@ pub(crate) fn delayed_los_cycle(
         let Some(freeze) = batch_head_freeze(ctx.running(), now, ctx.total(), head_num) else {
             return; // head larger than the machine; engine validation forbids this
         };
-        let candidates: Vec<(JobId, u32, Duration)> = queue
+        work.clear_candidates();
+        for w in queue
             .iter()
             .skip(1)
             .filter(|w| w.view.num <= free)
             .take(lookahead)
-            .map(|w| (w.view.id, w.view.num, w.view.dur))
-            .collect();
-        let items: Vec<DpItem> = candidates
-            .iter()
-            .map(|&(_, num, dur)| DpItem {
-                num,
-                extends: freeze.extends(now, dur),
-            })
-            .collect();
-        let sel = reservation_dp(&items, free, freeze.frec, ctx.unit());
+        {
+            work.ids.push(w.view.id);
+            work.items.push(DpItem {
+                num: w.view.num,
+                extends: freeze.extends(now, w.view.dur),
+            });
+        }
+        let sel = work.solver.reservation(&work.items, free, freeze.frec, ctx.unit());
         telemetry.reservation_dp_calls += 1;
         for &i in &sel.chosen {
-            let (id, _, _) = candidates[i];
+            let id = work.ids[i];
             ctx.start(id).expect("DP selection fits");
             queue.remove(id);
             telemetry.dp_starts += 1;
@@ -116,6 +114,7 @@ pub struct DelayedLos {
     cs: u32,
     lookahead: usize,
     telemetry: Telemetry,
+    work: DpWork,
 }
 
 impl DelayedLos {
@@ -132,6 +131,7 @@ impl DelayedLos {
             cs,
             lookahead: lookahead.max(1),
             telemetry: Telemetry::default(),
+            work: DpWork::default(),
         }
     }
 
@@ -163,7 +163,15 @@ impl Scheduler for DelayedLos {
 
     fn cycle(&mut self, ctx: &mut dyn SchedContext) {
         self.telemetry.cycles += 1;
-        delayed_los_cycle(&mut self.queue, ctx, self.cs, self.lookahead, &mut self.telemetry);
+        delayed_los_cycle(
+            &mut self.queue,
+            ctx,
+            self.cs,
+            self.lookahead,
+            &mut self.telemetry,
+            &mut self.work,
+        );
+        self.telemetry.record_dp(self.work.stats());
     }
 
     fn waiting_len(&self) -> usize {
@@ -172,6 +180,10 @@ impl Scheduler for DelayedLos {
 
     fn name(&self) -> &'static str {
         "Delayed-LOS"
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.work.stats().into()
     }
 }
 

@@ -18,6 +18,29 @@
 //! tie-breaking unspecified; FIFO preference is the fairness-preserving
 //! choice), and Reservation_DP additionally prefers solutions that
 //! consume the least freeze capacity.
+//!
+//! # Kernel internals
+//!
+//! The reachability tables are stored as packed `u64` bitset rows — one
+//! bit per capacity unit — so the per-item transition is a word-wide
+//! shift-OR (`cur = prev | (prev << w)`) instead of a per-cell inner
+//! loop. Rows live in a [`DpScratch`] arena that callers (the
+//! schedulers) keep across cycles, so a steady-state scheduling cycle
+//! performs no heap allocation in the DP path. [`DpSolver`] adds a small
+//! direct-mapped [`SelectionCache`] keyed by the full problem instance
+//! `(kernel, unit, capacities, sizes, extends)`: queue churn between
+//! events is low, so consecutive cycles frequently re-solve the exact
+//! same instance and hit the cache. The pre-bitset scalar kernels are
+//! retained as differential-testing oracles behind
+//! `#[cfg(any(test, feature = "reference-kernels"))]`.
+//!
+//! Capacities are rounded **down** to whole units (a partial unit cannot
+//! be allocated) while job sizes round **up** (a job needs its full
+//! request even when it straddles a unit boundary); `used_now` therefore
+//! reports *allocated* processors, i.e. chosen units × unit size.
+
+use elastisched_sim::{Duration, JobId};
+use std::time::Instant;
 
 /// One candidate job for Reservation_DP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,20 +58,517 @@ pub struct Selection {
     /// Indices of the chosen items in the caller's candidate slice,
     /// in increasing order.
     pub chosen: Vec<usize>,
-    /// Total processors the chosen jobs use now.
+    /// Total processors the chosen jobs use now (in whole allocation
+    /// units, i.e. chosen units × unit size).
     pub used_now: u32,
 }
 
-fn to_units(procs: u32, unit: u32) -> usize {
+/// Units a job of `procs` processors occupies: partial units round up,
+/// since the job needs its full request.
+fn units_ceil(procs: u32, unit: u32) -> usize {
+    debug_assert!(unit > 0);
+    procs.div_ceil(unit) as usize
+}
+
+/// Units available in a capacity of `procs` processors: partial units
+/// round down, since a fraction of a unit cannot be allocated.
+fn units_floor(procs: u32, unit: u32) -> usize {
     debug_assert!(unit > 0);
     (procs / unit) as usize
 }
 
+// ---------------------------------------------------------------------
+// Bitset primitives. A "row" is a little-endian bitset over capacity
+// units: bit `c` of word `c / 64` says "exactly c units are reachable".
+// ---------------------------------------------------------------------
+
+const WORD_BITS: usize = u64::BITS as usize;
+
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+/// Mask clearing the unused high bits of a row's last word.
+fn last_word_mask(bits: usize) -> u64 {
+    let rem = bits % WORD_BITS;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+fn bit_get(row: &[u64], bit: usize) -> bool {
+    (row[bit / WORD_BITS] >> (bit % WORD_BITS)) & 1 != 0
+}
+
+/// `cur |= prev << shift`, where `cur` and `prev` are equal-length rows.
+fn or_shifted(cur: &mut [u64], prev: &[u64], shift: usize) {
+    let word_off = shift / WORD_BITS;
+    let bit_off = shift % WORD_BITS;
+    if bit_off == 0 {
+        for j in word_off..cur.len() {
+            cur[j] |= prev[j - word_off];
+        }
+    } else {
+        for j in word_off..cur.len() {
+            let lo = prev[j - word_off] << bit_off;
+            let hi = if j > word_off {
+                prev[j - word_off - 1] >> (WORD_BITS - bit_off)
+            } else {
+                0
+            };
+            cur[j] |= lo | hi;
+        }
+    }
+}
+
+/// Index of the highest set bit in `row`, if any.
+fn highest_bit(row: &[u64]) -> Option<usize> {
+    for j in (0..row.len()).rev() {
+        if row[j] != 0 {
+            return Some(j * WORD_BITS + (WORD_BITS - 1) - row[j].leading_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Reusable backing storage for the DP reachability tables.
+///
+/// The buffer only ever grows (to the largest instance seen), so a
+/// scheduler that owns one across cycles performs zero heap allocations
+/// in steady state. No clearing between solves is needed: every solve
+/// fully writes each row it reads.
+#[derive(Debug, Default)]
+pub struct DpScratch {
+    bits: Vec<u64>,
+}
+
+impl DpScratch {
+    /// A view of at least `words` words, growing the buffer if needed.
+    fn ensure(&mut self, words: usize) -> &mut [u64] {
+        if self.bits.len() < words {
+            self.bits.resize(words, 0);
+        }
+        &mut self.bits[..words]
+    }
+}
+
+/// Basic_DP on bitset rows, writing the answer into `out`.
+fn solve_basic(scratch: &mut DpScratch, sizes: &[u32], capacity: u32, unit: u32, out: &mut Selection) {
+    out.chosen.clear();
+    out.used_now = 0;
+    let cap = units_floor(capacity, unit);
+    let n = sizes.len();
+    if n == 0 || cap == 0 {
+        return;
+    }
+    let width = cap + 1;
+    let words = words_for(width);
+    let mask = last_word_mask(width);
+    let bits = scratch.ensure((n + 1) * words);
+    // Row 0: only "0 units used" is reachable.
+    bits[0] = 1;
+    for b in &mut bits[1..words] {
+        *b = 0;
+    }
+    if words == 1 {
+        // Fast path: the whole row fits in one word (cap ≤ 63 units —
+        // e.g. BlueGene/P's 10), so an item transition is pure register
+        // arithmetic.
+        for (i, &size) in sizes.iter().enumerate() {
+            let w = units_ceil(size, unit);
+            let prev = bits[i];
+            bits[i + 1] = if w > 0 && w <= cap {
+                prev | ((prev << w) & mask)
+            } else {
+                prev
+            };
+        }
+    } else {
+        for (i, &size) in sizes.iter().enumerate() {
+            let w = units_ceil(size, unit);
+            let (head, tail) = bits.split_at_mut((i + 1) * words);
+            let prev = &head[i * words..];
+            let cur = &mut tail[..words];
+            cur.copy_from_slice(prev);
+            if w > 0 && w <= cap {
+                or_shifted(cur, prev, w);
+                cur[words - 1] &= mask;
+            }
+        }
+    }
+    let best = highest_bit(&bits[n * words..(n + 1) * words]).unwrap_or(0);
+    out.used_now = (best * unit as usize) as u32;
+    // Reconstruct, excluding later items when possible so that ties
+    // favour earlier-queued jobs.
+    let mut c = best;
+    for i in (0..n).rev() {
+        if bit_get(&bits[i * words..], c) {
+            continue; // exclude item i
+        }
+        let w = units_ceil(sizes[i], unit);
+        debug_assert!(w > 0 && c >= w && bit_get(&bits[i * words..], c - w));
+        out.chosen.push(i);
+        c -= w;
+    }
+    out.chosen.reverse();
+}
+
+/// Reservation_DP on bitset rows, writing the answer into `out`.
+///
+/// The table for prefix `i` is `w2` rows (one per exact freeze usage
+/// `c2`), each a bitset over the now-capacity `c1`.
+fn solve_reservation(
+    scratch: &mut DpScratch,
+    items: &[DpItem],
+    cap_now: u32,
+    cap_freeze: u32,
+    unit: u32,
+    out: &mut Selection,
+) {
+    out.chosen.clear();
+    out.used_now = 0;
+    let c1max = units_floor(cap_now, unit);
+    let c2max = units_floor(cap_freeze, unit);
+    let n = items.len();
+    if n == 0 || c1max == 0 {
+        return;
+    }
+    let width = c1max + 1;
+    let words1 = words_for(width);
+    let mask = last_word_mask(width);
+    let w2 = c2max + 1;
+    let layer = w2 * words1;
+    let bits = scratch.ensure((n + 1) * layer);
+    // Layer 0: only (c1 = 0, c2 = 0) is reachable.
+    bits[0] = 1;
+    for b in &mut bits[1..layer] {
+        *b = 0;
+    }
+    if words1 == 1 {
+        // Fast path (see `solve_basic`): each `c2` row is one word, so a
+        // whole item transition is `w2` register operations.
+        for (i, item) in items.iter().enumerate() {
+            let w = units_ceil(item.num, unit);
+            let f = if item.extends { w } else { 0 };
+            let (head, tail) = bits.split_at_mut((i + 1) * layer);
+            let prev = &head[i * layer..i * layer + layer];
+            let cur = &mut tail[..layer];
+            if w > 0 && w <= c1max && f <= c2max {
+                cur[..f].copy_from_slice(&prev[..f]);
+                for c2 in f..w2 {
+                    cur[c2] = prev[c2] | ((prev[c2 - f] << w) & mask);
+                }
+            } else {
+                cur.copy_from_slice(prev);
+            }
+        }
+    } else {
+        for (i, item) in items.iter().enumerate() {
+            let w = units_ceil(item.num, unit);
+            let f = if item.extends { w } else { 0 };
+            let feasible = w > 0 && w <= c1max && f <= c2max;
+            let (head, tail) = bits.split_at_mut((i + 1) * layer);
+            let prev = &head[i * layer..];
+            let cur = &mut tail[..layer];
+            for c2 in 0..w2 {
+                let cur_row = &mut cur[c2 * words1..(c2 + 1) * words1];
+                cur_row.copy_from_slice(&prev[c2 * words1..(c2 + 1) * words1]);
+                if feasible && c2 >= f {
+                    or_shifted(cur_row, &prev[(c2 - f) * words1..(c2 - f + 1) * words1], w);
+                    cur_row[words1 - 1] &= mask;
+                }
+            }
+        }
+    }
+    // Maximize c1; among those minimize c2 (ascending scan + strict
+    // improvement keeps the lowest freeze usage achieving the maximum).
+    let last = &bits[n * layer..(n + 1) * layer];
+    let (mut best_c1, mut best_c2) = (0usize, 0usize);
+    for c2 in 0..w2 {
+        if let Some(c1) = highest_bit(&last[c2 * words1..(c2 + 1) * words1]) {
+            if c1 > best_c1 {
+                best_c1 = c1;
+                best_c2 = c2;
+            }
+        }
+    }
+    if best_c1 == 0 {
+        return;
+    }
+    out.used_now = (best_c1 * unit as usize) as u32;
+    let (mut c1, mut c2) = (best_c1, best_c2);
+    for i in (0..n).rev() {
+        if bit_get(&bits[i * layer + c2 * words1..], c1) {
+            continue; // exclude item i
+        }
+        let w = units_ceil(items[i].num, unit);
+        let f = if items[i].extends { w } else { 0 };
+        debug_assert!(w > 0 && c1 >= w && c2 >= f);
+        out.chosen.push(i);
+        c1 -= w;
+        c2 -= f;
+    }
+    out.chosen.reverse();
+}
+
+// ---------------------------------------------------------------------
+// The memoizing solver.
+// ---------------------------------------------------------------------
+
+/// Cumulative counters for one [`DpSolver`]'s lifetime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DpStats {
+    /// Solves answered from the [`SelectionCache`].
+    pub cache_hits: u64,
+    /// Solves that ran a kernel (and repopulated a cache slot).
+    pub cache_misses: u64,
+    /// Wall-clock nanoseconds spent inside solver calls (only counted
+    /// when [`DpSolver::timed`] is set).
+    pub nanos: u64,
+}
+
+impl From<DpStats> for elastisched_sim::SchedStats {
+    fn from(s: DpStats) -> Self {
+        elastisched_sim::SchedStats {
+            dp_cache_hits: s.cache_hits,
+            dp_cache_misses: s.cache_misses,
+            dp_nanos: s.nanos,
+        }
+    }
+}
+
+const CACHE_SLOTS: usize = 64;
+
+#[derive(Debug, Default, Clone)]
+struct CacheSlot {
+    key: Vec<u64>,
+    sel: Selection,
+    valid: bool,
+}
+
+/// A direct-mapped memo of recent DP answers.
+///
+/// Keyed by the full problem instance — kernel tag, unit, both
+/// capacities and every item's `(num, extends)` — hashed (FNV-1a) to
+/// pick one of 64 slots; an exact key comparison decides the hit, so a
+/// colliding instance can only evict, never corrupt. Slot buffers are
+/// reused in place (clear + extend), keeping the steady state
+/// allocation-free.
+#[derive(Debug)]
+pub struct SelectionCache {
+    slots: Vec<CacheSlot>,
+}
+
+impl Default for SelectionCache {
+    fn default() -> Self {
+        SelectionCache {
+            slots: vec![CacheSlot::default(); CACHE_SLOTS],
+        }
+    }
+}
+
+fn fingerprint(key: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in key {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const TAG_BASIC: u64 = 1;
+const TAG_RESERVATION: u64 = 2;
+
+/// A reusable DP solver: bitset kernels + scratch arena + selection
+/// cache + counters, owned by a scheduler across cycles.
+///
+/// After warm-up (buffers grown to the largest instance seen) a solve
+/// performs zero heap allocations, hit or miss.
+#[derive(Debug)]
+pub struct DpSolver {
+    scratch: DpScratch,
+    cache: SelectionCache,
+    keybuf: Vec<u64>,
+    /// Result buffer for the cache-disabled path.
+    result: Selection,
+    stats: DpStats,
+    /// Memoize answers in the [`SelectionCache`] (on by default).
+    pub cache_enabled: bool,
+    /// Accumulate [`DpStats::nanos`] via `Instant` (on by default; turn
+    /// off for benchmarks that measure the kernels themselves).
+    pub timed: bool,
+}
+
+impl Default for DpSolver {
+    fn default() -> Self {
+        DpSolver::new()
+    }
+}
+
+impl DpSolver {
+    /// A fresh solver with caching and timing enabled.
+    pub fn new() -> Self {
+        DpSolver {
+            scratch: DpScratch::default(),
+            cache: SelectionCache::default(),
+            keybuf: Vec::new(),
+            result: Selection::default(),
+            stats: DpStats::default(),
+            cache_enabled: true,
+            timed: true,
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> DpStats {
+        self.stats
+    }
+
+    /// **Basic_DP** through the cache: see [`basic_dp`] for semantics.
+    pub fn basic(&mut self, sizes: &[u32], capacity: u32, unit: u32) -> &Selection {
+        let t0 = self.timed.then(Instant::now);
+        if !self.cache_enabled {
+            solve_basic(&mut self.scratch, sizes, capacity, unit, &mut self.result);
+            self.stats.cache_misses += 1;
+            if let Some(t0) = t0 {
+                self.stats.nanos += t0.elapsed().as_nanos() as u64;
+            }
+            return &self.result;
+        }
+        self.keybuf.clear();
+        self.keybuf
+            .extend_from_slice(&[TAG_BASIC, u64::from(unit), u64::from(capacity), 0]);
+        self.keybuf.extend(sizes.iter().map(|&s| u64::from(s) << 1));
+        let idx = (fingerprint(&self.keybuf) % CACHE_SLOTS as u64) as usize;
+        let DpSolver {
+            scratch,
+            cache,
+            keybuf,
+            stats,
+            ..
+        } = self;
+        let slot = &mut cache.slots[idx];
+        if slot.valid && slot.key == *keybuf {
+            stats.cache_hits += 1;
+        } else {
+            solve_basic(scratch, sizes, capacity, unit, &mut slot.sel);
+            slot.key.clear();
+            slot.key.extend_from_slice(keybuf);
+            slot.valid = true;
+            stats.cache_misses += 1;
+        }
+        if let Some(t0) = t0 {
+            self.stats.nanos += t0.elapsed().as_nanos() as u64;
+        }
+        &self.cache.slots[idx].sel
+    }
+
+    /// **Reservation_DP** through the cache: see [`reservation_dp`] for
+    /// semantics.
+    pub fn reservation(
+        &mut self,
+        items: &[DpItem],
+        cap_now: u32,
+        cap_freeze: u32,
+        unit: u32,
+    ) -> &Selection {
+        let t0 = self.timed.then(Instant::now);
+        if !self.cache_enabled {
+            solve_reservation(
+                &mut self.scratch,
+                items,
+                cap_now,
+                cap_freeze,
+                unit,
+                &mut self.result,
+            );
+            self.stats.cache_misses += 1;
+            if let Some(t0) = t0 {
+                self.stats.nanos += t0.elapsed().as_nanos() as u64;
+            }
+            return &self.result;
+        }
+        self.keybuf.clear();
+        self.keybuf.extend_from_slice(&[
+            TAG_RESERVATION,
+            u64::from(unit),
+            u64::from(cap_now),
+            u64::from(cap_freeze),
+        ]);
+        self.keybuf
+            .extend(items.iter().map(|it| u64::from(it.num) << 1 | u64::from(it.extends)));
+        let idx = (fingerprint(&self.keybuf) % CACHE_SLOTS as u64) as usize;
+        let DpSolver {
+            scratch,
+            cache,
+            keybuf,
+            stats,
+            ..
+        } = self;
+        let slot = &mut cache.slots[idx];
+        if slot.valid && slot.key == *keybuf {
+            stats.cache_hits += 1;
+        } else {
+            solve_reservation(scratch, items, cap_now, cap_freeze, unit, &mut slot.sel);
+            slot.key.clear();
+            slot.key.extend_from_slice(keybuf);
+            slot.valid = true;
+            stats.cache_misses += 1;
+        }
+        if let Some(t0) = t0 {
+            self.stats.nanos += t0.elapsed().as_nanos() as u64;
+        }
+        &self.cache.slots[idx].sel
+    }
+}
+
+/// Per-scheduler working set for the DP path: the solver plus the
+/// candidate staging buffers every cycle refills.
+///
+/// Owning these across cycles (instead of collecting fresh `Vec`s) is
+/// what makes a steady-state scheduling cycle allocation-free.
+#[derive(Debug, Default)]
+pub struct DpWork {
+    /// The memoizing bitset solver.
+    pub solver: DpSolver,
+    /// Candidate job ids, parallel to `sizes` / `durs` / `items`.
+    pub ids: Vec<JobId>,
+    /// Candidate processor requests (Basic_DP input).
+    pub sizes: Vec<u32>,
+    /// Candidate durations (for freeze-extension checks).
+    pub durs: Vec<Duration>,
+    /// Candidate items (Reservation_DP input).
+    pub items: Vec<DpItem>,
+}
+
+impl DpWork {
+    /// Empty the candidate staging buffers, retaining their capacity.
+    pub fn clear_candidates(&mut self) {
+        self.ids.clear();
+        self.sizes.clear();
+        self.durs.clear();
+        self.items.clear();
+    }
+
+    /// Counters accumulated by the solver so far.
+    pub fn stats(&self) -> DpStats {
+        self.solver.stats()
+    }
+}
+
 /// **Basic_DP**: choose a subset of `sizes` (processor counts) with total
 /// at most `capacity`, maximizing the total. All sizes and the capacity
-/// are in processors; `unit` is the machine allocation unit.
+/// are in processors; `unit` is the machine allocation unit. Sizes round
+/// up to whole units, the capacity rounds down, and `used_now` reports
+/// allocated processors (chosen units × unit).
 ///
 /// Sizes that are zero or exceed `capacity` are never chosen.
+///
+/// This is the one-shot convenience wrapper; schedulers keep a
+/// [`DpSolver`] (via [`DpWork`]) to reuse scratch memory and memoize
+/// repeated instances.
 ///
 /// ```
 /// use elastisched_sched::basic_dp;
@@ -59,7 +579,61 @@ fn to_units(procs: u32, unit: u32) -> usize {
 /// assert_eq!(sel.chosen, vec![1, 2]);
 /// ```
 pub fn basic_dp(sizes: &[u32], capacity: u32, unit: u32) -> Selection {
-    let cap = to_units(capacity, unit);
+    let mut out = Selection::default();
+    FREE_FN_SCRATCH
+        .with(|s| solve_basic(&mut s.borrow_mut(), sizes, capacity, unit, &mut out));
+    out
+}
+
+thread_local! {
+    /// Arena shared by the one-shot wrappers, so even they only pay for
+    /// the reachability table on their thread's first (or largest) call.
+    static FREE_FN_SCRATCH: std::cell::RefCell<DpScratch> =
+        std::cell::RefCell::new(DpScratch::default());
+}
+
+/// **Reservation_DP**: choose a subset of `items` maximizing processors
+/// used now, subject to
+///
+/// * `Σ num ≤ cap_now` (free processors at the current time), and
+/// * `Σ (extends ? num : 0) ≤ cap_freeze` (freeze end capacity `frec`).
+///
+/// Among maximum-utilization solutions the one using the least freeze
+/// capacity is returned, with ties broken toward earlier-queued jobs.
+///
+/// This is the one-shot convenience wrapper; schedulers keep a
+/// [`DpSolver`] (via [`DpWork`]) to reuse scratch memory and memoize
+/// repeated instances.
+///
+/// ```
+/// use elastisched_sched::{reservation_dp, DpItem};
+/// // Two 64-proc jobs fit now, but only 64 procs remain at the freeze
+/// // end time: only one extending job may start.
+/// let items = [
+///     DpItem { num: 64, extends: true },
+///     DpItem { num: 64, extends: true },
+/// ];
+/// let sel = reservation_dp(&items, 128, 64, 32);
+/// assert_eq!(sel.used_now, 64);
+/// ```
+pub fn reservation_dp(items: &[DpItem], cap_now: u32, cap_freeze: u32, unit: u32) -> Selection {
+    let mut out = Selection::default();
+    FREE_FN_SCRATCH.with(|s| {
+        solve_reservation(&mut s.borrow_mut(), items, cap_now, cap_freeze, unit, &mut out)
+    });
+    out
+}
+
+// ---------------------------------------------------------------------
+// Reference kernels: the original scalar implementations, kept as
+// differential-testing oracles (and for `cargo bench` comparison runs).
+// ---------------------------------------------------------------------
+
+/// The scalar (pre-bitset) Basic_DP, retained as a testing oracle.
+/// Byte-for-byte the same selections as [`basic_dp`], only slower.
+#[cfg(any(test, feature = "reference-kernels"))]
+pub fn basic_dp_reference(sizes: &[u32], capacity: u32, unit: u32) -> Selection {
+    let cap = units_floor(capacity, unit);
     let n = sizes.len();
     if n == 0 || cap == 0 {
         return Selection::default();
@@ -69,7 +643,7 @@ pub fn basic_dp(sizes: &[u32], capacity: u32, unit: u32) -> Selection {
     let mut reach = vec![false; (n + 1) * width];
     reach[0] = true;
     for (i, &size) in sizes.iter().enumerate() {
-        let w = to_units(size, unit);
+        let w = units_ceil(size, unit);
         let (prev, cur) = reach.split_at_mut((i + 1) * width);
         let prev = &prev[i * width..];
         let cur = &mut cur[..width];
@@ -77,17 +651,14 @@ pub fn basic_dp(sizes: &[u32], capacity: u32, unit: u32) -> Selection {
             cur[c] = prev[c] || (w > 0 && c >= w && prev[c - w]);
         }
     }
-    // Best achievable utilization.
     let best = (0..width)
         .rev()
         .find(|&c| reach[n * width + c])
         .unwrap_or(0);
-    // Reconstruct, excluding later items when possible so that ties
-    // favour earlier-queued jobs.
     let mut chosen = Vec::new();
     let mut c = best;
     for i in (0..n).rev() {
-        let w = to_units(sizes[i], unit);
+        let w = units_ceil(sizes[i], unit);
         if reach[i * width + c] {
             continue; // exclude item i
         }
@@ -102,29 +673,17 @@ pub fn basic_dp(sizes: &[u32], capacity: u32, unit: u32) -> Selection {
     }
 }
 
-/// **Reservation_DP**: choose a subset of `items` maximizing processors
-/// used now, subject to
-///
-/// * `Σ num ≤ cap_now` (free processors at the current time), and
-/// * `Σ (extends ? num : 0) ≤ cap_freeze` (freeze end capacity `frec`).
-///
-/// Among maximum-utilization solutions the one using the least freeze
-/// capacity is returned, with ties broken toward earlier-queued jobs.
-///
-/// ```
-/// use elastisched_sched::{reservation_dp, DpItem};
-/// // Two 64-proc jobs fit now, but only 64 procs remain at the freeze
-/// // end time: only one extending job may start.
-/// let items = [
-///     DpItem { num: 64, extends: true },
-///     DpItem { num: 64, extends: true },
-/// ];
-/// let sel = reservation_dp(&items, 128, 64, 32);
-/// assert_eq!(sel.used_now, 64);
-/// ```
-pub fn reservation_dp(items: &[DpItem], cap_now: u32, cap_freeze: u32, unit: u32) -> Selection {
-    let c1max = to_units(cap_now, unit);
-    let c2max = to_units(cap_freeze, unit);
+/// The scalar (pre-bitset) Reservation_DP, retained as a testing oracle.
+/// Byte-for-byte the same selections as [`reservation_dp`], only slower.
+#[cfg(any(test, feature = "reference-kernels"))]
+pub fn reservation_dp_reference(
+    items: &[DpItem],
+    cap_now: u32,
+    cap_freeze: u32,
+    unit: u32,
+) -> Selection {
+    let c1max = units_floor(cap_now, unit);
+    let c2max = units_floor(cap_freeze, unit);
     let n = items.len();
     if n == 0 || c1max == 0 {
         return Selection::default();
@@ -137,7 +696,7 @@ pub fn reservation_dp(items: &[DpItem], cap_now: u32, cap_freeze: u32, unit: u32
     let mut reach = vec![false; (n + 1) * layer];
     reach[0] = true;
     for (i, item) in items.iter().enumerate() {
-        let w = to_units(item.num, unit);
+        let w = units_ceil(item.num, unit);
         let f = if item.extends { w } else { 0 };
         let (prev_all, cur_all) = reach.split_at_mut((i + 1) * layer);
         let prev = &prev_all[i * layer..];
@@ -177,7 +736,7 @@ pub fn reservation_dp(items: &[DpItem], cap_now: u32, cap_freeze: u32, unit: u32
         if reach[i * layer + idx] {
             continue; // exclude item i
         }
-        let w = to_units(items[i].num, unit);
+        let w = units_ceil(items[i].num, unit);
         let f = if items[i].extends { w } else { 0 };
         debug_assert!(w > 0 && c1 >= w && c2 >= f);
         chosen.push(i);
@@ -238,6 +797,34 @@ mod tests {
         // {0,1} and {2} both give 64.
         let sel = basic_dp(&[32, 32, 64], 64, 32);
         assert_eq!(sel.chosen, vec![0, 1]);
+    }
+
+    #[test]
+    fn basic_dp_rounds_job_sizes_up_to_units() {
+        // A 33-proc job needs 2 units (64 procs allocated), so only one
+        // fits in 64 procs. Flooring would wrongly pack both ("1 unit"
+        // each) and oversubscribe the machine by 2 processors.
+        let sel = basic_dp(&[33, 33], 64, 32);
+        assert_eq!(sel.chosen, vec![0]);
+        assert_eq!(sel.used_now, 64);
+        // And a job bigger than the floored capacity is never chosen.
+        let sel = basic_dp(&[300], 319, 32); // capacity floors to 9 units
+        assert!(sel.chosen.is_empty());
+    }
+
+    #[test]
+    fn reservation_dp_rounds_freeze_demand_up_to_units() {
+        // The extender's 33 procs need 2 freeze units; only 1 is free.
+        let items = [DpItem {
+            num: 33,
+            extends: true,
+        }];
+        let sel = reservation_dp(&items, 128, 32, 32);
+        assert!(sel.chosen.is_empty());
+        // With 2 freeze units it fits and occupies 2 now-units.
+        let sel = reservation_dp(&items, 128, 64, 32);
+        assert_eq!(sel.chosen, vec![0]);
+        assert_eq!(sel.used_now, 64);
     }
 
     #[test]
@@ -341,6 +928,25 @@ mod tests {
         assert!(sel.chosen.is_empty());
     }
 
+    #[test]
+    fn wide_instances_cross_word_boundaries() {
+        // 200 capacity units span four u64 words; exercise carries
+        // through every word boundary with unit-1 sizes.
+        let sizes: Vec<u32> = (1..=20).map(|k| k * 7 % 13 + 1).collect();
+        let sel = basic_dp(&sizes, 200, 1);
+        assert_eq!(sel, basic_dp_reference(&sizes, 200, 1));
+        let items: Vec<DpItem> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &num)| DpItem {
+                num,
+                extends: i % 3 == 0,
+            })
+            .collect();
+        let sel = reservation_dp(&items, 200, 70, 1);
+        assert_eq!(sel, reservation_dp_reference(&items, 200, 70, 1));
+    }
+
     /// Exhaustive check against brute force on every subset.
     fn brute_force(items: &[DpItem], cap_now: u32, cap_freeze: u32) -> u32 {
         let n = items.len();
@@ -405,6 +1011,11 @@ mod tests {
                                 .sum();
                             assert_eq!(now, sel.used_now);
                             assert!(now <= cap_now && fr <= cap_freeze);
+                            // The scalar oracle agrees byte for byte.
+                            assert_eq!(
+                                sel,
+                                reservation_dp_reference(&items, cap_now, cap_freeze, 32)
+                            );
                         }
                     }
                 }
@@ -431,10 +1042,101 @@ mod tests {
                                 .collect();
                             let expect = brute_force(&items, cap, u32::MAX);
                             assert_eq!(sel.used_now, expect, "sizes {sizes:?} cap {cap}");
+                            // The scalar oracle agrees byte for byte.
+                            assert_eq!(sel, basic_dp_reference(&sizes, cap, 32));
                         }
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn solver_reuses_scratch_and_agrees_with_free_functions() {
+        let mut solver = DpSolver::new();
+        // Interleave basic and reservation solves of varying size so the
+        // arena is grown, shrunk (logically) and regrown.
+        for round in 0u32..20 {
+            let n = (round % 7 + 1) as usize;
+            let sizes: Vec<u32> = (0..n as u32).map(|i| 32 * (1 + (i + round) % 9)).collect();
+            let cap = 320 - 32 * (round % 5);
+            assert_eq!(*solver.basic(&sizes, cap, 32), basic_dp(&sizes, cap, 32));
+            let items: Vec<DpItem> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &num)| DpItem {
+                    num,
+                    extends: (i as u32 + round) % 2 == 0,
+                })
+                .collect();
+            let frec = 32 * (round % 9);
+            assert_eq!(
+                *solver.reservation(&items, cap, frec, 32),
+                reservation_dp(&items, cap, frec, 32)
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_repeat_instances_and_misses_fresh_ones() {
+        let mut solver = DpSolver::new();
+        let sizes = [224u32, 128, 192];
+        let first = solver.basic(&sizes, 320, 32).clone();
+        assert_eq!(solver.stats().cache_misses, 1);
+        assert_eq!(solver.stats().cache_hits, 0);
+        // Same instance again: a hit, byte-identical answer.
+        let again = solver.basic(&sizes, 320, 32).clone();
+        assert_eq!(first, again);
+        assert_eq!(solver.stats().cache_hits, 1);
+        // A different capacity is a different instance.
+        let _ = solver.basic(&sizes, 288, 32);
+        assert_eq!(solver.stats().cache_misses, 2);
+        // Reservation instances never collide with basic ones, even with
+        // identical numbers.
+        let items: Vec<DpItem> = sizes
+            .iter()
+            .map(|&num| DpItem {
+                num,
+                extends: false,
+            })
+            .collect();
+        let res = solver.reservation(&items, 320, 0, 32).clone();
+        assert_eq!(solver.stats().cache_misses, 3);
+        assert_eq!(res.used_now, first.used_now);
+        // Flipping one extends bit changes the key.
+        let mut items2 = items.clone();
+        items2[0].extends = true;
+        let _ = solver.reservation(&items2, 320, 0, 32);
+        assert_eq!(solver.stats().cache_misses, 4);
+    }
+
+    #[test]
+    fn cache_disabled_solver_still_agrees() {
+        let mut solver = DpSolver::new();
+        solver.cache_enabled = false;
+        solver.timed = false;
+        let sizes = [96u32, 64, 33, 160];
+        for _ in 0..3 {
+            assert_eq!(*solver.basic(&sizes, 320, 32), basic_dp(&sizes, 320, 32));
+        }
+        assert_eq!(solver.stats().cache_hits, 0);
+        assert_eq!(solver.stats().nanos, 0);
+    }
+
+    #[test]
+    fn dp_work_clears_candidates_but_keeps_solver_state() {
+        let mut work = DpWork::default();
+        work.ids.push(JobId(1));
+        work.sizes.push(64);
+        work.durs.push(Duration::from_secs(10));
+        work.items.push(DpItem {
+            num: 64,
+            extends: false,
+        });
+        let _ = work.solver.basic(&[64], 320, 32);
+        work.clear_candidates();
+        assert!(work.ids.is_empty() && work.sizes.is_empty());
+        assert!(work.durs.is_empty() && work.items.is_empty());
+        assert_eq!(work.stats().cache_misses, 1);
     }
 }

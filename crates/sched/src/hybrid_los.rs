@@ -17,11 +17,11 @@
 //!   free capacity would oversubscribe the machine (see DESIGN.md).
 
 use crate::delayed_los::delayed_los_cycle;
-use crate::dp::{reservation_dp, DpItem};
+use crate::dp::{DpItem, DpWork};
 use crate::freeze::dedicated_freeze;
 use crate::queue::{BatchQueue, DedicatedQueue};
 use crate::telemetry::Telemetry;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler};
+use elastisched_sim::{Duration, JobId, JobView, SchedContext, SchedStats, Scheduler};
 
 /// The Hybrid-LOS scheduler (heterogeneous workloads).
 #[derive(Debug)]
@@ -31,6 +31,7 @@ pub struct HybridLos {
     cs: u32,
     lookahead: usize,
     telemetry: Telemetry,
+    work: DpWork,
 }
 
 impl HybridLos {
@@ -50,6 +51,7 @@ impl HybridLos {
             cs,
             lookahead: lookahead.max(1),
             telemetry: Telemetry::default(),
+            work: DpWork::default(),
         }
     }
 
@@ -89,33 +91,36 @@ impl HybridLos {
             return; // dedicated bundle larger than the machine
         };
         let head_id = self.batch.head().expect("batch non-empty").view.id;
-        let candidates: Vec<(JobId, u32, Duration)> = self
+        self.work.clear_candidates();
+        for w in self
             .batch
             .iter()
             .filter(|w| w.view.num <= free)
             .take(self.lookahead)
-            .map(|w| (w.view.id, w.view.num, w.view.dur))
-            .collect();
-        let items: Vec<DpItem> = candidates
-            .iter()
-            .map(|&(_, num, dur)| DpItem {
-                num,
-                extends: freeze.extends(now, dur),
-            })
-            .collect();
-        let sel = reservation_dp(&items, free, freeze.frec, ctx.unit());
+        {
+            self.work.ids.push(w.view.id);
+            self.work.items.push(DpItem {
+                num: w.view.num,
+                extends: freeze.extends(now, w.view.dur),
+            });
+        }
+        let sel = self
+            .work
+            .solver
+            .reservation(&self.work.items, free, freeze.frec, ctx.unit());
         self.telemetry.reservation_dp_calls += 1;
-        let head_selected = sel.chosen.iter().any(|&i| candidates[i].0 == head_id);
+        let head_selected = sel.chosen.iter().any(|&i| self.work.ids[i] == head_id);
         if bump_scount && !head_selected {
             self.batch.head_mut().expect("batch non-empty").scount += 1;
             self.telemetry.head_skips += 1;
         }
         for &i in &sel.chosen {
-            let (id, _, _) = candidates[i];
+            let id = self.work.ids[i];
             ctx.start(id).expect("DP selection fits");
             self.batch.remove(id);
             self.telemetry.dp_starts += 1;
         }
+        self.telemetry.record_dp(self.work.stats());
     }
 }
 
@@ -157,7 +162,9 @@ impl Scheduler for HybridLos {
                         self.cs,
                         self.lookahead,
                         &mut self.telemetry,
+                        &mut self.work,
                     );
+                    self.telemetry.record_dp(self.work.stats());
                     return;
                 }
                 let head = self.batch.head().expect("batch non-empty");
@@ -225,6 +232,10 @@ impl Scheduler for HybridLos {
 
     fn name(&self) -> &'static str {
         "Hybrid-LOS"
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.work.stats().into()
     }
 }
 

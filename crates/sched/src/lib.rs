@@ -38,7 +38,7 @@ pub use adaptive::Adaptive;
 pub use conservative::Conservative;
 pub use dedicated::{EasyD, LosD};
 pub use delayed_los::{DelayedLos, DEFAULT_MAX_SKIP};
-pub use dp::{basic_dp, reservation_dp, DpItem, Selection};
+pub use dp::{basic_dp, reservation_dp, DpItem, DpSolver, DpStats, DpWork, Selection};
 pub use easy::Easy;
 pub use fcfs::Fcfs;
 pub use freeze::{batch_head_freeze, dedicated_freeze, Freeze};

@@ -10,22 +10,24 @@
 //! it: when a dedicated freeze is present it *replaces* the batch-head
 //! shadow, exactly as in Hybrid-LOS's structure.
 
-use crate::dp::{reservation_dp, DpItem};
+use crate::dp::{DpItem, DpWork};
 use crate::easy::{ded_allows, ded_commit};
 use crate::freeze::{batch_head_freeze, Freeze};
 use crate::queue::BatchQueue;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler};
+use elastisched_sim::{Duration, JobId, JobView, SchedContext, SchedStats, Scheduler};
 
 /// Default lookahead window: the LOS paper shows 50 jobs suffice.
 pub const DEFAULT_LOOKAHEAD: usize = 50;
 
 /// One LOS scheduling cycle: start heads eagerly, then a single
-/// Reservation_DP pass against the binding freeze.
+/// Reservation_DP pass against the binding freeze. `work` holds the
+/// scheduler's reusable solver and candidate buffers.
 pub(crate) fn los_cycle(
     queue: &mut BatchQueue,
     ctx: &mut dyn SchedContext,
     lookahead: usize,
     ded: Option<Freeze>,
+    work: &mut DpWork,
 ) {
     let now = ctx.now();
     let mut ded = ded;
@@ -53,23 +55,22 @@ pub(crate) fn los_cycle(
     };
     let skip_head = ded.is_none(); // plain LOS: the head holds the reservation
     let free = ctx.free();
-    let candidates: Vec<(JobId, u32, Duration)> = queue
+    work.clear_candidates();
+    for w in queue
         .iter()
         .skip(usize::from(skip_head))
         .filter(|w| w.view.num <= free)
         .take(lookahead)
-        .map(|w| (w.view.id, w.view.num, w.view.dur))
-        .collect();
-    let items: Vec<DpItem> = candidates
-        .iter()
-        .map(|&(_, num, dur)| DpItem {
-            num,
-            extends: freeze.extends(now, dur),
-        })
-        .collect();
-    let sel = reservation_dp(&items, free, freeze.frec, ctx.unit());
+    {
+        work.ids.push(w.view.id);
+        work.items.push(DpItem {
+            num: w.view.num,
+            extends: freeze.extends(now, w.view.dur),
+        });
+    }
+    let sel = work.solver.reservation(&work.items, free, freeze.frec, ctx.unit());
     for &i in &sel.chosen {
-        let (id, _, _) = candidates[i];
+        let id = work.ids[i];
         ctx.start(id).expect("DP selection fits");
         queue.remove(id);
     }
@@ -80,6 +81,7 @@ pub(crate) fn los_cycle(
 pub struct Los {
     queue: BatchQueue,
     lookahead: usize,
+    work: DpWork,
 }
 
 impl Los {
@@ -93,6 +95,7 @@ impl Los {
         Los {
             queue: BatchQueue::new(),
             lookahead: lookahead.max(1),
+            work: DpWork::default(),
         }
     }
 }
@@ -113,7 +116,7 @@ impl Scheduler for Los {
     }
 
     fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-        los_cycle(&mut self.queue, ctx, self.lookahead, None);
+        los_cycle(&mut self.queue, ctx, self.lookahead, None, &mut self.work);
     }
 
     fn waiting_len(&self) -> usize {
@@ -122,6 +125,10 @@ impl Scheduler for Los {
 
     fn name(&self) -> &'static str {
         "LOS"
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.work.stats().into()
     }
 }
 

@@ -6,6 +6,7 @@
 //! many dedicated promotions happened. Used by tests to pin behavioural
 //! contracts and by analyses of the `C_s` trade-off.
 
+use crate::dp::DpStats;
 use serde::{Deserialize, Serialize};
 
 /// Counters for one scheduler instance's lifetime.
@@ -27,12 +28,30 @@ pub struct Telemetry {
     pub dedicated_promotions: u64,
     /// Scheduling cycles observed.
     pub cycles: u64,
+    /// DP solves answered from the selection cache.
+    #[serde(default)]
+    pub dp_cache_hits: u64,
+    /// DP solves that actually ran a kernel.
+    #[serde(default)]
+    pub dp_cache_misses: u64,
+    /// Cumulative wall-clock nanoseconds spent in the DP solver.
+    #[serde(default)]
+    pub dp_nanos: u64,
 }
 
 impl Telemetry {
     /// Total jobs started through any path.
     pub fn total_starts(&self) -> u64 {
         self.head_force_starts + self.dp_starts
+    }
+
+    /// Mirror the solver's cumulative counters into the telemetry.
+    /// [`DpStats`] is already lifetime-cumulative, so this overwrites
+    /// rather than adds.
+    pub fn record_dp(&mut self, stats: DpStats) {
+        self.dp_cache_hits = stats.cache_hits;
+        self.dp_cache_misses = stats.cache_misses;
+        self.dp_nanos = stats.nanos;
     }
 }
 

@@ -1,6 +1,13 @@
 //! Property-based tests of the DP kernels and the resource profile.
+//!
+//! The differential block at the bottom pits the packed-bitset kernels
+//! (and the caching [`DpSolver`] front-end) against the scalar reference
+//! implementations, which this integration test sees through the
+//! `reference-kernels` feature enabled by the crate's self
+//! dev-dependency.
 
-use elastisched_sched::{basic_dp, reservation_dp, DpItem, ResourceProfile};
+use elastisched_sched::dp::{basic_dp_reference, reservation_dp_reference};
+use elastisched_sched::{basic_dp, reservation_dp, DpItem, DpSolver, ResourceProfile};
 use elastisched_sim::{Duration, SimTime};
 use proptest::prelude::*;
 
@@ -100,6 +107,94 @@ proptest! {
         let a = basic_dp(&sizes, cap, 32);
         let b = basic_dp(&sizes, cap, 1);
         prop_assert_eq!(a.used_now, b.used_now);
+    }
+}
+
+/// Items with *arbitrary* processor counts — deliberately not multiples
+/// of the allocation unit, so unit rounding is exercised too.
+fn arb_ragged_items() -> impl Strategy<Value = Vec<DpItem>> {
+    prop::collection::vec((1u32..=330, prop::bool::ANY), 0..14).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(num, extends)| DpItem { num, extends })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The bitset Basic_DP agrees with the scalar reference byte for
+    /// byte — same `used_now` *and* the same `chosen` vector (the
+    /// tie-breaking contract), on ragged (non-unit-multiple) sizes.
+    #[test]
+    fn bitset_basic_matches_reference(
+        items in arb_ragged_items(),
+        cap in 0u32..=340,
+        unit in (0usize..3).prop_map(|i| [1u32, 8, 32][i]),
+    ) {
+        let sizes: Vec<u32> = items.iter().map(|i| i.num).collect();
+        let fast = basic_dp(&sizes, cap, unit);
+        let slow = basic_dp_reference(&sizes, cap, unit);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// The bitset Reservation_DP agrees with the scalar reference on
+    /// `used_now`, on the freeze capacity actually consumed, and on the
+    /// full `chosen` vector.
+    #[test]
+    fn bitset_reservation_matches_reference(
+        items in arb_ragged_items(),
+        cap in 0u32..=340,
+        freeze in 0u32..=340,
+        unit in (0usize..3).prop_map(|i| [1u32, 8, 32][i]),
+    ) {
+        let fast = reservation_dp(&items, cap, freeze, unit);
+        let slow = reservation_dp_reference(&items, cap, freeze, unit);
+        let freeze_used = |sel: &elastisched_sched::Selection| -> u32 {
+            sel.chosen
+                .iter()
+                .filter(|&&i| items[i].extends)
+                .map(|&i| items[i].num)
+                .sum()
+        };
+        prop_assert_eq!(fast.used_now, slow.used_now);
+        prop_assert_eq!(freeze_used(&fast), freeze_used(&slow));
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// A long-lived `DpSolver` — scratch arena reused, cache active,
+    /// including the cache-*hit* path (every instance solved twice) —
+    /// returns exactly what the references return.
+    #[test]
+    fn solver_with_cache_matches_reference(
+        instances in prop::collection::vec(
+            (arb_ragged_items(), 0u32..=340, 0u32..=340),
+            1..8,
+        ),
+    ) {
+        let mut solver = DpSolver::new();
+        for (items, cap, freeze) in &instances {
+            let sizes: Vec<u32> = items.iter().map(|i| i.num).collect();
+            let first = solver.basic(&sizes, *cap, 32).clone();
+            prop_assert_eq!(&first, &basic_dp_reference(&sizes, *cap, 32));
+            // An immediate re-solve must be a cache hit (nothing has
+            // intervened to evict the slot) and must return the same
+            // answer the reference does.
+            let hits = solver.stats().cache_hits;
+            let again = solver.basic(&sizes, *cap, 32).clone();
+            prop_assert_eq!(solver.stats().cache_hits, hits + 1);
+            prop_assert_eq!(again, first);
+
+            let first = solver.reservation(items, *cap, *freeze, 32).clone();
+            prop_assert_eq!(
+                &first,
+                &reservation_dp_reference(items, *cap, *freeze, 32)
+            );
+            let hits = solver.stats().cache_hits;
+            let again = solver.reservation(items, *cap, *freeze, 32).clone();
+            prop_assert_eq!(solver.stats().cache_hits, hits + 1);
+            prop_assert_eq!(again, first);
+        }
     }
 }
 

@@ -12,7 +12,7 @@ use crate::event::{Event, EventQueue};
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, JobState};
 use crate::machine::Machine;
 use crate::running::{RunningJob, RunningSet};
-use crate::sched_api::{JobView, SchedContext, Scheduler, StartError};
+use crate::sched_api::{JobView, SchedContext, SchedStats, Scheduler, StartError};
 use crate::time::{Duration, SimTime};
 use std::collections::HashMap;
 use std::fmt;
@@ -107,6 +107,8 @@ pub struct SimResult {
     pub ecc: EccStats,
     /// Periodic state samples (empty unless sampling was enabled).
     pub samples: Vec<StateSample>,
+    /// Decision-kernel counters reported by the scheduler.
+    pub sched_stats: SchedStats,
 }
 
 impl SimResult {
@@ -330,6 +332,7 @@ impl<S: Scheduler> Engine<S> {
         let state = self.state;
         Ok(SimResult {
             scheduler: self.scheduler.name(),
+            sched_stats: self.scheduler.stats(),
             outcomes: state.outcomes,
             machine_total: state.machine.total(),
             busy_area: state.machine.busy_area(),

@@ -43,5 +43,5 @@ pub use event::{Event, EventQueue};
 pub use job::{JobClass, JobId, JobOutcome, JobRecord, JobSpec, JobState};
 pub use machine::{Machine, MachineError};
 pub use running::{RunningJob, RunningSet};
-pub use sched_api::{JobView, SchedContext, Scheduler, StartError};
+pub use sched_api::{JobView, SchedContext, SchedStats, Scheduler, StartError};
 pub use time::{Duration, SimTime};

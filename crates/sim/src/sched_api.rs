@@ -77,6 +77,19 @@ impl From<MachineError> for StartError {
     }
 }
 
+/// Performance counters a scheduler may expose about its decision
+/// kernels (the LOS family's DP solver). Schedulers without such
+/// kernels report all-zero stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// DP solves answered from the scheduler's selection cache.
+    pub dp_cache_hits: u64,
+    /// DP solves that actually ran a kernel.
+    pub dp_cache_misses: u64,
+    /// Cumulative wall-clock nanoseconds spent in DP solves.
+    pub dp_nanos: u64,
+}
+
 /// Engine services available to a scheduler during a cycle.
 pub trait SchedContext {
     /// Current simulated time `t`.
@@ -133,6 +146,12 @@ pub trait Scheduler {
 
     /// Short algorithm name (e.g. `"Delayed-LOS"`).
     fn name(&self) -> &'static str;
+
+    /// Decision-kernel performance counters accumulated so far.
+    /// Defaults to all zeros for schedulers without DP kernels.
+    fn stats(&self) -> SchedStats {
+        SchedStats::default()
+    }
 }
 
 /// Mutable references schedule too, letting a caller keep ownership of
@@ -161,6 +180,10 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+
+    fn stats(&self) -> SchedStats {
+        (**self).stats()
+    }
 }
 
 /// Boxed schedulers (e.g. from an algorithm registry) schedule too, so
@@ -188,6 +211,10 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn stats(&self) -> SchedStats {
+        (**self).stats()
     }
 }
 

@@ -28,10 +28,7 @@ impl Histogram {
         let mut counts = vec![0u64; edges.len()];
         for v in values {
             // Last edge ≤ v → last bucket; below first edge → first.
-            let idx = match edges.iter().rposition(|&e| v >= e) {
-                Some(i) => i,
-                None => 0,
-            };
+            let idx = edges.iter().rposition(|&e| v >= e).unwrap_or_default();
             counts[idx] += 1;
         }
         Histogram { edges, counts }

@@ -1,0 +1,289 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range and
+//! tuple strategies, `prop::collection::vec`, `prop::bool::ANY`, and
+//! `prop_map`. Failing cases are reported by panic with the generated
+//! inputs' `Debug` representation; there is **no shrinking** — the
+//! failing case prints as drawn. Case generation is deterministic per
+//! test name, so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (`cases` = iterations per property).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG for one property, seeded from the test's name so
+/// every test draws an independent, reproducible stream.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: std::fmt::Debug;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: std::fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: std::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// Always produce a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with random length in `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generate `Vec`s of `element` values with length drawn from
+        /// `size` (half-open, like upstream's `SizeRange`).
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = if self.size.is_empty() {
+                    self.size.start
+                } else {
+                    rng.gen_range(self.size.clone())
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Uniform `true`/`false`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut StdRng) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs in scope.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Assert inside a property; failure panics with the formatted message
+/// (upstream records and shrinks — this stand-in just fails the test).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running `cases` random draws. Write `#[test]`
+/// explicitly on each property, exactly as with upstream proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __dbg = format!(
+                    concat!("case {} of ", stringify!($name), ":" $(, " ", stringify!($arg), "={:?}")*),
+                    __case $(, &$arg)*
+                );
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(__panic) = __result {
+                    eprintln!("proptest failure: {__dbg}");
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}

@@ -1,0 +1,549 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the derive input token stream (no `syn`/`quote`
+//! available offline) and emits impls of the vendored `serde` crate's
+//! `Serialize`/`Deserialize` traits. Supports exactly the shapes this
+//! workspace uses:
+//!
+//! - named-field structs (with optional `#[serde(transparent)]` and
+//!   per-field `#[serde(default)]`),
+//! - tuple structs (single-field = newtype, forwarded like upstream),
+//! - unit structs,
+//! - enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, matching upstream's default JSON shape).
+//!
+//! Generics are intentionally unsupported and reported as a compile
+//! error, since no derived type in the workspace is generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+        transparent: bool,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Attributes preceding an item/field/variant; returns (serde flags).
+struct Attrs {
+    transparent: bool,
+    default: bool,
+}
+
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> Attrs {
+    let mut attrs = Attrs {
+        transparent: false,
+        default: false,
+    };
+    while *i + 1 < toks.len() {
+        match (&toks[*i], &toks[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(flag) = t {
+                                    match flag.to_string().as_str() {
+                                        "transparent" => attrs.transparent = true,
+                                        "default" => attrs.default = true,
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = take_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct {
+                    name,
+                    fields,
+                    transparent: attrs.transparent,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item::UnitStruct { name })
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream())?,
+                })
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Skip a type (or discriminant) until a top-level comma, tracking
+/// angle-bracket depth so `HashMap<String, f64>` stays one field.
+fn skip_to_field_sep(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => break,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        skip_to_field_sep(&toks, &mut i);
+        i += 1; // past the comma (or end)
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        let _ = take_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_to_field_sep(&toks, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let _ = take_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip optional discriminant and the separating comma.
+        skip_to_field_sep(&toks, &mut i);
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct {
+            name,
+            fields,
+            transparent,
+        } => {
+            let body = if *transparent && fields.len() == 1 {
+                format!(
+                    "::serde::Serialize::to_value(&self.{})",
+                    fields[0].name
+                )
+            } else {
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "__m.push(({:?}.to_string(), \
+                             ::serde::Serialize::to_value(&self.{})));",
+                            f.name, f.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{ let mut __m: Vec<(String, ::serde::Value)> = \
+                     Vec::with_capacity({}); {} ::serde::Value::Map(__m) }}",
+                    fields.len(),
+                    pushes
+                )
+            };
+            impl_ser(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+            };
+            impl_ser(name, &body)
+        }
+        Item::UnitStruct { name } => impl_ser(name, "::serde::Value::Null"),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| ser_variant_arm(name, v))
+                .collect();
+            impl_ser(name, &format!("match self {{ {arms} }}"))
+        }
+    }
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vname}(__f0) => ::serde::Value::Map(vec![\
+             ({vname:?}.to_string(), ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let elems: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Map(vec![\
+                 ({vname:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                binds.join(", "),
+                elems.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binds: Vec<String> =
+                fields.iter().map(|f| f.name.clone()).collect();
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => ::serde::Value::Map(vec![\
+                 ({vname:?}.to_string(), ::serde::Value::Map(vec![{}]))]),",
+                binds.join(", "),
+                pushes.join(", ")
+            )
+        }
+    }
+}
+
+fn impl_ser(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct {
+            name,
+            fields,
+            transparent,
+        } => {
+            let body = if *transparent && fields.len() == 1 {
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0].name
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let missing = if f.default {
+                            "::core::default::Default::default()".to_string()
+                        } else {
+                            format!(
+                                "return Err(::serde::Error::custom(\
+                                 concat!(\"missing field `\", {:?}, \"`\")))",
+                                f.name
+                            )
+                        };
+                        format!(
+                            "{}: match ::serde::find_field(__m, {:?}) {{ \
+                             Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                             None => {missing}, }}",
+                            f.name, f.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __m = __v.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected map for \", \
+                     {name:?})))?; Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            };
+            impl_de(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| {
+                        format!("::serde::Deserialize::from_value(&__s[{i}])?")
+                    })
+                    .collect();
+                format!(
+                    "let __s = __v.as_seq().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected sequence\"))?; \
+                     if __s.len() != {arity} {{ return Err(::serde::Error::custom(\
+                     \"wrong tuple length\")); }} Ok({name}({}))",
+                    elems.join(", ")
+                )
+            };
+            impl_de(name, &body)
+        }
+        Item::UnitStruct { name } => impl_de(name, &format!("Ok({name})")),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .map(|v| de_variant_arm(name, v))
+                .collect();
+            let body = format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))), }}, \
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                 let (__tag, __inner) = &__m[0]; \
+                 match __tag.as_str() {{ {data_arms} \
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))), }} }}, \
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"bad representation for {name}: {{__other:?}}\"))), }}"
+            );
+            impl_de(name, &body)
+        }
+    }
+}
+
+fn de_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants handled separately"),
+        VariantKind::Tuple(1) => format!(
+            "{vname:?} => Ok({enum_name}::{vname}(\
+             ::serde::Deserialize::from_value(__inner)?)),"
+        ),
+        VariantKind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "{vname:?} => {{ let __s = __inner.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected sequence variant\"))?; \
+                 if __s.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong variant arity\")); }} Ok({enum_name}::{vname}({})) }},",
+                elems.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.default {
+                        "::core::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return Err(::serde::Error::custom(\
+                             concat!(\"missing field `\", {:?}, \"`\")))",
+                            f.name
+                        )
+                    };
+                    format!(
+                        "{}: match ::serde::find_field(__m2, {:?}) {{ \
+                         Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                         None => {missing}, }}",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{vname:?} => {{ let __m2 = __inner.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected struct variant map\"))?; \
+                 Ok({enum_name}::{vname} {{ {} }}) }},",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+fn impl_de(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
