@@ -7,6 +7,7 @@
 //! repro baselines [--quick]              # §II-B related-work disciplines
 //! repro ablation-lookahead|ablation-overestimate|ablation-contiguity [--quick]
 //! repro bench-dp                         # DP-kernel perf → BENCH_dp_kernels.json
+//! repro bench-engine [--force]           # event-loop perf → BENCH_engine.json
 //! ```
 //!
 //! Figures are emitted as text series, CSV, JSON, and SVG plots.
@@ -23,6 +24,7 @@ use std::process::ExitCode;
 
 struct Opts {
     quick: bool,
+    force: bool,
     out: PathBuf,
 }
 
@@ -107,6 +109,26 @@ fn run(target: &str, cfg: &ReproConfig, opts: &Opts) -> Result<(), String> {
         }
         "ablation-lookahead" => emit_figure(&figures::ablation_lookahead(cfg), opts),
         "ablation-overestimate" => emit_figure(&figures::ablation_overestimate(cfg), opts),
+        "bench-engine" => {
+            // Event-loop perf snapshot: run with `--release`. The JSON is
+            // a committed trajectory point, so an existing file is only
+            // replaced when --force is passed.
+            let path = "BENCH_engine.json";
+            if std::path::Path::new(path).exists() && !opts.force {
+                return Err(format!(
+                    "{path} already exists (it is a committed perf-trajectory point); \
+                     pass --force to overwrite it"
+                ));
+            }
+            let report = elastisched_bench::enginebench::run();
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            println!("{json}");
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
         "bench-dp" => {
             // Perf-trajectory snapshot: run with `--release`; the JSON
             // lands next to the manifest so it can be committed.
@@ -162,7 +184,7 @@ fn run(target: &str, cfg: &ReproConfig, opts: &Opts) -> Result<(), String> {
         other => {
             return Err(format!(
                 "unknown target {other:?}; try: all, fig1, fig5-fig11, table3-table7, \
-                 ablation-lookahead, ablation-overestimate, bench-dp"
+                 ablation-lookahead, ablation-overestimate, bench-dp, bench-engine"
             ))
         }
     }
@@ -177,12 +199,13 @@ fn main() -> ExitCode {
              targets: all, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11,\n\
              \x20        table3, table4, table5, table6, table7,\n\
              \x20        baselines, ablation-lookahead, ablation-overestimate, ablation-contiguity,\n\
-             \x20        bench-dp"
+             \x20        bench-dp, bench-engine [--force]"
         );
         return ExitCode::from(2);
     }
     let target = args[0].clone();
     let quick = args.iter().any(|a| a == "--quick");
+    let force = args.iter().any(|a| a == "--force");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -194,7 +217,7 @@ fn main() -> ExitCode {
     } else {
         ReproConfig::paper()
     };
-    let opts = Opts { quick, out };
+    let opts = Opts { quick, force, out };
     if opts.quick {
         eprintln!("(quick mode: {} jobs, {} loads)", cfg.n_jobs, cfg.loads.len());
     }

@@ -150,7 +150,12 @@ fn reservation_case(depth: usize) -> KernelCase {
     }
 }
 
-fn end_to_end() -> EndToEnd {
+/// The perf-trajectory headline: a 500-job Delayed-LOS run at 0.9 load,
+/// best of three, reported as engine events per wall-clock second
+/// (arrivals + completions + ECC applications). `bench-engine` reuses
+/// this so `BENCH_engine.json` is directly comparable to the
+/// `end_to_end` entry of `BENCH_dp_kernels.json` across PRs.
+pub fn end_to_end() -> EndToEnd {
     let mut w = generate(&GeneratorConfig::paper_batch(0.5).with_jobs(500).with_seed(1));
     w.scale_to_load(TOTAL, 0.9);
     let exp = Experiment::new(Algorithm::DelayedLos);

@@ -1,0 +1,152 @@
+//! The `repro bench-engine` target: a timing harness for the
+//! discrete-event engine hot path, emitting `BENCH_engine.json` — the
+//! second point of the perf trajectory started by `BENCH_dp_kernels.json`.
+//!
+//! The headline `end_to_end` entry reuses the exact methodology of the
+//! `bench-dp` end-to-end case (500-job Delayed-LOS at 0.9 load, best of
+//! three, events = arrivals + completions + ECC applications), so the
+//! number is directly comparable across PRs. The per-algorithm cases add
+//! the engine-loop counters introduced with the calendar queue: events
+//! dispatched, cycles fired, events coalesced into shared cycles, queue
+//! operations, and peak queue population.
+
+use crate::dpbench::{self, EndToEnd, MachineInfo};
+use elastisched::prelude::*;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One algorithm × workload timing, with engine-loop counters.
+#[derive(Debug, Serialize)]
+pub struct EngineCase {
+    pub algorithm: String,
+    pub workload: String,
+    pub jobs: usize,
+    /// Arrivals + completions + ECC applications per wall-clock second
+    /// (best of three runs) — the trajectory metric.
+    pub events_per_sec: f64,
+    /// Events the engine actually dispatched (includes wakeups).
+    pub engine_events: u64,
+    /// Scheduler cycles fired (one per distinct event timestamp).
+    pub engine_cycles: u64,
+    /// Events that shared a cycle with an earlier same-instant event.
+    pub events_coalesced: u64,
+    /// Event-queue pushes + pops.
+    pub queue_ops: u64,
+    /// Peak event-queue population.
+    pub peak_queue_len: u64,
+}
+
+/// The whole `BENCH_engine.json` document.
+#[derive(Debug, Serialize)]
+pub struct EngineBenchReport {
+    pub machine: MachineInfo,
+    /// Headline, comparable to `BENCH_dp_kernels.json::end_to_end`.
+    pub end_to_end: EndToEnd,
+    pub cases: Vec<EngineCase>,
+}
+
+const JOBS: usize = 500;
+
+fn batch_workload(eccs: bool) -> Workload {
+    let cfg = GeneratorConfig::paper_batch(0.5).with_jobs(JOBS).with_seed(1);
+    let cfg = if eccs { cfg.with_paper_eccs() } else { cfg };
+    let mut w = generate(&cfg);
+    w.scale_to_load(320, 0.9);
+    w
+}
+
+fn heterogeneous_workload() -> Workload {
+    let mut w = generate(
+        &GeneratorConfig::paper_heterogeneous(0.5, 0.5)
+            .with_jobs(JOBS)
+            .with_seed(1),
+    );
+    w.scale_to_load(320, 0.9);
+    w
+}
+
+fn case(algo: Algorithm, workload_name: &str, w: &Workload) -> EngineCase {
+    let exp = Experiment::new(algo);
+    exp.run(w).expect("workload valid"); // warm-up
+    let mut best_secs = f64::INFINITY;
+    let mut m = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = exp.run(w).expect("workload valid");
+        let secs = t0.elapsed().as_secs_f64();
+        if secs < best_secs {
+            best_secs = secs;
+        }
+        m = Some(r);
+    }
+    let m = m.expect("three runs happened");
+    EngineCase {
+        algorithm: algo.name().to_string(),
+        workload: workload_name.to_string(),
+        jobs: m.jobs,
+        events_per_sec: (2 * m.jobs as u64 + m.eccs_applied) as f64 / best_secs,
+        engine_events: m.engine_events,
+        engine_cycles: m.engine_cycles,
+        events_coalesced: m.events_coalesced,
+        queue_ops: m.queue_ops,
+        peak_queue_len: m.peak_queue_len,
+    }
+}
+
+/// Run every case and build the report.
+pub fn run() -> EngineBenchReport {
+    let batch = batch_workload(false);
+    let elastic = batch_workload(true);
+    let hetero = heterogeneous_workload();
+    EngineBenchReport {
+        machine: MachineInfo {
+            total_procs: 320,
+            unit: 32,
+        },
+        end_to_end: dpbench::end_to_end(),
+        cases: vec![
+            case(Algorithm::Fcfs, "batch", &batch),
+            case(Algorithm::Easy, "batch", &batch),
+            case(Algorithm::DelayedLos, "batch", &batch),
+            case(Algorithm::DelayedLosE, "batch+ecc", &elastic),
+            case(Algorithm::HybridLos, "heterogeneous", &hetero),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_with_counters() {
+        let report = EngineBenchReport {
+            machine: MachineInfo {
+                total_procs: 320,
+                unit: 32,
+            },
+            end_to_end: EndToEnd {
+                algorithm: "x".into(),
+                jobs: 0,
+                events_per_sec: 0.0,
+            },
+            cases: vec![],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("end_to_end"));
+        assert!(json.contains("cases"));
+    }
+
+    #[test]
+    fn a_quick_case_reports_traffic() {
+        let mut w = generate(&GeneratorConfig::paper_batch(0.5).with_jobs(40).with_seed(3));
+        w.scale_to_load(320, 0.9);
+        let c = case(Algorithm::Easy, "batch", &w);
+        assert_eq!(c.jobs, 40);
+        assert!(c.engine_events >= 80, "≥ one arrival + completion per job");
+        assert!(c.engine_cycles <= c.engine_events);
+        assert!(c.queue_ops >= 2 * c.engine_events);
+        assert!(c.events_per_sec > 0.0);
+    }
+}
+

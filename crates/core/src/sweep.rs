@@ -17,8 +17,15 @@ use std::thread;
 /// and benchmark runs are reproducible on shared machines. Unparseable
 /// values are ignored.
 pub fn worker_count(tasks: usize) -> usize {
-    let hw = std::env::var("ELASTISCHED_THREADS")
-        .ok()
+    worker_count_with(tasks, std::env::var("ELASTISCHED_THREADS").ok().as_deref())
+}
+
+/// The pure policy behind [`worker_count`]: `override_threads` is the
+/// raw `ELASTISCHED_THREADS` value, if set. Split out so tests can
+/// exercise the clamping/capping rules without mutating process-global
+/// environment (which races against the parallel test harness).
+pub fn worker_count_with(tasks: usize, override_threads: Option<&str>) -> usize {
+    let hw = override_threads
         .and_then(|v| v.trim().parse::<usize>().ok())
         .map(|n| n.max(1))
         .unwrap_or_else(|| {
@@ -105,17 +112,25 @@ mod tests {
 
     #[test]
     fn env_override_clamps_and_caps() {
-        // Other tests in this binary tolerate any worker count, so
-        // briefly flipping the process-global var is safe.
-        std::env::set_var("ELASTISCHED_THREADS", "3");
-        assert_eq!(worker_count(100), 3);
-        assert_eq!(worker_count(2), 2, "still capped by the task count");
-        std::env::set_var("ELASTISCHED_THREADS", "0");
-        assert_eq!(worker_count(100), 1, "clamped to at least one worker");
-        std::env::set_var("ELASTISCHED_THREADS", "not-a-number");
-        assert!(worker_count(100) >= 1, "junk values fall back to detection");
-        std::env::remove_var("ELASTISCHED_THREADS");
-        assert!(worker_count(100) >= 1);
+        // The pure function is tested directly — no process-global env
+        // mutation, which would race against parallel test threads.
+        assert_eq!(worker_count_with(100, Some("3")), 3);
+        assert_eq!(
+            worker_count_with(2, Some("3")),
+            2,
+            "still capped by the task count"
+        );
+        assert_eq!(
+            worker_count_with(100, Some("0")),
+            1,
+            "clamped to at least one worker"
+        );
+        assert_eq!(worker_count_with(100, Some(" 5 ")), 5, "whitespace trimmed");
+        assert!(
+            worker_count_with(100, Some("not-a-number")) >= 1,
+            "junk values fall back to detection"
+        );
+        assert!(worker_count_with(100, None) >= 1);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! End-to-end engine determinism contract.
+//!
+//! The event-loop internals (queue data structure, same-instant
+//! coalescing, snapshot plumbing) must never change *what* a simulation
+//! computes — only how fast. This test pins `RunMetrics` for every
+//! registry scheduler on seeded Lublin workloads against a golden
+//! fixture generated before the engine hot-path overhaul, so any
+//! semantic drift in the engine shows up as a metrics diff.
+//!
+//! `RunMetrics` equality already ignores wall-clock nanosecond fields
+//! and engine-loop diagnostics, so the comparison is bit-exact on every
+//! simulation-derived quantity.
+//!
+//! Regenerate (only when a *deliberate* semantic change is made):
+//!
+//! ```text
+//! ELASTISCHED_REGEN_GOLDEN=1 cargo test -p elastisched --test engine_determinism
+//! ```
+
+use elastisched::Experiment;
+use elastisched_metrics::RunMetrics;
+use elastisched_sched::Algorithm;
+use elastisched_workload::{generate, GeneratorConfig, Workload};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden_engine_metrics.json"
+);
+
+/// Every algorithm the registry can build, in a stable order.
+const ALGORITHMS: [Algorithm; 19] = [
+    Algorithm::Fcfs,
+    Algorithm::Conservative,
+    Algorithm::Easy,
+    Algorithm::EasyD,
+    Algorithm::EasyE,
+    Algorithm::EasyDE,
+    Algorithm::Los,
+    Algorithm::LosD,
+    Algorithm::LosE,
+    Algorithm::LosDE,
+    Algorithm::DelayedLos,
+    Algorithm::HybridLos,
+    Algorithm::DelayedLosE,
+    Algorithm::HybridLosE,
+    Algorithm::Adaptive,
+    Algorithm::Sjf,
+    Algorithm::SjfBf,
+    Algorithm::SmallestFirstBf,
+    Algorithm::LargestFirstBf,
+];
+
+/// A seeded Lublin batch workload with the paper's ECC mix.
+fn batch_workload() -> Workload {
+    generate(
+        &GeneratorConfig::paper_batch(0.5)
+            .with_paper_eccs()
+            .with_jobs(300)
+            .with_seed(42),
+    )
+}
+
+/// A seeded heterogeneous workload (dedicated jobs + ECCs) exercising
+/// the Reservation_DP and dedicated-promotion paths.
+fn heterogeneous_workload() -> Workload {
+    generate(
+        &GeneratorConfig::paper_heterogeneous(0.5, 0.3)
+            .with_paper_eccs()
+            .with_jobs(300)
+            .with_seed(7),
+    )
+}
+
+fn run_all() -> Vec<RunMetrics> {
+    let batch = batch_workload();
+    let hetero = heterogeneous_workload();
+    let mut out = Vec::new();
+    for workload in [&batch, &hetero] {
+        for algo in ALGORITHMS {
+            out.push(Experiment::new(algo).run(workload).expect("run succeeds"));
+        }
+    }
+    out
+}
+
+#[test]
+fn run_metrics_match_pre_overhaul_golden() {
+    let measured = run_all();
+    if std::env::var("ELASTISCHED_REGEN_GOLDEN").is_ok() {
+        let json = serde_json::to_string_pretty(&measured).expect("metrics serialize");
+        std::fs::write(GOLDEN_PATH, format!("{json}\n")).expect("fixture written");
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+    let fixture = std::fs::read_to_string(GOLDEN_PATH).expect("golden fixture present");
+    let golden: Vec<RunMetrics> = serde_json::from_str(&fixture).expect("fixture parses");
+    assert_eq!(golden.len(), measured.len(), "algorithm × workload grid changed");
+    for (g, m) in golden.iter().zip(&measured) {
+        assert_eq!(g, m, "RunMetrics drifted for {}", g.scheduler);
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    // Same seed → same metrics, twice over, for a representative spread
+    // of policies (cheap subset of the full grid).
+    let w = heterogeneous_workload();
+    for algo in [Algorithm::Easy, Algorithm::DelayedLosE, Algorithm::HybridLos] {
+        let a = Experiment::new(algo).run(&w).expect("run succeeds");
+        let b = Experiment::new(algo).run(&w).expect("run succeeds");
+        assert_eq!(a, b, "{algo:?} not deterministic");
+    }
+}

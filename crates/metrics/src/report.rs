@@ -52,11 +52,34 @@ pub struct RunMetrics {
     /// solves.
     #[serde(default)]
     pub dp_nanos: u64,
+    /// Events the engine dispatched over the run.
+    #[serde(default)]
+    pub engine_events: u64,
+    /// Scheduler cycles the engine fired (one per distinct timestamp).
+    #[serde(default)]
+    pub engine_cycles: u64,
+    /// Events coalesced into a cycle shared with an earlier same-instant
+    /// event (scheduler invocations saved).
+    #[serde(default)]
+    pub events_coalesced: u64,
+    /// Event-queue pushes + pops.
+    #[serde(default)]
+    pub queue_ops: u64,
+    /// Peak event-queue population.
+    #[serde(default)]
+    pub peak_queue_len: u64,
+    /// Wall-clock nanoseconds spent in the engine's event loop.
+    #[serde(default)]
+    pub engine_nanos: u64,
 }
 
-/// Equality ignores `dp_nanos`: it is wall-clock diagnostic timing and
-/// varies between otherwise identical (deterministic) runs. Two metrics
-/// are equal when every simulation-derived quantity matches.
+/// Equality ignores `dp_nanos`, `engine_nanos`, and the engine-loop
+/// diagnostic counters: the nanos fields are wall-clock timing that
+/// varies between otherwise identical (deterministic) runs, and the
+/// loop counters describe *how* the engine processed events, not what
+/// the simulation computed — fixtures recorded before an event-loop
+/// change must still compare equal. Two metrics are equal when every
+/// simulation-derived quantity matches.
 impl PartialEq for RunMetrics {
     fn eq(&self, other: &Self) -> bool {
         self.scheduler == other.scheduler
@@ -80,55 +103,64 @@ impl PartialEq for RunMetrics {
 impl RunMetrics {
     /// Derive the metrics from a completed simulation.
     pub fn from_result(result: &SimResult) -> RunMetrics {
-        let waits: Vec<f64> = result
-            .outcomes
-            .iter()
-            .map(|o| o.wait.as_secs_f64())
-            .collect();
-        let runtimes: Vec<f64> = result
-            .outcomes
-            .iter()
-            .map(|o| o.runtime.as_secs_f64())
-            .collect();
-        let mean_wait = crate::stats::mean(&waits);
-        let mean_runtime = crate::stats::mean(&runtimes);
+        // One pass over the outcomes: only the wait series is
+        // materialized (the summary needs the whole distribution); every
+        // mean is reduced in place, in the same left-to-right order the
+        // collected-vector version used, so the numbers are bit-identical.
+        let n = result.outcomes.len();
+        let mut waits: Vec<f64> = Vec::with_capacity(n);
+        let mut wait_sum = 0.0f64;
+        let mut runtime_sum = 0.0f64;
+        let mut bounded_sum = 0.0f64;
+        let mut ded_count = 0usize;
+        let mut ded_wait_sum = 0.0f64;
+        let mut on_time = 0usize;
+        for o in &result.outcomes {
+            let wait = o.wait.as_secs_f64();
+            let runtime = o.runtime.as_secs_f64();
+            waits.push(wait);
+            wait_sum += wait;
+            runtime_sum += runtime;
+            bounded_sum += ((wait + runtime) / runtime.max(10.0)).max(1.0);
+            if o.requested_start.is_some() {
+                ded_count += 1;
+                ded_wait_sum += wait;
+                if o.wait.as_secs() == 0 {
+                    on_time += 1;
+                }
+            }
+        }
+        let mean_of = |sum: f64, count: usize| if count == 0 { 0.0 } else { sum / count as f64 };
+        let mean_wait = mean_of(wait_sum, n);
+        let mean_runtime = mean_of(runtime_sum, n);
         let slowdown = if mean_runtime > 0.0 {
             (mean_wait + mean_runtime) / mean_runtime
         } else {
             1.0
         };
-        let bounded: Vec<f64> = result
-            .outcomes
-            .iter()
-            .map(|o| {
-                let run = o.runtime.as_secs_f64().max(10.0);
-                ((o.wait.as_secs_f64() + o.runtime.as_secs_f64()) / run).max(1.0)
-            })
-            .collect();
-        let dedicated: Vec<&elastisched_sim::JobOutcome> = result
-            .outcomes
-            .iter()
-            .filter(|o| o.requested_start.is_some())
-            .collect();
-        let ded_delays: Vec<f64> = dedicated.iter().map(|o| o.wait.as_secs_f64()).collect();
-        let on_time = dedicated.iter().filter(|o| o.wait.as_secs() == 0).count();
         RunMetrics {
             scheduler: result.scheduler.to_string(),
             jobs: result.outcomes.len(),
             utilization: result.mean_utilization(),
             mean_wait,
             slowdown,
-            mean_bounded_slowdown: crate::stats::mean(&bounded),
+            mean_bounded_slowdown: mean_of(bounded_sum, n),
             mean_runtime,
             wait_summary: Summary::of(&waits),
-            mean_dedicated_delay: crate::stats::mean(&ded_delays),
-            dedicated_jobs: dedicated.len(),
+            mean_dedicated_delay: mean_of(ded_wait_sum, ded_count),
+            dedicated_jobs: ded_count,
             dedicated_on_time: on_time,
             makespan: result.makespan.as_secs() as f64,
             eccs_applied: result.ecc.applied(),
             dp_cache_hits: result.sched_stats.dp_cache_hits,
             dp_cache_misses: result.sched_stats.dp_cache_misses,
             dp_nanos: result.sched_stats.dp_nanos,
+            engine_events: result.engine.events,
+            engine_cycles: result.engine.cycles,
+            events_coalesced: result.engine.events_coalesced,
+            queue_ops: result.engine.queue_ops,
+            peak_queue_len: result.engine.peak_queue_len,
+            engine_nanos: result.engine.engine_nanos,
         }
     }
 }
@@ -170,6 +202,7 @@ mod tests {
             ecc: EccStats::default(),
             samples: Vec::new(),
             sched_stats: SchedStats::default(),
+            engine: elastisched_sim::EngineStats::default(),
         }
     }
 

@@ -30,6 +30,11 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in metric series"));
+    quantile_of_sorted(&sorted, q)
+}
+
+/// [`quantile`] over data the caller has already sorted ascending.
+fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -80,14 +85,20 @@ impl Summary {
                 max: 0.0,
             };
         }
+        // Moments read the series in its given order (so they are
+        // bit-identical to a direct mean/std_dev call); the order
+        // statistics share one sorted copy instead of re-sorting per
+        // quantile.
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in metric series"));
         Summary {
             n: xs.len(),
             mean: mean(xs),
             std_dev: std_dev(xs),
-            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
-            median: median(xs),
-            p95: quantile(xs, 0.95),
-            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            min: sorted[0],
+            median: quantile_of_sorted(&sorted, 0.5),
+            p95: quantile_of_sorted(&sorted, 0.95),
+            max: sorted[sorted.len() - 1],
         }
     }
 }

@@ -8,18 +8,31 @@
 
 use crate::profile::ResourceProfile;
 use crate::queue::BatchQueue;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler};
+use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler, SimTime};
 
 /// Conservative backfilling scheduler.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Conservative {
     queue: BatchQueue,
+    /// Per-cycle scratch, reused so steady-state cycles don't allocate.
+    profile: ResourceProfile,
+    start_now: Vec<JobId>,
 }
 
 impl Conservative {
     /// A new, empty conservative scheduler.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+impl Default for Conservative {
+    fn default() -> Self {
+        Conservative {
+            queue: BatchQueue::new(),
+            profile: ResourceProfile::idle(SimTime::ZERO, 0),
+            start_now: Vec::new(),
+        }
     }
 }
 
@@ -34,23 +47,24 @@ impl Scheduler for Conservative {
 
     fn cycle(&mut self, ctx: &mut dyn SchedContext) {
         let now = ctx.now();
-        let mut profile = ResourceProfile::from_running(ctx.running(), now, ctx.total());
-        let mut start_now: Vec<JobId> = Vec::new();
+        self.profile
+            .reset_from_running(ctx.running(), now, ctx.total());
+        self.start_now.clear();
         for w in self.queue.iter() {
             // Reserve at least one second so zero-duration jobs still
             // occupy a decision slot.
             let dur = w.view.dur.max(Duration::from_secs(1));
-            let Some(at) = profile.earliest_start(now, w.view.num, dur) else {
+            let Some(at) = self.profile.earliest_start(now, w.view.num, dur) else {
                 continue; // larger than the machine; engine validation forbids this
             };
-            profile
+            self.profile
                 .try_reserve(at, dur, w.view.num)
                 .expect("earliest_start guarantees feasibility");
             if at == now {
-                start_now.push(w.view.id);
+                self.start_now.push(w.view.id);
             }
         }
-        for id in start_now {
+        for &id in &self.start_now {
             ctx.start(id).expect("profile guarantees fit");
             self.queue.remove(id);
         }

@@ -36,9 +36,13 @@ pub(crate) fn delayed_los_cycle(
     work: &mut DpWork,
 ) {
     let now = ctx.now();
+    let unit = ctx.unit();
     let mut dp_done = false;
+    // `free` is maintained locally: every start removes exactly the
+    // started job's `num` from the machine's free pool, so one context
+    // read up front replaces a virtual call per loop iteration.
+    let mut free = ctx.free();
     loop {
-        let free = ctx.free();
         if free == 0 || queue.is_empty() {
             return;
         }
@@ -48,6 +52,7 @@ pub(crate) fn delayed_los_cycle(
         // Lines 3–5: skip budget exhausted and the head fits → start it.
         if head_num <= free && head_scount >= cs {
             ctx.start(head_id).expect("head fit was checked");
+            free -= head_num;
             queue.pop_head();
             telemetry.head_force_starts += 1;
             continue;
@@ -62,7 +67,7 @@ pub(crate) fn delayed_los_cycle(
                 work.ids.push(w.view.id);
                 work.sizes.push(w.view.num);
             }
-            let sel = work.solver.basic(&work.sizes, free, ctx.unit());
+            let sel = work.solver.basic(&work.sizes, free, unit);
             telemetry.basic_dp_calls += 1;
             let head_selected = sel.chosen.iter().any(|&i| work.ids[i] == head_id);
             if !head_selected {
@@ -72,6 +77,7 @@ pub(crate) fn delayed_los_cycle(
             for &i in &sel.chosen {
                 let id = work.ids[i];
                 ctx.start(id).expect("DP selection fits");
+                free -= work.sizes[i];
                 queue.remove(id);
                 telemetry.dp_starts += 1;
             }
@@ -95,11 +101,12 @@ pub(crate) fn delayed_los_cycle(
                 extends: freeze.extends(now, w.view.dur),
             });
         }
-        let sel = work.solver.reservation(&work.items, free, freeze.frec, ctx.unit());
+        let sel = work.solver.reservation(&work.items, free, freeze.frec, unit);
         telemetry.reservation_dp_calls += 1;
         for &i in &sel.chosen {
             let id = work.ids[i];
             ctx.start(id).expect("DP selection fits");
+            free -= work.items[i].num;
             queue.remove(id);
             telemetry.dp_starts += 1;
         }

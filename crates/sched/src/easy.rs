@@ -63,25 +63,22 @@ pub(crate) fn easy_cycle(
         return; // head larger than the machine; engine validation forbids this
     };
     let mut extra = shadow.frec;
-    // Phase 3: aggressive backfill in FIFO order.
-    let candidates: Vec<(JobId, u32, Duration)> = queue
-        .iter()
-        .skip(1)
-        .map(|w| (w.view.id, w.view.num, w.view.dur))
-        .collect();
-    for (id, num, dur) in candidates {
-        if num > ctx.free() {
-            continue;
-        }
+    // Phase 3: aggressive backfill in FIFO order. A cursor walk starts
+    // jobs in place — removal at the cursor keeps FIFO order and avoids
+    // collecting candidates into a per-cycle vector.
+    let mut i = 1;
+    while let Some(w) = queue.get(i) {
+        let (id, num, dur) = (w.view.id, w.view.num, w.view.dur);
         let delays_head = shadow.extends(now, dur);
-        if delays_head && num > extra {
-            continue;
-        }
-        if !ded_allows(&ded, now, num, dur) {
+        let can_start = num <= ctx.free()
+            && (!delays_head || num <= extra)
+            && ded_allows(&ded, now, num, dur);
+        if !can_start {
+            i += 1;
             continue;
         }
         ctx.start(id).expect("backfill fit was checked");
-        queue.remove(id);
+        queue.remove_at(i);
         if delays_head {
             extra -= num;
         }

@@ -3,14 +3,17 @@
 //! The simplest baseline (paper §II-B): jobs start strictly in arrival
 //! order; a blocked head blocks everything behind it. Useful as a lower
 //! bound in experiments and as an engine-exercising reference policy.
+//!
+//! FCFS needs no queue of its own: it reads the engine's arrival-ordered
+//! wait snapshot ([`SchedContext::waiting_jobs`]) directly, which already
+//! has queued ECCs folded in — the scheduler keeps only a count.
 
-use crate::queue::BatchQueue;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler};
+use elastisched_sim::{JobView, SchedContext, Scheduler};
 
 /// Strict FCFS scheduler.
 #[derive(Debug, Default)]
 pub struct Fcfs {
-    queue: BatchQueue,
+    waiting: usize,
 }
 
 impl Fcfs {
@@ -21,27 +24,24 @@ impl Fcfs {
 }
 
 impl Scheduler for Fcfs {
-    fn on_arrival(&mut self, job: JobView) {
-        self.queue.push_back(job);
-    }
-
-    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
-        self.queue.apply_ecc(id, num, dur);
+    fn on_arrival(&mut self, _job: JobView) {
+        self.waiting += 1;
     }
 
     fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-        while let Some(h) = self.queue.head() {
-            if h.view.num <= ctx.free() {
-                ctx.start(h.view.id).expect("fit was checked");
-                self.queue.pop_head();
-            } else {
+        // Re-borrow after every start: starting the head invalidates the
+        // snapshot slice.
+        while let Some(&head) = ctx.waiting_jobs().first() {
+            if head.num > ctx.free() {
                 break;
             }
+            ctx.start(head.id).expect("fit was checked");
+            self.waiting -= 1;
         }
     }
 
     fn waiting_len(&self) -> usize {
-        self.queue.len()
+        self.waiting
     }
 
     fn name(&self) -> &'static str {

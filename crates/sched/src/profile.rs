@@ -59,15 +59,33 @@ impl ResourceProfile {
     /// finish time (a job finishing at `f` frees its processors at `f`).
     pub fn from_running(running: &RunningSet, now: SimTime, total: u32) -> Self {
         let mut profile = ResourceProfile::idle(now, total);
+        profile.reset_from_running(running, now, total);
+        profile
+    }
+
+    /// Reset in place to an idle machine at `now`, keeping the segment
+    /// buffers allocated.
+    pub fn reset_idle(&mut self, now: SimTime, total: u32) {
+        self.times.clear();
+        self.free.clear();
+        self.times.push(now);
+        self.free.push(total);
+        self.total = total;
+    }
+
+    /// Rebuild in place from the running set (see
+    /// [`ResourceProfile::from_running`]), reusing the segment buffers so
+    /// per-cycle rebuilds stop allocating once they reach their
+    /// steady-state size.
+    pub fn reset_from_running(&mut self, running: &RunningSet, now: SimTime, total: u32) {
+        self.reset_idle(now, total);
         for job in running.iter() {
             // The job occupies capacity from `now` until its finish.
             if job.finish > now {
-                profile
-                    .try_reserve(now, job.finish - now, job.num)
+                self.try_reserve(now, job.finish - now, job.num)
                     .expect("running set exceeds machine capacity");
             }
         }
-        profile
     }
 
     /// Total machine capacity.

@@ -96,6 +96,19 @@ impl BatchQueue {
         self.jobs.iter()
     }
 
+    /// The job at position `i` (0 = head), if any. With [`Self::remove_at`]
+    /// this supports cursor-style queue walks that start jobs in place
+    /// without first collecting candidates into a scratch vector.
+    pub fn get(&self, i: usize) -> Option<&WaitingJob> {
+        self.jobs.get(i)
+    }
+
+    /// Remove and return the job at position `i`, preserving FIFO order
+    /// of the rest.
+    pub fn remove_at(&mut self, i: usize) -> Option<WaitingJob> {
+        self.jobs.remove(i)
+    }
+
     /// Remove one job by id; returns it if present.
     pub fn remove(&mut self, id: JobId) -> Option<WaitingJob> {
         let pos = self.jobs.iter().position(|j| j.view.id == id)?;

@@ -61,7 +61,7 @@ impl fmt::Display for EccKind {
 }
 
 /// One Elastic Control Command in a workload.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EccSpec {
     /// The job this command targets (same ID as a previous `S` record).
     pub job: JobId,

@@ -16,6 +16,39 @@ use crate::sched_api::{JobView, SchedContext, SchedStats, Scheduler, StartError}
 use crate::time::{Duration, SimTime};
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Deterministic multiplicative hasher for [`JobId`] keys.
+///
+/// The id → record map sits on the per-event hot path (arrivals, starts,
+/// completions all go through it); SipHash costs more than the rest of
+/// the lookup for a u64 key. A Fibonacci multiply spreads sequential ids
+/// across the table and is seed-free, so runs are reproducible.
+#[derive(Default)]
+struct JobIdHasher(u64);
+
+impl Hasher for JobIdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 key fragments (none in practice).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let h = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // Fold the strong high bits into the low bits the table indexes by.
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type JobIdMap = HashMap<JobId, usize, BuildHasherDefault<JobIdHasher>>;
 
 /// Simulation-level failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +105,28 @@ impl EccStats {
     }
 }
 
+/// Event-loop performance counters: how much traffic the engine moved
+/// and how much work same-instant cycle coalescing saved. Purely
+/// diagnostic — none of these affect simulation semantics, and
+/// `RunMetrics` equality ignores them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events dispatched over the whole run.
+    pub events: u64,
+    /// Scheduler cycles fired (one per distinct event timestamp).
+    pub cycles: u64,
+    /// Events that shared a cycle with an earlier event at the same
+    /// instant — i.e. scheduler invocations saved versus a naive
+    /// one-cycle-per-event loop.
+    pub events_coalesced: u64,
+    /// Total event-queue operations (pushes + pops).
+    pub queue_ops: u64,
+    /// Largest number of simultaneously pending events observed.
+    pub peak_queue_len: u64,
+    /// Wall-clock nanoseconds spent inside [`Engine::run`].
+    pub engine_nanos: u64,
+}
+
 /// A periodic snapshot of system state (sampling must be enabled on the
 /// engine via [`Engine::enable_sampling`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +164,8 @@ pub struct SimResult {
     pub samples: Vec<StateSample>,
     /// Decision-kernel counters reported by the scheduler.
     pub sched_stats: SchedStats,
+    /// Event-loop counters (traffic, coalescing, wall-clock).
+    pub engine: EngineStats,
 }
 
 impl SimResult {
@@ -136,12 +193,22 @@ struct EngineState {
     machine: Machine,
     running: RunningSet,
     records: Vec<JobRecord>,
-    id_map: HashMap<JobId, usize>,
+    id_map: JobIdMap,
     queue: EventQueue,
     outcomes: Vec<JobOutcome>,
     ecc_policy: EccPolicy,
     ecc_stats: EccStats,
     makespan: SimTime,
+    /// Incremental arrival-ordered snapshot of waiting jobs, lent to
+    /// schedulers via [`SchedContext::waiting_jobs`] as
+    /// `wait_views[wait_head..]`. Arrivals append; a start of the snapshot
+    /// head just advances the cursor (O(1), the common FIFO case); a start
+    /// from the middle bumps `wait_stale` and the next borrow compacts in
+    /// one pass. Queued ECCs edit their view in place, so a clean snapshot
+    /// is never rebuilt.
+    wait_views: Vec<JobView>,
+    wait_head: usize,
+    wait_stale: usize,
 }
 
 impl EngineState {
@@ -153,6 +220,24 @@ impl EngineState {
         match self.id_map.get(&id) {
             Some(&i) => Some(&mut self.records[i]),
             None => None,
+        }
+    }
+
+    /// Bring the waiting-jobs snapshot back to exactness. Head starts
+    /// were already absorbed by the cursor; only an out-of-order start
+    /// (`wait_stale`) forces a compaction pass, and a long dead prefix is
+    /// reclaimed so the buffer does not grow without bound.
+    fn sync_wait_views(&mut self) {
+        if self.wait_stale > 0 {
+            let records = &self.records;
+            let id_map = &self.id_map;
+            self.wait_views
+                .retain(|v| records[id_map[&v.id]].state == JobState::Waiting);
+            self.wait_head = 0;
+            self.wait_stale = 0;
+        } else if self.wait_head > 32 && self.wait_head * 2 > self.wait_views.len() {
+            self.wait_views.drain(..self.wait_head);
+            self.wait_head = 0;
         }
     }
 }
@@ -180,7 +265,8 @@ impl SchedContext for EngineState {
 
     fn start(&mut self, id: JobId) -> Result<(), StartError> {
         let now = self.now;
-        let rec = self.record_mut(id).ok_or(StartError::UnknownJob(id))?;
+        let &idx = self.id_map.get(&id).ok_or(StartError::UnknownJob(id))?;
+        let rec = &self.records[idx];
         if rec.state != JobState::Waiting {
             return Err(StartError::NotWaiting(id));
         }
@@ -191,8 +277,7 @@ impl SchedContext for EngineState {
         // Allocate before mutating state so a machine refusal leaves the
         // job safely in the queue.
         self.machine.allocate(alloc, now)?;
-        let rec = self.record_mut(id).expect("record vanished");
-        rec.state = JobState::Running {
+        self.records[idx].state = JobState::Running {
             started: now,
             finish: kill_by,
         };
@@ -202,7 +287,20 @@ impl SchedContext for EngineState {
             finish: kill_by,
         });
         self.queue.push(completes, Event::Completion { job: id, epoch });
+        // Snapshot upkeep: starting the snapshot head (the FIFO-discipline
+        // common case) is a cursor bump; anything else defers to a
+        // compaction at the next borrow.
+        if self.wait_views.get(self.wait_head).is_some_and(|v| v.id == id) {
+            self.wait_head += 1;
+        } else {
+            self.wait_stale += 1;
+        }
         Ok(())
+    }
+
+    fn waiting_jobs(&mut self) -> &[JobView] {
+        self.sync_wait_views();
+        &self.wait_views[self.wait_head..]
     }
 
     fn waiting_dur(&self, id: JobId) -> Option<Duration> {
@@ -240,12 +338,15 @@ impl<S: Scheduler> Engine<S> {
                 machine,
                 running: RunningSet::new(),
                 records: Vec::new(),
-                id_map: HashMap::new(),
+                id_map: JobIdMap::default(),
                 queue: EventQueue::new(),
                 outcomes: Vec::new(),
                 ecc_policy,
                 ecc_stats: EccStats::default(),
                 makespan: SimTime::ZERO,
+                wait_views: Vec::new(),
+                wait_head: 0,
+                wait_stale: 0,
             },
             first_arrival: SimTime::MAX,
             last_arrival: SimTime::ZERO,
@@ -264,6 +365,9 @@ impl<S: Scheduler> Engine<S> {
 
     /// Load jobs and ECCs, validating feasibility.
     pub fn load(&mut self, jobs: &[JobSpec], eccs: &[EccSpec]) -> Result<(), SimError> {
+        self.state.records.reserve(jobs.len());
+        self.state.id_map.reserve(jobs.len());
+        self.state.outcomes.reserve(jobs.len());
         for spec in jobs {
             self.state
                 .machine
@@ -276,28 +380,48 @@ impl<S: Scheduler> Engine<S> {
             if self.state.id_map.insert(spec.id, idx).is_some() {
                 return Err(SimError::DuplicateJobId(spec.id));
             }
-            self.state.records.push(JobRecord::new(spec.clone()));
+            self.state.records.push(JobRecord::new(*spec));
             self.state.queue.push(spec.submit, Event::Arrival(spec.id));
             self.first_arrival = self.first_arrival.min(spec.submit);
             self.last_arrival = self.last_arrival.max(spec.submit);
         }
         for ecc in eccs {
-            self.state.queue.push(ecc.issue_at, Event::Ecc(ecc.clone()));
+            self.state.queue.push(ecc.issue_at, Event::Ecc(*ecc));
         }
         Ok(())
     }
 
     /// Run to completion and return the collected result.
     pub fn run(mut self) -> Result<SimResult, SimError> {
-        while let Some(t) = self.state.queue.peek_time() {
+        let wall = std::time::Instant::now();
+        let mut engine_stats = EngineStats::default();
+        // Reused across instants: one batch drain per cycle, no per-event
+        // peeking and no allocation once it reaches the burst high-water
+        // mark.
+        let mut batch: Vec<Event> = Vec::new();
+        while let Some(t) = self.state.queue.drain_next_instant(&mut batch) {
             debug_assert!(t >= self.state.now, "event time went backwards");
             self.state.now = t;
             self.state.machine.advance_to(t);
             // Dispatch every event at this instant, then run one cycle.
-            while self.state.queue.peek_time() == Some(t) {
-                let (_, ev) = self.state.queue.pop().expect("peeked event vanished");
-                self.dispatch(ev)?;
+            // Dispatching may push *more* events at this same instant
+            // (e.g. a reduce-time ECC completing a job right now), which
+            // the old heap ordered after everything already pending at
+            // `t` — re-draining after the batch preserves that order.
+            let mut dispatched = 0u64;
+            loop {
+                for ev in batch.drain(..) {
+                    dispatched += 1;
+                    self.dispatch(ev)?;
+                }
+                if self.state.queue.peek_time() != Some(t) {
+                    break;
+                }
+                self.state.queue.drain_next_instant(&mut batch);
             }
+            engine_stats.events += dispatched;
+            engine_stats.events_coalesced += dispatched - 1;
+            engine_stats.cycles += 1;
             self.scheduler.cycle(&mut self.state);
             if let Some(every) = self.sample_every {
                 let due = match self.last_sample {
@@ -329,6 +453,9 @@ impl<S: Scheduler> Engine<S> {
                 waiting: self.scheduler.waiting_len(),
             });
         }
+        engine_stats.queue_ops = self.state.queue.ops();
+        engine_stats.peak_queue_len = self.state.queue.peak_len() as u64;
+        engine_stats.engine_nanos = wall.elapsed().as_nanos() as u64;
         let state = self.state;
         Ok(SimResult {
             scheduler: self.scheduler.name(),
@@ -345,6 +472,7 @@ impl<S: Scheduler> Engine<S> {
             makespan: state.makespan,
             ecc: state.ecc_stats,
             samples: self.samples,
+            engine: engine_stats,
         })
     }
 
@@ -379,17 +507,20 @@ impl<S: Scheduler> Engine<S> {
                 self.state.queue.push(start, Event::Wakeup);
             }
         }
+        // Appending a genuinely-waiting view keeps the snapshot exact, so
+        // no dirty flag: arrival bursts stay O(1) per job.
+        self.state.wait_views.push(view);
         self.scheduler.on_arrival(view);
         Ok(())
     }
 
     fn handle_completion(&mut self, id: JobId, epoch: u64) -> Result<(), SimError> {
         let now = self.state.now;
+        let Some(&idx) = self.state.id_map.get(&id) else {
+            return Ok(());
+        };
         let (alloc, started) = {
-            let rec = match self.state.record_mut(id) {
-                Some(r) => r,
-                None => return Ok(()),
-            };
+            let rec = &mut self.state.records[idx];
             if rec.completion_epoch != epoch {
                 return Ok(()); // stale: an ECC rescheduled this completion
             }
@@ -410,13 +541,13 @@ impl<S: Scheduler> Engine<S> {
             .release(alloc, now)
             .map_err(|e| SimError::Start(e.to_string()))?;
         self.state.running.remove(id);
-        self.push_outcome(id, started, now, alloc);
+        self.push_outcome(idx, id, started, now, alloc);
         self.scheduler.on_completion(id);
         Ok(())
     }
 
-    fn push_outcome(&mut self, id: JobId, started: SimTime, finished: SimTime, num: u32) {
-        let rec = self.state.record(id).expect("outcome for unknown job");
+    fn push_outcome(&mut self, idx: usize, id: JobId, started: SimTime, finished: SimTime, num: u32) {
+        let rec = &self.state.records[idx];
         let spec = &rec.spec;
         let eligible = spec.eligible_at();
         let outcome = JobOutcome {
@@ -499,6 +630,16 @@ impl<S: Scheduler> Engine<S> {
                 let (id, num, dur) = (ecc.job, rec.alloc, rec.est_dur);
                 self.state.ecc_stats.applied_queued += 1;
                 if was_waiting {
+                    // Waiting views live at or after the cursor; edit the
+                    // one touched in place so the snapshot stays exact.
+                    let head = self.state.wait_head;
+                    if let Some(v) = self.state.wait_views[head..]
+                        .iter_mut()
+                        .find(|v| v.id == id)
+                    {
+                        v.num = num;
+                        v.dur = dur;
+                    }
                     self.scheduler.on_queued_ecc(id, num, dur);
                 }
                 Ok(())

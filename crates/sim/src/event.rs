@@ -3,12 +3,36 @@
 //! Events are processed in non-decreasing time order; events at the same
 //! instant are processed in insertion order (FIFO), which makes
 //! simulations fully deterministic.
+//!
+//! # Implementation
+//!
+//! [`EventQueue`] is a **calendar queue** (Brown 1988): an array of
+//! `2^k` buckets, each a short time-sorted run, where an event at time
+//! `t` lives in bucket `(t / width) mod 2^k`. The queue tracks the
+//! current *day* (`t / width` of the earliest pending event) and pops by
+//! scanning forward from it; one bucket holds at most a handful of
+//! events when the width matches the event density, so both `push` and
+//! `pop` are O(1) amortized — versus the `O(log n)` sift of the previous
+//! `BinaryHeap`. Buckets are **lazily resized**: when the population
+//! outgrows (or undershoots) the bucket count, the next operation
+//! rebuilds the calendar with a bucket count of about twice the
+//! population and a width equal to the mean gap between pending events.
+//!
+//! Same-instant FIFO order is preserved *by construction*: an event is
+//! inserted after every event with an equal-or-earlier time in its
+//! bucket, so no insertion sequence number (or comparison on one) is
+//! needed. All events at one instant land in one bucket, contiguously,
+//! which is what makes [`EventQueue::drain_next_instant`] — the engine's
+//! cycle-coalescing primitive — a straight front-drain.
+//!
+//! The previous heap-based queue survives as [`reference::HeapEventQueue`]
+//! behind the `reference-kernels` feature, as a differential-testing
+//! oracle (see `tests/event_queue_differential.rs`).
 
 use crate::ecc::EccSpec;
 use crate::job::JobId;
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,41 +50,56 @@ pub enum Event {
     Wakeup,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry {
     at: SimTime,
-    seq: u64,
     event: Event,
 }
 
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
+/// Smallest calendar size; also the initial size.
+const MIN_BUCKETS: usize = 16;
 
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// A time-ordered, insertion-stable event queue.
-#[derive(Debug, Default)]
+/// A time-ordered, insertion-stable event queue (calendar queue).
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Entry>,
-    next_seq: u64,
+    /// `buckets.len()` is always a power of two.
+    buckets: Vec<VecDeque<Entry>>,
+    /// log₂ of the bucket width in seconds. A power-of-two width turns
+    /// the day computation `at / width` — on every push, pop, and day
+    /// scanned — into a shift; the u64 division it replaces was the
+    /// single hottest instruction in the queue.
+    shift: u32,
+    /// Current absolute day number: `at >> shift` of the earliest pending
+    /// event is never below this.
+    day: u64,
+    len: usize,
+    pushes: u64,
+    pops: u64,
+    peak_len: usize,
+    /// Rebuild scratch, reused across rebuilds so draining the calendar
+    /// into time order costs no allocation after the first rebuild.
+    scratch: Vec<Entry>,
+    /// Buckets parked by a shrink rebuild, buffers intact. A grow rebuild
+    /// takes from here first, so bucket capacity survives resizes instead
+    /// of being freed and re-malloc'd one push at a time — the dominant
+    /// cost of the naive rebuild.
+    spare: Vec<VecDeque<Entry>>,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect(),
+            shift: 0,
+            day: 0,
+            len: 0,
+            pushes: 0,
+            pops: 0,
+            peak_len: 0,
+            scratch: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
 }
 
 impl EventQueue {
@@ -69,31 +108,275 @@ impl EventQueue {
         Self::default()
     }
 
+    #[inline]
+    fn mask(&self) -> u64 {
+        (self.buckets.len() - 1) as u64
+    }
+
+    #[inline]
+    fn bucket_of(&self, at: SimTime) -> usize {
+        ((at.0 >> self.shift) & self.mask()) as usize
+    }
+
     /// Schedule `event` at time `at`.
     pub fn push(&mut self, at: SimTime, event: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.pushes += 1;
+        let at_day = at.0 >> self.shift;
+        if self.len == 0 || at_day < self.day {
+            // Keep the invariant day ≤ earliest-pending-day so the pop
+            // scan never walks past an event (pushes "into the past" are
+            // legal for the API even though the engine never does them).
+            self.day = at_day;
+        }
+        let idx = self.bucket_of(at);
+        let bucket = &mut self.buckets[idx];
+        // After every equal-or-earlier event: time order within the
+        // bucket, FIFO within an instant. In-order pushes (the common
+        // case) hit the back, so this is an O(1) append.
+        let pos = bucket.partition_point(|e| e.at <= at);
+        bucket.insert(pos, Entry { at, event });
+        self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
+        if self.len > 2 * self.buckets.len() {
+            self.rebuild();
+        }
+    }
+
+    /// Advance `day` to the day of the earliest pending event and return
+    /// that event's time. O(1) amortized: a full-calendar scan only
+    /// happens when a whole "year" is empty, and the direct-search
+    /// fallback then jumps straight to the right day.
+    fn locate_next(&mut self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len();
+        let mask = self.mask();
+        let mut d = self.day;
+        for _ in 0..nb {
+            if let Some(front) = self.buckets[(d & mask) as usize].front() {
+                if front.at.0 >> self.shift == d {
+                    let at = front.at;
+                    self.day = d;
+                    return Some(at);
+                }
+            }
+            d = d.saturating_add(1);
+        }
+        // Sparse year: no event within one calendar revolution. Each
+        // bucket front is that bucket's minimum, so the global minimum is
+        // the least front.
+        let at = self
+            .buckets
+            .iter()
+            .filter_map(|b| b.front().map(|e| e.at))
+            .min()
+            .expect("len > 0 but no bucket front");
+        self.day = at.0 >> self.shift;
+        Some(at)
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        let at = self.locate_next()?;
+        let idx = self.bucket_of(at);
+        let entry = self.buckets[idx].pop_front().expect("located bucket empty");
+        debug_assert_eq!(entry.at, at);
+        self.len -= 1;
+        self.pops += 1;
+        self.maybe_shrink();
+        Some((entry.at, entry.event))
+    }
+
+    /// Remove every event at the earliest pending instant, appending them
+    /// to `out` in insertion order, and return that instant. This is the
+    /// engine's cycle-coalescing primitive: all same-instant events share
+    /// a bucket and sit contiguously at its front, so the drain is a
+    /// straight run of `pop_front`s with no re-peeking.
+    pub fn drain_next_instant(&mut self, out: &mut Vec<Event>) -> Option<SimTime> {
+        let at = self.locate_next()?;
+        let idx = self.bucket_of(at);
+        let bucket = &mut self.buckets[idx];
+        while bucket.front().is_some_and(|e| e.at == at) {
+            out.push(bucket.pop_front().expect("front checked").event);
+            self.len -= 1;
+            self.pops += 1;
+        }
+        self.maybe_shrink();
+        Some(at)
     }
 
     /// Time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.locate_next()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Total pushes + pops over this queue's lifetime.
+    pub fn ops(&self) -> u64 {
+        self.pushes + self.pops
+    }
+
+    /// Largest number of simultaneously pending events observed.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    fn maybe_shrink(&mut self) {
+        if self.buckets.len() > MIN_BUCKETS && self.len * 8 < self.buckets.len() {
+            self.rebuild();
+        }
+    }
+
+    /// Resize the calendar to match the current population: bucket count
+    /// ≈ len (next power of two), width = mean gap between pending
+    /// events. Far-future outliers widen the width, keeping one calendar
+    /// revolution spanning all pending events.
+    fn rebuild(&mut self) {
+        let mut entries = std::mem::take(&mut self.scratch);
+        entries.clear();
+        entries.reserve(self.len);
+        for bucket in &mut self.buckets {
+            entries.extend(bucket.drain(..));
+        }
+        // Stable: equal instants always share a bucket in FIFO order, so
+        // the sort preserves per-instant insertion order globally.
+        entries.sort_by_key(|e| e.at);
+        // Size for 2× the current population: overshooting halves the
+        // number of grow rebuilds on a filling queue (each rebuild is a
+        // full drain + sort), and the 8× shrink trigger gives a draining
+        // queue the same hysteresis on the way down.
+        let nb = (self.len * 2).next_power_of_two().clamp(MIN_BUCKETS, 1 << 22);
+        if nb < self.buckets.len() {
+            // Park the tail buckets (now empty, buffers intact) for the
+            // next grow instead of dropping their allocations.
+            self.spare.extend(self.buckets.drain(nb..));
+        } else {
+            while self.buckets.len() < nb {
+                self.buckets.push(self.spare.pop().unwrap_or_default());
+            }
+        }
+        if let (Some(first), Some(last)) = (entries.first(), entries.last()) {
+            let span = last.at.0 - first.at.0;
+            // Mean gap, rounded up to a power of two so the day math is a
+            // shift. At most 2× the ideal width: ~2 events per bucket.
+            let width = (span / self.len as u64).max(1).next_power_of_two();
+            self.shift = width.trailing_zeros();
+            self.day = first.at.0 >> self.shift;
+        } else {
+            self.shift = 0;
+            self.day = 0;
+        }
+        for entry in entries.drain(..) {
+            let idx = self.bucket_of(entry.at);
+            // Entries arrive in global time order, so appending keeps
+            // every bucket sorted.
+            self.buckets[idx].push_back(entry);
+        }
+        self.scratch = entries;
+    }
+}
+
+/// The pre-calendar heap-based queue, kept as a differential-testing
+/// oracle for the calendar queue (enabled in unit tests and behind the
+/// `reference-kernels` feature for integration tests and benches).
+#[cfg(any(test, feature = "reference-kernels"))]
+pub mod reference {
+    use super::Event;
+    use crate::time::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(Debug)]
+    struct Entry {
+        at: SimTime,
+        seq: u64,
+        event: Event,
+    }
+
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl Eq for Entry {}
+
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we want the earliest
+            // first; `seq` restores same-instant insertion order.
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    /// A time-ordered, insertion-stable event queue over a binary heap.
+    #[derive(Debug, Default)]
+    pub struct HeapEventQueue {
+        heap: BinaryHeap<Entry>,
+        next_seq: u64,
+    }
+
+    impl HeapEventQueue {
+        /// An empty queue.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Schedule `event` at time `at`.
+        pub fn push(&mut self, at: SimTime, event: Event) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { at, seq, event });
+        }
+
+        /// Remove and return the earliest event.
+        pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+            self.heap.pop().map(|e| (e.at, e.event))
+        }
+
+        /// Remove every event at the earliest instant into `out`,
+        /// returning that instant (mirrors
+        /// [`super::EventQueue::drain_next_instant`]).
+        pub fn drain_next_instant(&mut self, out: &mut Vec<Event>) -> Option<SimTime> {
+            let at = self.peek_time()?;
+            while self.heap.peek().is_some_and(|e| e.at == at) {
+                out.push(self.heap.pop().expect("peeked").event);
+            }
+            Some(at)
+        }
+
+        /// Time of the earliest pending event.
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|e| e.at)
+        }
+
+        /// Number of pending events.
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        /// True when no events are pending.
+        pub fn is_empty(&self) -> bool {
+            self.heap.is_empty()
+        }
     }
 }
 
@@ -152,5 +435,138 @@ mod tests {
         assert_eq!(q.pop().unwrap().0, t(3));
         assert_eq!(q.pop().unwrap().0, t(7));
         assert_eq!(q.pop().unwrap().0, t(10));
+    }
+
+    #[test]
+    fn push_into_the_past_still_pops_first() {
+        let mut q = EventQueue::new();
+        q.push(t(100), Event::Wakeup);
+        assert_eq!(q.pop().unwrap().0, t(100));
+        // The cursor sits at day 100; an earlier push must rewind it.
+        q.push(t(4), Event::Arrival(JobId(1)));
+        q.push(t(50), Event::Wakeup);
+        assert_eq!(q.pop().unwrap().0, t(4));
+        assert_eq!(q.pop().unwrap().0, t(50));
+    }
+
+    #[test]
+    fn growth_past_bucket_count_keeps_order() {
+        let mut q = EventQueue::new();
+        // 4 × MIN_BUCKETS events force at least one grow rebuild.
+        let times: Vec<u64> = (0..64).map(|i| (i * 37) % 97).collect();
+        for (i, &s) in times.iter().enumerate() {
+            q.push(t(s), Event::Arrival(JobId(i as u64)));
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        for &s in &sorted {
+            assert_eq!(q.pop().unwrap().0, t(s));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_outlier_widens_calendar() {
+        let mut q = EventQueue::new();
+        for i in 0..40u64 {
+            q.push(t(i), Event::Arrival(JobId(i)));
+        }
+        // An outlier ~10^9 seconds out forces a wide calendar on the next
+        // rebuild; everything must still drain in order.
+        q.push(t(1_000_000_000), Event::Wakeup);
+        for i in 40..80u64 {
+            q.push(t(i), Event::Arrival(JobId(i)));
+        }
+        let mut last = 0;
+        while let Some((at, _)) = q.pop() {
+            assert!(at.as_secs() >= last);
+            last = at.as_secs();
+        }
+        assert_eq!(last, 1_000_000_000);
+    }
+
+    #[test]
+    fn max_time_sentinel_is_popped_last() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::MAX, Event::Wakeup);
+        q.push(t(1), Event::Arrival(JobId(1)));
+        assert_eq!(q.pop().unwrap().0, t(1));
+        assert_eq!(q.pop().unwrap().0, SimTime::MAX);
+    }
+
+    #[test]
+    fn drain_next_instant_takes_whole_burst_in_order() {
+        let mut q = EventQueue::new();
+        q.push(t(9), Event::Wakeup);
+        for id in 0..10u64 {
+            q.push(t(5), Event::Arrival(JobId(id)));
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.drain_next_instant(&mut out), Some(t(5)));
+        assert_eq!(out.len(), 10);
+        for (i, ev) in out.iter().enumerate() {
+            assert_eq!(*ev, Event::Arrival(JobId(i as u64)));
+        }
+        out.clear();
+        assert_eq!(q.drain_next_instant(&mut out), Some(t(9)));
+        assert_eq!(out, vec![Event::Wakeup]);
+        assert_eq!(q.drain_next_instant(&mut out), None);
+    }
+
+    #[test]
+    fn shrink_after_heavy_drain_keeps_order() {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(t(i * 3), Event::Arrival(JobId(i)));
+        }
+        // Drain most of the population to force shrink rebuilds.
+        for i in 0..995u64 {
+            assert_eq!(q.pop().unwrap().0, t(i * 3));
+        }
+        assert_eq!(q.len(), 5);
+        for i in 995..1000u64 {
+            assert_eq!(q.pop().unwrap().0, t(i * 3));
+        }
+    }
+
+    #[test]
+    fn op_counters_track_traffic() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(t(i), Event::Wakeup);
+        }
+        assert_eq!(q.peak_len(), 10);
+        while q.pop().is_some() {}
+        assert_eq!(q.ops(), 20);
+        assert_eq!(q.peak_len(), 10);
+    }
+
+    #[test]
+    fn matches_reference_heap_on_mixed_traffic() {
+        let mut cal = EventQueue::new();
+        let mut heap = reference::HeapEventQueue::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut step = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut pending = 0u64;
+        for i in 0..4000u64 {
+            if pending == 0 || step() % 3 != 0 {
+                let at = t(step() % 500);
+                cal.push(at, Event::Arrival(JobId(i)));
+                heap.push(at, Event::Arrival(JobId(i)));
+                pending += 1;
+            } else {
+                assert_eq!(cal.pop(), heap.pop());
+                pending -= 1;
+            }
+        }
+        while let Some(expect) = heap.pop() {
+            assert_eq!(cal.pop(), Some(expect));
+        }
+        assert!(cal.is_empty());
     }
 }

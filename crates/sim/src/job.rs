@@ -55,7 +55,7 @@ impl JobClass {
 }
 
 /// Immutable description of one job in a workload.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JobSpec {
     /// Unique identifier.
     pub id: JobId,

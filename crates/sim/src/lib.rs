@@ -38,7 +38,7 @@ pub mod time;
 
 pub use contiguous::{ContigError, ContiguousMachine, Extent, ReplayEvent, ReplayStats};
 pub use ecc::{EccKind, EccPolicy, EccSpec};
-pub use engine::{simulate, EccStats, Engine, SimError, SimResult, StateSample};
+pub use engine::{simulate, EccStats, Engine, EngineStats, SimError, SimResult, StateSample};
 pub use event::{Event, EventQueue};
 pub use job::{JobClass, JobId, JobOutcome, JobRecord, JobSpec, JobState};
 pub use machine::{Machine, MachineError};

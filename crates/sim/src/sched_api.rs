@@ -112,6 +112,16 @@ pub trait SchedContext {
     /// Request a scheduler wakeup (an empty event forcing a cycle) at `at`.
     /// Used to revisit dedicated jobs at their requested start times.
     fn request_wakeup(&mut self, at: SimTime);
+    /// The engine's wait-queue snapshot: every waiting job, in arrival
+    /// order, with queued ECCs already folded into `num`/`dur`.
+    ///
+    /// The engine maintains this incrementally (arrivals append, starts
+    /// and ECCs mark it dirty, the borrow compacts lazily), so reading it
+    /// every cycle costs nothing when nothing changed — schedulers should
+    /// borrow it instead of mirroring arrivals into their own vectors.
+    /// The slice is invalidated by [`SchedContext::start`]; re-borrow
+    /// after starting a job.
+    fn waiting_jobs(&mut self) -> &[JobView];
 }
 
 /// A scheduling policy.
