@@ -116,9 +116,43 @@ fn bench_engine_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same loop with structured tracing in its three states: absent
+/// (the default, branch-on-None per call site), enabled with the clock
+/// reads off, and fully enabled. The untraced variant is the number the
+/// ≤2% regression budget in `BENCH_engine.json` guards; the deltas
+/// between variants are the cost of observability itself.
+fn bench_engine_loop_tracing(c: &mut Criterion) {
+    let w = batch_workload();
+    let mut group = c.benchmark_group("engine_loop_tracing_500jobs");
+    group.bench_with_input(BenchmarkId::from_parameter("untraced"), &w, |b, w| {
+        b.iter(|| {
+            Experiment::new(Algorithm::DelayedLos)
+                .run_raw(black_box(w))
+                .unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("traced_no_timing"), &w, |b, w| {
+        b.iter(|| {
+            let mut sink = elastisched_trace::TraceSink::new();
+            sink.disable_timing();
+            Experiment::new(Algorithm::DelayedLos)
+                .run_traced(black_box(w), sink)
+                .unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("traced_full"), &w, |b, w| {
+        b.iter(|| {
+            Experiment::new(Algorithm::DelayedLos)
+                .run_traced(black_box(w), elastisched_trace::TraceSink::new())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_event_queue, bench_engine_loop
+    targets = bench_event_queue, bench_engine_loop, bench_engine_loop_tracing
 }
 criterion_main!(benches);

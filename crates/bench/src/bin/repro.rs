@@ -8,6 +8,7 @@
 //! repro ablation-lookahead|ablation-overestimate|ablation-contiguity [--quick]
 //! repro bench-dp                         # DP-kernel perf → BENCH_dp_kernels.json
 //! repro bench-engine [--force]           # event-loop perf → BENCH_engine.json
+//! repro bench-engine --check             # fail if headline regresses > 2%
 //! ```
 //!
 //! Figures are emitted as text series, CSV, JSON, and SVG plots.
@@ -25,6 +26,7 @@ use std::process::ExitCode;
 struct Opts {
     quick: bool,
     force: bool,
+    check: bool,
     out: PathBuf,
 }
 
@@ -112,8 +114,15 @@ fn run(target: &str, cfg: &ReproConfig, opts: &Opts) -> Result<(), String> {
         "bench-engine" => {
             // Event-loop perf snapshot: run with `--release`. The JSON is
             // a committed trajectory point, so an existing file is only
-            // replaced when --force is passed.
+            // replaced when --force is passed. With --check, nothing is
+            // written: a fresh headline is measured and compared against
+            // the committed file under a 2% regression budget.
             let path = "BENCH_engine.json";
+            if opts.check {
+                let verdict = elastisched_bench::enginebench::check(path, 0.02)?;
+                println!("bench-engine check OK: {verdict}");
+                return Ok(());
+            }
             if std::path::Path::new(path).exists() && !opts.force {
                 return Err(format!(
                     "{path} already exists (it is a committed perf-trajectory point); \
@@ -199,13 +208,14 @@ fn main() -> ExitCode {
              targets: all, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11,\n\
              \x20        table3, table4, table5, table6, table7,\n\
              \x20        baselines, ablation-lookahead, ablation-overestimate, ablation-contiguity,\n\
-             \x20        bench-dp, bench-engine [--force]"
+             \x20        bench-dp, bench-engine [--force|--check]"
         );
         return ExitCode::from(2);
     }
     let target = args[0].clone();
     let quick = args.iter().any(|a| a == "--quick");
     let force = args.iter().any(|a| a == "--force");
+    let check = args.iter().any(|a| a == "--check");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -217,7 +227,12 @@ fn main() -> ExitCode {
     } else {
         ReproConfig::paper()
     };
-    let opts = Opts { quick, force, out };
+    let opts = Opts {
+        quick,
+        force,
+        check,
+        out,
+    };
     if opts.quick {
         eprintln!("(quick mode: {} jobs, {} loads)", cfg.n_jobs, cfg.loads.len());
     }

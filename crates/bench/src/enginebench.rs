@@ -12,7 +12,8 @@
 
 use crate::dpbench::{self, EndToEnd, MachineInfo};
 use elastisched::prelude::*;
-use serde::Serialize;
+use elastisched_trace::TraceSink;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One algorithm × workload timing, with engine-loop counters.
@@ -43,6 +44,59 @@ pub struct EngineBenchReport {
     /// Headline, comparable to `BENCH_dp_kernels.json::end_to_end`.
     pub end_to_end: EndToEnd,
     pub cases: Vec<EngineCase>,
+    /// Iterations/second of the fixed integer loop in
+    /// [`calibration_score`], measured alongside the headline. `check`
+    /// uses the ratio of this score then-vs-now to separate "the host
+    /// is busy today" from "the code got slower".
+    pub calibration_score: f64,
+    /// Free-form context for the numbers above (e.g. the measured
+    /// traced-vs-untraced delta of the structured-tracing subsystem).
+    pub notes: Vec<String>,
+}
+
+/// The fields of a committed `BENCH_engine.json` that `check` compares
+/// against (everything else in the file is ignored on load).
+#[derive(Debug, Deserialize)]
+struct CommittedHeadline {
+    events_per_sec: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct CommittedReport {
+    end_to_end: CommittedHeadline,
+    /// Absent in snapshots that predate calibration; `check` then falls
+    /// back to an unadjusted comparison.
+    #[serde(default)]
+    calibration_score: Option<f64>,
+}
+
+/// Iterations/second of a fixed integer workload (xorshift + add),
+/// best of three after a warm-up — an estimate of the machine's current
+/// effective single-thread speed. Shared-host contention and cgroup
+/// throttling slow this loop and the simulation engine roughly alike,
+/// so `check` can normalize the committed headline by the then-vs-now
+/// ratio instead of failing on a slow afternoon.
+fn calibration_score() -> f64 {
+    // Short runs + best-of-many mirrors how the sub-millisecond engine
+    // measurements dodge throttled windows; a single long calibration
+    // run would average over stalls the engine numbers never see and
+    // over-correct.
+    const ITERS: u64 = 2_000_000;
+    let run = || {
+        let t0 = Instant::now();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut acc = 0u64;
+        for _ in 0..ITERS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc = acc.wrapping_add(x >> 32);
+        }
+        std::hint::black_box(acc);
+        ITERS as f64 / t0.elapsed().as_secs_f64()
+    };
+    run(); // warm-up
+    (0..10).map(|_| run()).fold(0.0f64, f64::max)
 }
 
 const JOBS: usize = 500;
@@ -93,11 +147,50 @@ fn case(algo: Algorithm, workload_name: &str, w: &Workload) -> EngineCase {
     }
 }
 
+/// Events/s of the headline workload with tracing enabled (best of
+/// three; `timing` selects whether the sink reads the per-cycle clock).
+fn traced_events_per_sec(w: &Workload, timing: bool) -> f64 {
+    let exp = Experiment::new(Algorithm::DelayedLos);
+    let make_sink = || {
+        let mut sink = TraceSink::new();
+        if !timing {
+            sink.disable_timing();
+        }
+        sink
+    };
+    exp.run_traced(w, make_sink()).expect("workload valid"); // warm-up
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = exp.run_traced(w, make_sink()).expect("workload valid");
+        let secs = t0.elapsed().as_secs_f64();
+        let events = (2 * r.outcomes.len() as u64 + r.ecc.applied()) as f64;
+        best = best.max(events / secs);
+    }
+    best
+}
+
+/// Measure the cost of the tracing subsystem on the headline workload:
+/// `(untraced, traced_no_timing, traced_full)` events/s.
+pub fn tracing_delta() -> (f64, f64, f64) {
+    let untraced = dpbench::end_to_end().events_per_sec;
+    let w = {
+        let mut w = generate(&GeneratorConfig::paper_batch(0.5).with_jobs(JOBS).with_seed(1));
+        w.scale_to_load(320, 0.9);
+        w
+    };
+    let no_timing = traced_events_per_sec(&w, false);
+    let full = traced_events_per_sec(&w, true);
+    (untraced, no_timing, full)
+}
+
 /// Run every case and build the report.
 pub fn run() -> EngineBenchReport {
     let batch = batch_workload(false);
     let elastic = batch_workload(true);
     let hetero = heterogeneous_workload();
+    let (untraced, no_timing, full) = tracing_delta();
+    let pct = |traced: f64| 100.0 * (1.0 - traced / untraced);
     EngineBenchReport {
         machine: MachineInfo {
             total_procs: 320,
@@ -111,6 +204,58 @@ pub fn run() -> EngineBenchReport {
             case(Algorithm::DelayedLosE, "batch+ecc", &elastic),
             case(Algorithm::HybridLos, "heterogeneous", &hetero),
         ],
+        calibration_score: calibration_score(),
+        notes: vec![format!(
+            "tracing cost on the headline workload: untraced {untraced:.0} ev/s; \
+             traced without timing {no_timing:.0} ev/s ({:.1}% slower); \
+             traced with per-cycle timing {full:.0} ev/s ({:.1}% slower). \
+             The disabled path (no sink installed) is the headline number itself.",
+            pct(no_timing),
+            pct(full)
+        )],
+    }
+}
+
+/// `repro bench-engine --check`: measure a fresh headline and fail when
+/// it regresses more than `budget` (fractional, e.g. 0.02) below the
+/// committed `BENCH_engine.json`. Returns a human-readable verdict.
+///
+/// The fresh number is the best of ten independent `end_to_end`
+/// measurements (each itself best-of-three): a genuine regression slows
+/// every run, while scheduler noise on a shared machine only slows some,
+/// so taking the max keeps the 2% budget meaningful without widening it.
+/// When the snapshot carries a [`calibration_score`], the baseline is
+/// additionally scaled by the machine-speed ratio then-vs-now.
+pub fn check(path: &str, budget: f64) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let committed: CommittedReport =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e:?}"))?;
+    let baseline = committed.end_to_end.events_per_sec;
+    let fresh = (0..10)
+        .map(|_| dpbench::end_to_end().events_per_sec)
+        .fold(0.0f64, f64::max);
+    let (scale, speed_note) = match committed.calibration_score {
+        Some(cal_base) if cal_base > 0.0 => {
+            let cal_fresh = calibration_score();
+            // The clamp bounds how far a bogus calibration pair can
+            // bend the budget; a real host is never 4x off.
+            let scale = (cal_fresh / cal_base).clamp(0.25, 4.0);
+            (scale, format!(", machine speed x{scale:.3} vs snapshot"))
+        }
+        _ => (1.0, String::new()),
+    };
+    let adjusted = baseline * scale;
+    let floor = adjusted * (1.0 - budget);
+    let delta_pct = 100.0 * (fresh / adjusted - 1.0);
+    let verdict = format!(
+        "committed {baseline:.0} ev/s, fresh {fresh:.0} ev/s ({delta_pct:+.2}% vs \
+         speed-adjusted baseline{speed_note}), budget -{:.0}%",
+        budget * 100.0
+    );
+    if fresh < floor {
+        Err(format!("engine throughput regressed beyond budget: {verdict}"))
+    } else {
+        Ok(verdict)
     }
 }
 
@@ -131,10 +276,48 @@ mod tests {
                 events_per_sec: 0.0,
             },
             cases: vec![],
+            calibration_score: 0.0,
+            notes: vec!["tracing delta: n/a".into()],
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("end_to_end"));
         assert!(json.contains("cases"));
+        assert!(json.contains("calibration_score"));
+        assert!(json.contains("notes"));
+    }
+
+    #[test]
+    fn committed_report_parses_ignoring_extra_fields() {
+        // No calibration_score: snapshots predating it still load.
+        let text = r#"{
+            "machine": {"total_procs": 320, "unit": 32},
+            "end_to_end": {"algorithm": "Delayed-LOS", "jobs": 500,
+                           "events_per_sec": 4836595.617077052},
+            "cases": [], "notes": []
+        }"#;
+        let r: CommittedReport = serde_json::from_str(text).unwrap();
+        assert!((r.end_to_end.events_per_sec - 4_836_595.617_077_052).abs() < 1e-6);
+        assert!(r.calibration_score.is_none());
+    }
+
+    #[test]
+    fn committed_report_parses_calibration_score() {
+        let text = r#"{
+            "end_to_end": {"events_per_sec": 1000.0},
+            "calibration_score": 2.5e8
+        }"#;
+        let r: CommittedReport = serde_json::from_str(text).unwrap();
+        assert_eq!(r.calibration_score, Some(2.5e8));
+    }
+
+    #[test]
+    fn calibration_score_is_positive_and_repeatable_in_order_of_magnitude() {
+        let a = calibration_score();
+        let b = calibration_score();
+        assert!(a > 0.0 && b > 0.0);
+        // Same process, back to back: within 4x of each other even on a
+        // heavily shared box (the check clamps at that factor too).
+        assert!(a / b < 4.0 && b / a < 4.0);
     }
 
     #[test]

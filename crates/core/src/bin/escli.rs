@@ -7,6 +7,8 @@
 //!   paper's metrics;
 //! * `compare` — run several algorithms over the same trace;
 //! * `gantt` — render a schedule as a text Gantt chart + sparkline;
+//! * `explain` — replay one job's trace: lifecycle plus every scheduler
+//!   decision that touched it, with optional JSONL / Chrome-trace export;
 //! * `tune` — empirically tune the maximum skip count `C_s` (§V-A);
 //! * `info` — trace statistics and workload characterization;
 //! * `algorithms` — list the algorithm registry (paper Table III).
@@ -26,6 +28,8 @@ USAGE:
   escli compare --trace <file.cwf> [--algos a,b,c] [--cs N] [--machine M:unit]
   escli gantt --trace <file.cwf> --algo <name> [--cs N] [--machine M:unit]
               [--width W] [--rows R]
+  escli explain --trace <file.cwf> --algo <name> --job <id> [--cs N]
+                [--machine M:unit] [--jsonl <out.jsonl>] [--chrome <out.json>]
   escli tune --ps P [--load L] [--jobs N] [--reps R] [--cs 1,3,7,...]
   escli info --trace <file.cwf>
   escli algorithms
@@ -243,6 +247,53 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let trace = args.get("trace").ok_or("--trace is required")?;
+    let algo: Algorithm = args
+        .get("algo")
+        .ok_or("--algo is required")?
+        .parse()
+        .map_err(|e: String| e)?;
+    let job: u64 = args
+        .get("job")
+        .ok_or("--job is required")?
+        .parse()
+        .map_err(|_| "bad --job id".to_string())?;
+    let cs: u32 = args.get_parsed("cs", 7)?;
+    let machine = parse_machine(args)?;
+    let w = load_trace(trace)?;
+    let exp = Experiment {
+        algorithm: algo,
+        params: SchedParams::with_cs(cs),
+        machine,
+    };
+    let r = exp
+        .run_traced(&w, elastisched_trace::TraceSink::new())
+        .map_err(|e| e.to_string())?;
+    let sink = r.trace.as_deref().expect("tracing was enabled");
+    match elastisched::explain_job(sink, job) {
+        Some(text) => print!("{text}"),
+        None => {
+            return Err(format!(
+                "job {job} does not appear in the trace ({} events held, {} dropped)",
+                sink.len(),
+                sink.dropped()
+            ))
+        }
+    }
+    if let Some(path) = args.get("jsonl") {
+        let text = elastisched_trace::to_jsonl(sink.events());
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote JSONL trace ({} events) to {path}", sink.len());
+    }
+    if let Some(path) = args.get("chrome") {
+        let text = elastisched_trace::to_chrome_trace(sink.events());
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote Chrome trace to {path} (open in ui.perfetto.dev)");
+    }
+    Ok(())
+}
+
 fn cmd_tune(args: &Args) -> Result<(), String> {
     let ps: f64 = args.get_parsed("ps", 0.5)?;
     let load: f64 = args.get_parsed("load", 0.9)?;
@@ -333,6 +384,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "tune" => cmd_tune(&args),
         "gantt" => cmd_gantt(&args),
+        "explain" => cmd_explain(&args),
         "algorithms" => {
             cmd_algorithms();
             Ok(())

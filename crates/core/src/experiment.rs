@@ -2,7 +2,7 @@
 
 use elastisched_metrics::RunMetrics;
 use elastisched_sched::{Algorithm, SchedParams};
-use elastisched_sim::{Engine, Machine, SimError, SimResult};
+use elastisched_sim::{Engine, Machine, SimError, SimResult, TraceSink};
 use elastisched_workload::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +74,18 @@ impl Experiment {
     pub fn run_raw(&self, workload: &Workload) -> Result<SimResult, SimError> {
         let scheduler = self.algorithm.build(self.params);
         let mut engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
+        engine.load(&workload.jobs, &workload.eccs)?;
+        engine.run()
+    }
+
+    /// Run against a workload with structured tracing enabled. The
+    /// returned result carries the populated [`TraceSink`] in
+    /// `SimResult::trace`; export or query it with the `elastisched-trace`
+    /// helpers.
+    pub fn run_traced(&self, workload: &Workload, sink: TraceSink) -> Result<SimResult, SimError> {
+        let scheduler = self.algorithm.build(self.params);
+        let mut engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
+        engine.enable_tracing(sink);
         engine.load(&workload.jobs, &workload.eccs)?;
         engine.run()
     }

@@ -39,6 +39,7 @@
 pub mod calibrate;
 pub mod contiguity;
 pub mod experiment;
+pub mod explain;
 pub mod figures;
 pub mod plot;
 pub mod report;
@@ -48,6 +49,7 @@ pub mod tune;
 pub use calibrate::{calibrated_workload, search_beta_arr};
 pub use contiguity::{contiguity_study, ContiguityPoint, ContiguityStudy};
 pub use experiment::{Experiment, MachineSpec};
+pub use explain::explain_job;
 pub use figures::{
     default_cs_for_ps, improvement_table, Figure, ImprovementTable, ReproConfig, Series,
     SeriesPoint,

@@ -134,6 +134,15 @@ mod tests {
     }
 
     #[test]
+    fn env_override_applies_through_the_process_env() {
+        // The one test that goes through the real environment: EnvGuard
+        // serializes it against any other env-mutating test and restores
+        // the prior state on drop.
+        let _guard = elastisched_test_util::EnvGuard::set("ELASTISCHED_THREADS", "2");
+        assert_eq!(worker_count(100), 2);
+    }
+
+    #[test]
     fn actually_runs_every_task() {
         let counter = AtomicUsize::new(0);
         let _ = parallel_map((0..512).collect(), |_: i32| {

@@ -6,7 +6,7 @@
 //! derives them (plus extra diagnostics) from a [`SimResult`].
 
 use crate::stats::Summary;
-use elastisched_sim::SimResult;
+use elastisched_sim::{LogHistogram, SimResult};
 use serde::{Deserialize, Serialize};
 
 /// The paper's metrics for one simulation run.
@@ -71,15 +71,29 @@ pub struct RunMetrics {
     /// Wall-clock nanoseconds spent in the engine's event loop.
     #[serde(default)]
     pub engine_nanos: u64,
+    /// Streaming log-bucketed distribution of per-job waiting times,
+    /// in whole seconds.
+    #[serde(default)]
+    pub wait_hist: LogHistogram,
+    /// Streaming log-bucketed distribution of per-job bounded slowdowns,
+    /// in milli-units (a slowdown of 1.5 records as 1500).
+    #[serde(default)]
+    pub slowdown_hist: LogHistogram,
+    /// Streaming log-bucketed distribution of per-cycle scheduler
+    /// wall-clock nanoseconds. Populated only when the run was traced
+    /// with timing enabled (see `TraceSink`); empty otherwise.
+    #[serde(default)]
+    pub cycle_hist: LogHistogram,
 }
 
-/// Equality ignores `dp_nanos`, `engine_nanos`, and the engine-loop
-/// diagnostic counters: the nanos fields are wall-clock timing that
-/// varies between otherwise identical (deterministic) runs, and the
-/// loop counters describe *how* the engine processed events, not what
-/// the simulation computed — fixtures recorded before an event-loop
-/// change must still compare equal. Two metrics are equal when every
-/// simulation-derived quantity matches.
+/// Equality ignores `dp_nanos`, `engine_nanos`, the engine-loop
+/// diagnostic counters, and the streaming histograms: the nanos fields
+/// are wall-clock timing that varies between otherwise identical
+/// (deterministic) runs, the loop counters describe *how* the engine
+/// processed events, not what the simulation computed, and the
+/// histograms are derived observability detail (fixtures recorded
+/// before they existed must still compare equal). Two metrics are equal
+/// when every simulation-derived quantity matches.
 impl PartialEq for RunMetrics {
     fn eq(&self, other: &Self) -> bool {
         self.scheduler == other.scheduler
@@ -115,13 +129,18 @@ impl RunMetrics {
         let mut ded_count = 0usize;
         let mut ded_wait_sum = 0.0f64;
         let mut on_time = 0usize;
+        let mut wait_hist = LogHistogram::new();
+        let mut slowdown_hist = LogHistogram::new();
         for o in &result.outcomes {
             let wait = o.wait.as_secs_f64();
             let runtime = o.runtime.as_secs_f64();
             waits.push(wait);
             wait_sum += wait;
             runtime_sum += runtime;
-            bounded_sum += ((wait + runtime) / runtime.max(10.0)).max(1.0);
+            let bounded = ((wait + runtime) / runtime.max(10.0)).max(1.0);
+            bounded_sum += bounded;
+            wait_hist.record(o.wait.as_secs());
+            slowdown_hist.record((bounded * 1000.0) as u64);
             if o.requested_start.is_some() {
                 ded_count += 1;
                 ded_wait_sum += wait;
@@ -161,6 +180,13 @@ impl RunMetrics {
             queue_ops: result.engine.queue_ops,
             peak_queue_len: result.engine.peak_queue_len,
             engine_nanos: result.engine.engine_nanos,
+            wait_hist,
+            slowdown_hist,
+            cycle_hist: result
+                .trace
+                .as_deref()
+                .map(|t| t.cycle_hist)
+                .unwrap_or_default(),
         }
     }
 }
@@ -203,6 +229,7 @@ mod tests {
             samples: Vec::new(),
             sched_stats: SchedStats::default(),
             engine: elastisched_sim::EngineStats::default(),
+            trace: None,
         }
     }
 
@@ -242,6 +269,22 @@ mod tests {
         let r = result(vec![outcome(1, 0, 0, 1, 32)]);
         let m = RunMetrics::from_result(&r);
         assert!((m.mean_bounded_slowdown - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_histograms_populated() {
+        let r = result(vec![
+            outcome(1, 0, 0, 100, 32),   // wait 0
+            outcome(2, 0, 100, 200, 32), // wait 100
+        ]);
+        let m = RunMetrics::from_result(&r);
+        assert_eq!(m.wait_hist.n, 2);
+        assert_eq!(m.wait_hist.max, 100);
+        assert_eq!(m.slowdown_hist.n, 2);
+        // Job 1: bounded slowdown 1.0 → 1000 milli-units.
+        // Job 2: (100+100)/100 = 2.0 → 2000.
+        assert_eq!(m.slowdown_hist.max, 2000);
+        assert!(m.cycle_hist.is_empty(), "untraced run has no cycle hist");
     }
 
     #[test]

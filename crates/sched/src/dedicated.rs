@@ -14,16 +14,31 @@ use crate::easy::easy_cycle;
 use crate::freeze::{dedicated_freeze, Freeze};
 use crate::los::{los_cycle, DEFAULT_LOOKAHEAD};
 use crate::queue::{BatchQueue, DedicatedQueue};
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, SchedStats, Scheduler, SimTime};
+use elastisched_sim::{
+    trace_event, Duration, JobId, JobView, SchedContext, SchedStats, Scheduler, TraceEvent,
+};
 
 /// Promote every due dedicated job (requested start ≤ now) to the head of
 /// the batch queue, preserving requested-start order (the earliest due
 /// job ends up first).
-fn promote_due(batch: &mut BatchQueue, dedicated: &mut DedicatedQueue, now: SimTime, scount: u32) {
+fn promote_due(
+    batch: &mut BatchQueue,
+    dedicated: &mut DedicatedQueue,
+    ctx: &mut dyn SchedContext,
+    scount: u32,
+) {
+    let now = ctx.now();
     while let Some(d) = dedicated.head() {
         match d.class.requested_start() {
             Some(start) if start <= now => {
                 let view = dedicated.pop_head().expect("head exists");
+                trace_event!(
+                    ctx.trace(),
+                    TraceEvent::Promote {
+                        job: view.id.0,
+                        at: now.as_secs(),
+                    }
+                );
                 // `insert_priority` keeps dedicated jobs promoted across
                 // different cycles in requested-start order.
                 batch.insert_priority(view, scount);
@@ -89,7 +104,7 @@ macro_rules! dedicated_wrapper {
             }
 
             fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-                promote_due(&mut self.batch, &mut self.dedicated, ctx.now(), 0);
+                promote_due(&mut self.batch, &mut self.dedicated, ctx, 0);
                 let freeze = first_dedicated_freeze(&self.dedicated, ctx);
                 if self.batch.is_empty() {
                     return;

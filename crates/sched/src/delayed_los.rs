@@ -18,7 +18,10 @@ use crate::freeze::batch_head_freeze;
 use crate::los::DEFAULT_LOOKAHEAD;
 use crate::queue::BatchQueue;
 use crate::telemetry::Telemetry;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, SchedStats, Scheduler};
+use elastisched_sim::{
+    trace_event, DpKernel, Duration, JobId, JobView, SchedContext, SchedStats, Scheduler,
+    TraceEvent,
+};
 
 /// Default maximum skip count. The paper's Fig. 5 finds the sweet spot at
 /// `C_s ≈ 7–8` for `P_S = 0.5`.
@@ -51,6 +54,14 @@ pub(crate) fn delayed_los_cycle(
 
         // Lines 3–5: skip budget exhausted and the head fits → start it.
         if head_num <= free && head_scount >= cs {
+            trace_event!(
+                ctx.trace(),
+                TraceEvent::HeadForceStart {
+                    job: head_id.0,
+                    at: now.as_secs(),
+                    scount: head_scount,
+                }
+            );
             ctx.start(head_id).expect("head fit was checked");
             free -= head_num;
             queue.pop_head();
@@ -67,12 +78,30 @@ pub(crate) fn delayed_los_cycle(
                 work.ids.push(w.view.id);
                 work.sizes.push(w.view.num);
             }
+            let tracing = ctx.trace().is_some();
+            let hits_before = work.solver.stats().cache_hits;
+            let candidates = work.ids.len() as u32;
             let sel = work.solver.basic(&work.sizes, free, unit);
             telemetry.basic_dp_calls += 1;
+            // Built only when tracing: the selection borrow ends before
+            // the cache-hit counters can be re-read, so the ids are
+            // staged here and the event emitted after the starts.
+            let mut chosen_trace: Vec<u64> = Vec::new();
+            if tracing {
+                chosen_trace.extend(sel.chosen.iter().map(|&i| work.ids[i].0));
+            }
             let head_selected = sel.chosen.iter().any(|&i| work.ids[i] == head_id);
             if !head_selected {
                 queue.head_mut().expect("still non-empty").scount += 1;
                 telemetry.head_skips += 1;
+                trace_event!(
+                    ctx.trace(),
+                    TraceEvent::HeadSkip {
+                        job: head_id.0,
+                        at: now.as_secs(),
+                        scount: head_scount + 1,
+                    }
+                );
             }
             for &i in &sel.chosen {
                 let id = work.ids[i];
@@ -80,6 +109,19 @@ pub(crate) fn delayed_los_cycle(
                 free -= work.sizes[i];
                 queue.remove(id);
                 telemetry.dp_starts += 1;
+            }
+            if tracing {
+                let cache_hit = work.solver.stats().cache_hits > hits_before;
+                trace_event!(
+                    ctx.trace(),
+                    TraceEvent::DpSelect {
+                        at: now.as_secs(),
+                        kernel: DpKernel::Basic,
+                        candidates,
+                        chosen: chosen_trace,
+                        cache_hit,
+                    }
+                );
             }
             dp_done = true;
             continue;
@@ -101,14 +143,34 @@ pub(crate) fn delayed_los_cycle(
                 extends: freeze.extends(now, w.view.dur),
             });
         }
+        let tracing = ctx.trace().is_some();
+        let hits_before = work.solver.stats().cache_hits;
+        let candidates = work.ids.len() as u32;
         let sel = work.solver.reservation(&work.items, free, freeze.frec, unit);
         telemetry.reservation_dp_calls += 1;
+        let mut chosen_trace: Vec<u64> = Vec::new();
+        if tracing {
+            chosen_trace.extend(sel.chosen.iter().map(|&i| work.ids[i].0));
+        }
         for &i in &sel.chosen {
             let id = work.ids[i];
             ctx.start(id).expect("DP selection fits");
             free -= work.items[i].num;
             queue.remove(id);
             telemetry.dp_starts += 1;
+        }
+        if tracing {
+            let cache_hit = work.solver.stats().cache_hits > hits_before;
+            trace_event!(
+                ctx.trace(),
+                TraceEvent::DpSelect {
+                    at: now.as_secs(),
+                    kernel: DpKernel::Reservation,
+                    candidates,
+                    chosen: chosen_trace,
+                    cache_hit,
+                }
+            );
         }
         dp_done = true;
     }

@@ -39,8 +39,12 @@
 //! request even when it straddles a unit boundary); `used_now` therefore
 //! reports *allocated* processors, i.e. chosen units × unit size.
 
-use elastisched_sim::{Duration, JobId};
+use elastisched_sim::{Duration, JobId, DP_NANOS_SAMPLE_EVERY};
 use std::time::Instant;
+
+// The sampling factor must be a power of two: the due-for-a-clock-read
+// check is a mask, not a modulo.
+const _: () = assert!(DP_NANOS_SAMPLE_EVERY.is_power_of_two());
 
 /// One candidate job for Reservation_DP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -327,10 +331,11 @@ pub struct DpStats {
     /// Wall-clock nanoseconds spent running DP kernels — cache misses
     /// only, and only when [`DpSolver::timed`] is set. Hits are not
     /// clocked: reading the clock twice costs more than the hit itself.
-    /// On the cached path the figure is *sampled*: every 16th miss is
-    /// clocked and scaled by 16, so the two clock reads stay off the
-    /// per-solve hot path (with ~hundreds of misses per run the estimate
-    /// is well within the run-to-run jitter of the real figure). The
+    /// On the cached path the figure is *sampled*: every
+    /// [`DP_NANOS_SAMPLE_EVERY`]-th miss is clocked and scaled back up
+    /// by the same factor, so the two clock reads stay off the per-solve
+    /// hot path (with ~hundreds of misses per run the estimate is well
+    /// within the run-to-run jitter of the real figure). The
     /// cache-disabled path still clocks every solve exactly.
     pub nanos: u64,
 }
@@ -460,18 +465,20 @@ impl DpSolver {
         if slot.valid && slot.key == *keybuf {
             stats.cache_hits += 1;
         } else {
-            // Only a kernel run is clocked, and only one miss in 16 (see
-            // [`DpStats::nanos`]): a hit costs less than reading the
-            // clock twice would, and on misses the kernel itself is now
-            // cheap enough that unsampled clocking would dominate it.
-            let t0 = (timed && stats.cache_misses & 0xf == 0).then(Instant::now);
+            // Only a kernel run is clocked, and only one miss in
+            // DP_NANOS_SAMPLE_EVERY (see [`DpStats::nanos`]): a hit
+            // costs less than reading the clock twice would, and on
+            // misses the kernel itself is now cheap enough that
+            // unsampled clocking would dominate it.
+            let t0 = (timed && stats.cache_misses & (DP_NANOS_SAMPLE_EVERY - 1) == 0)
+                .then(Instant::now);
             solve_basic(scratch, sizes, capacity, unit, &mut slot.sel);
             slot.key.clear();
             slot.key.extend_from_slice(keybuf);
             slot.valid = true;
             stats.cache_misses += 1;
             if let Some(t0) = t0 {
-                stats.nanos += t0.elapsed().as_nanos() as u64 * 16;
+                stats.nanos += t0.elapsed().as_nanos() as u64 * DP_NANOS_SAMPLE_EVERY;
             }
         }
         &self.cache.slots[idx].sel
@@ -524,15 +531,17 @@ impl DpSolver {
         if slot.valid && slot.key == *keybuf {
             stats.cache_hits += 1;
         } else {
-            // Sampled 1-in-16 like the basic path; see [`DpStats::nanos`].
-            let t0 = (timed && stats.cache_misses & 0xf == 0).then(Instant::now);
+            // Sampled 1-in-DP_NANOS_SAMPLE_EVERY like the basic path;
+            // see [`DpStats::nanos`].
+            let t0 = (timed && stats.cache_misses & (DP_NANOS_SAMPLE_EVERY - 1) == 0)
+                .then(Instant::now);
             solve_reservation(scratch, items, cap_now, cap_freeze, unit, &mut slot.sel);
             slot.key.clear();
             slot.key.extend_from_slice(keybuf);
             slot.valid = true;
             stats.cache_misses += 1;
             if let Some(t0) = t0 {
-                stats.nanos += t0.elapsed().as_nanos() as u64 * 16;
+                stats.nanos += t0.elapsed().as_nanos() as u64 * DP_NANOS_SAMPLE_EVERY;
             }
         }
         &self.cache.slots[idx].sel

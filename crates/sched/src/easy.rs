@@ -12,7 +12,9 @@
 
 use crate::freeze::{batch_head_freeze, Freeze};
 use crate::queue::BatchQueue;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler, SimTime};
+use elastisched_sim::{
+    trace_event, Duration, JobId, JobView, SchedContext, Scheduler, SimTime, TraceEvent,
+};
 
 /// Does the (optional) dedicated freeze allow starting a `(num, dur)` job
 /// now? Allowed iff the job finishes before the freeze end time or fits
@@ -77,6 +79,13 @@ pub(crate) fn easy_cycle(
             i += 1;
             continue;
         }
+        trace_event!(
+            ctx.trace(),
+            TraceEvent::Backfill {
+                job: id.0,
+                at: now.as_secs(),
+            }
+        );
         ctx.start(id).expect("backfill fit was checked");
         queue.remove_at(i);
         if delays_head {

@@ -21,7 +21,10 @@ use crate::dp::{DpItem, DpWork};
 use crate::freeze::dedicated_freeze;
 use crate::queue::{BatchQueue, DedicatedQueue};
 use crate::telemetry::Telemetry;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, SchedStats, Scheduler};
+use elastisched_sim::{
+    trace_event, DpKernel, Duration, JobId, JobView, SchedContext, SchedStats, Scheduler,
+    TraceEvent,
+};
 
 /// The Hybrid-LOS scheduler (heterogeneous workloads).
 #[derive(Debug)]
@@ -62,8 +65,16 @@ impl HybridLos {
 
     /// Algorithm 3: move the dedicated head to the batch head with
     /// `scount = C_s`, preserving its original arrival time.
-    fn move_dedicated_head_to_batch_head(&mut self) {
+    fn move_dedicated_head_to_batch_head(&mut self, ctx: &mut dyn SchedContext) {
         if let Some(view) = self.dedicated.pop_head() {
+            let at = ctx.now().as_secs();
+            trace_event!(
+                ctx.trace(),
+                TraceEvent::Promote {
+                    job: view.id.0,
+                    at,
+                }
+            );
             // `insert_priority` rather than a blind push-front: dedicated
             // jobs promoted in *earlier* cycles must keep their
             // requested-start precedence.
@@ -104,21 +115,51 @@ impl HybridLos {
                 extends: freeze.extends(now, w.view.dur),
             });
         }
+        let tracing = ctx.trace().is_some();
+        let hits_before = self.work.solver.stats().cache_hits;
+        let candidates = self.work.ids.len() as u32;
         let sel = self
             .work
             .solver
             .reservation(&self.work.items, free, freeze.frec, ctx.unit());
+        let mut chosen_trace: Vec<u64> = Vec::new();
+        if tracing {
+            chosen_trace.extend(sel.chosen.iter().map(|&i| self.work.ids[i].0));
+        }
         self.telemetry.reservation_dp_calls += 1;
         let head_selected = sel.chosen.iter().any(|&i| self.work.ids[i] == head_id);
         if bump_scount && !head_selected {
-            self.batch.head_mut().expect("batch non-empty").scount += 1;
+            let head = self.batch.head_mut().expect("batch non-empty");
+            head.scount += 1;
+            let scount = head.scount;
             self.telemetry.head_skips += 1;
+            trace_event!(
+                ctx.trace(),
+                TraceEvent::HeadSkip {
+                    job: head_id.0,
+                    at: now.as_secs(),
+                    scount,
+                }
+            );
         }
         for &i in &sel.chosen {
             let id = self.work.ids[i];
             ctx.start(id).expect("DP selection fits");
             self.batch.remove(id);
             self.telemetry.dp_starts += 1;
+        }
+        if tracing {
+            let cache_hit = self.work.solver.stats().cache_hits > hits_before;
+            trace_event!(
+                ctx.trace(),
+                TraceEvent::DpSelect {
+                    at: now.as_secs(),
+                    kernel: DpKernel::Reservation,
+                    candidates,
+                    chosen: chosen_trace,
+                    cache_hit,
+                }
+            );
         }
         self.telemetry.record_dp(self.work.stats());
     }
@@ -178,6 +219,14 @@ impl Scheduler for HybridLos {
                 if head_scount >= self.cs {
                     // Lines 35–37 (guarded; see module docs).
                     if head_num <= m {
+                        trace_event!(
+                            ctx.trace(),
+                            TraceEvent::HeadForceStart {
+                                job: head_id.0,
+                                at: now.as_secs(),
+                                scount: head_scount,
+                            }
+                        );
                         ctx.start(head_id).expect("head fit was checked");
                         self.batch.pop_head();
                         self.telemetry.head_force_starts += 1;
@@ -186,7 +235,7 @@ impl Scheduler for HybridLos {
                     // Head cannot start: schedule around the dedicated
                     // reservation (no further scount bumping).
                     if dstart <= now {
-                        self.move_dedicated_head_to_batch_head();
+                        self.move_dedicated_head_to_batch_head(ctx);
                         continue;
                     }
                     if dp_done {
@@ -198,7 +247,7 @@ impl Scheduler for HybridLos {
                 }
                 // Lines 6–7: dedicated head due → promote it.
                 if dstart <= now {
-                    self.move_dedicated_head_to_batch_head();
+                    self.move_dedicated_head_to_batch_head(ctx);
                     continue;
                 }
                 // Lines 8–33: schedule around the future dedicated start.
@@ -214,7 +263,7 @@ impl Scheduler for HybridLos {
             if let Some(d) = self.dedicated.head() {
                 let dstart = d.class.requested_start().expect("dedicated start");
                 if dstart <= now {
-                    self.move_dedicated_head_to_batch_head();
+                    self.move_dedicated_head_to_batch_head(ctx);
                     if ctx.free() == 0 {
                         return;
                     }

@@ -14,7 +14,10 @@ use crate::dp::{DpItem, DpWork};
 use crate::easy::{ded_allows, ded_commit};
 use crate::freeze::{batch_head_freeze, Freeze};
 use crate::queue::BatchQueue;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, SchedStats, Scheduler};
+use elastisched_sim::{
+    trace_event, DpKernel, Duration, JobId, JobView, SchedContext, SchedStats, Scheduler,
+    TraceEvent,
+};
 
 /// Default lookahead window: the LOS paper shows 50 jobs suffice.
 pub const DEFAULT_LOOKAHEAD: usize = 50;
@@ -68,11 +71,31 @@ pub(crate) fn los_cycle(
             extends: freeze.extends(now, w.view.dur),
         });
     }
+    let tracing = ctx.trace().is_some();
+    let hits_before = work.solver.stats().cache_hits;
+    let candidates = work.ids.len() as u32;
     let sel = work.solver.reservation(&work.items, free, freeze.frec, ctx.unit());
+    let mut chosen_trace: Vec<u64> = Vec::new();
+    if tracing {
+        chosen_trace.extend(sel.chosen.iter().map(|&i| work.ids[i].0));
+    }
     for &i in &sel.chosen {
         let id = work.ids[i];
         ctx.start(id).expect("DP selection fits");
         queue.remove(id);
+    }
+    if tracing {
+        let cache_hit = work.solver.stats().cache_hits > hits_before;
+        trace_event!(
+            ctx.trace(),
+            TraceEvent::DpSelect {
+                at: now.as_secs(),
+                kernel: DpKernel::Reservation,
+                candidates,
+                chosen: chosen_trace,
+                cache_hit,
+            }
+        );
     }
 }
 

@@ -34,7 +34,11 @@ pub struct Telemetry {
     /// DP solves that actually ran a kernel.
     #[serde(default)]
     pub dp_cache_misses: u64,
-    /// Cumulative wall-clock nanoseconds spent in the DP solver.
+    /// *Estimated* wall-clock nanoseconds spent in the DP solver. Since
+    /// PR 2 the solver reads the clock on only 1-in-
+    /// [`elastisched_sim::DP_NANOS_SAMPLE_EVERY`] kernel runs and
+    /// multiplies the measured span back up, so this is an extrapolated
+    /// estimate (statistically accurate over a run, not an exact sum).
     #[serde(default)]
     pub dp_nanos: u64,
 }
@@ -74,5 +78,41 @@ mod tests {
             ..Telemetry::default()
         };
         assert_eq!(t.total_starts(), 10);
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let t = Telemetry {
+            head_force_starts: 1,
+            basic_dp_calls: 2,
+            reservation_dp_calls: 3,
+            head_skips: 4,
+            dp_starts: 5,
+            dedicated_promotions: 6,
+            cycles: 7,
+            dp_cache_hits: 8,
+            dp_cache_misses: 9,
+            dp_nanos: 10,
+        };
+        let text = serde_json::to_string(&t).unwrap();
+        let back: Telemetry = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn serde_tolerates_missing_and_unknown_fields() {
+        // A fixture from before the cache counters existed, plus a field
+        // from some future version: both must deserialize cleanly.
+        let text = r#"{
+            "head_force_starts": 2, "basic_dp_calls": 0,
+            "reservation_dp_calls": 0, "head_skips": 1, "dp_starts": 3,
+            "dedicated_promotions": 0, "cycles": 9,
+            "some_future_counter": 123
+        }"#;
+        let t: Telemetry = serde_json::from_str(text).unwrap();
+        assert_eq!(t.head_force_starts, 2);
+        assert_eq!(t.cycles, 9);
+        assert_eq!(t.dp_cache_hits, 0, "missing field takes its default");
+        assert_eq!(t.dp_nanos, 0);
     }
 }

@@ -14,9 +14,20 @@ use crate::machine::Machine;
 use crate::running::{RunningJob, RunningSet};
 use crate::sched_api::{JobView, SchedContext, SchedStats, Scheduler, StartError};
 use crate::time::{Duration, SimTime};
+use elastisched_trace::{trace_event, EccTag, TraceEvent, TraceSink};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+
+/// The trace-facing tag for an engine-level ECC kind.
+fn ecc_tag(kind: EccKind) -> EccTag {
+    match kind {
+        EccKind::ExtendTime => EccTag::ExtendTime,
+        EccKind::ReduceTime => EccTag::ReduceTime,
+        EccKind::ExtendProcs => EccTag::ExtendProcs,
+        EccKind::ReduceProcs => EccTag::ReduceProcs,
+    }
+}
 
 /// Deterministic multiplicative hasher for [`JobId`] keys.
 ///
@@ -109,7 +120,9 @@ impl EccStats {
 /// and how much work same-instant cycle coalescing saved. Purely
 /// diagnostic — none of these affect simulation semantics, and
 /// `RunMetrics` equality ignores them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize,
+)]
 pub struct EngineStats {
     /// Events dispatched over the whole run.
     pub events: u64,
@@ -166,6 +179,9 @@ pub struct SimResult {
     pub sched_stats: SchedStats,
     /// Event-loop counters (traffic, coalescing, wall-clock).
     pub engine: EngineStats,
+    /// The trace recorded during the run (`None` unless tracing was
+    /// enabled via [`Engine::enable_tracing`]).
+    pub trace: Option<Box<TraceSink>>,
 }
 
 impl SimResult {
@@ -209,6 +225,11 @@ struct EngineState {
     wait_views: Vec<JobView>,
     wait_head: usize,
     wait_stale: usize,
+    /// Trace sink, present only when tracing was enabled for this run.
+    /// Boxed so the disabled path carries one pointer, not the sink's
+    /// inline histogram. `None` means every `trace_event!` call site in
+    /// the engine and the schedulers is a single always-false branch.
+    trace: Option<Box<TraceSink>>,
 }
 
 impl EngineState {
@@ -295,6 +316,14 @@ impl SchedContext for EngineState {
         } else {
             self.wait_stale += 1;
         }
+        trace_event!(
+            self.trace.as_deref_mut(),
+            TraceEvent::Start {
+                job: id.0,
+                at: now.as_secs(),
+                num: alloc,
+            }
+        );
         Ok(())
     }
 
@@ -314,6 +343,10 @@ impl SchedContext for EngineState {
 
     fn request_wakeup(&mut self, at: SimTime) {
         self.queue.push(at.max(self.now), Event::Wakeup);
+    }
+
+    fn trace(&mut self) -> Option<&mut TraceSink> {
+        self.trace.as_deref_mut()
     }
 }
 
@@ -347,6 +380,7 @@ impl<S: Scheduler> Engine<S> {
                 wait_views: Vec::new(),
                 wait_head: 0,
                 wait_stale: 0,
+                trace: None,
             },
             first_arrival: SimTime::MAX,
             last_arrival: SimTime::ZERO,
@@ -361,6 +395,13 @@ impl<S: Scheduler> Engine<S> {
     pub fn enable_sampling(&mut self, interval: Duration) {
         assert!(interval > Duration::ZERO, "sampling interval must be positive");
         self.sample_every = Some(interval);
+    }
+
+    /// Attach a trace sink: the run records lifecycle, decision, and
+    /// cycle events into it and hands it back in [`SimResult::trace`].
+    /// Without this call tracing costs one branch per call site.
+    pub fn enable_tracing(&mut self, sink: TraceSink) {
+        self.state.trace = Some(Box::new(sink));
     }
 
     /// Load jobs and ECCs, validating feasibility.
@@ -395,6 +436,24 @@ impl<S: Scheduler> Engine<S> {
     pub fn run(mut self) -> Result<SimResult, SimError> {
         let wall = std::time::Instant::now();
         let mut engine_stats = EngineStats::default();
+        // Trace preamble: machine shape plus one Submit per loaded job,
+        // so a trace is self-describing even before any event fires.
+        if let Some(tr) = self.state.trace.as_deref_mut() {
+            tr.record(TraceEvent::RunMeta {
+                total: self.state.machine.total(),
+                unit: self.state.machine.unit(),
+                scheduler: self.scheduler.name().to_string(),
+            });
+            for rec in &self.state.records {
+                tr.record(TraceEvent::Submit {
+                    job: rec.spec.id.0,
+                    at: rec.spec.submit.as_secs(),
+                    num: rec.spec.num,
+                    dur: rec.spec.dur.as_secs(),
+                    dedicated: rec.spec.class.requested_start().is_some(),
+                });
+            }
+        }
         // Reused across instants: one batch drain per cycle, no per-event
         // peeking and no allocation once it reaches the burst high-water
         // mark.
@@ -422,7 +481,32 @@ impl<S: Scheduler> Engine<S> {
             engine_stats.events += dispatched;
             engine_stats.events_coalesced += dispatched - 1;
             engine_stats.cycles += 1;
+            // Cycle span timing happens only when a sink is attached
+            // *and* its timing knob is on — the untraced hot path never
+            // reads the wall clock here.
+            let cycle_t0 = match &self.state.trace {
+                Some(tr) if tr.timing() => Some(std::time::Instant::now()),
+                _ => None,
+            };
             self.scheduler.cycle(&mut self.state);
+            if self.state.trace.is_some() {
+                let nanos = cycle_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+                let queue_depth = self.state.queue.len() as u32;
+                let free = self.state.machine.free();
+                let tr = self.state.trace.as_deref_mut().expect("checked above");
+                if tr.timing() {
+                    tr.cycle_hist.record(nanos);
+                }
+                if tr.cycle_due() {
+                    tr.record(TraceEvent::Cycle {
+                        at: t.as_secs(),
+                        events: dispatched.min(u64::from(u32::MAX)) as u32,
+                        queue_depth,
+                        free,
+                        nanos,
+                    });
+                }
+            }
             if let Some(every) = self.sample_every {
                 let due = match self.last_sample {
                     None => true,
@@ -473,6 +557,7 @@ impl<S: Scheduler> Engine<S> {
             ecc: state.ecc_stats,
             samples: self.samples,
             engine: engine_stats,
+            trace: state.trace,
         })
     }
 
@@ -510,6 +595,13 @@ impl<S: Scheduler> Engine<S> {
         // Appending a genuinely-waiting view keeps the snapshot exact, so
         // no dirty flag: arrival bursts stay O(1) per job.
         self.state.wait_views.push(view);
+        trace_event!(
+            self.state.trace.as_deref_mut(),
+            TraceEvent::Queued {
+                job: id.0,
+                at: now.as_secs(),
+            }
+        );
         self.scheduler.on_arrival(view);
         Ok(())
     }
@@ -560,6 +652,16 @@ impl<S: Scheduler> Engine<S> {
             runtime: finished.saturating_since(started),
             wait: started.saturating_since(eligible),
         };
+        trace_event!(
+            self.state.trace.as_deref_mut(),
+            TraceEvent::Finish {
+                job: id.0,
+                at: finished.as_secs(),
+                num,
+                wait: outcome.wait.as_secs(),
+                runtime: outcome.runtime.as_secs(),
+            }
+        );
         self.state.makespan = self.state.makespan.max(finished);
         self.state.outcomes.push(outcome);
     }
@@ -629,6 +731,17 @@ impl<S: Scheduler> Engine<S> {
                 rec.ecc_count += 1;
                 let (id, num, dur) = (ecc.job, rec.alloc, rec.est_dur);
                 self.state.ecc_stats.applied_queued += 1;
+                trace_event!(
+                    self.state.trace.as_deref_mut(),
+                    TraceEvent::Ecc {
+                        job: id.0,
+                        at: now.as_secs(),
+                        kind: ecc_tag(ecc.kind),
+                        amount: ecc.amount,
+                        num,
+                        queued: true,
+                    }
+                );
                 if was_waiting {
                     // Waiting views live at or after the cursor; edit the
                     // one touched in place so the snapshot stays exact.
@@ -671,6 +784,7 @@ impl<S: Scheduler> Engine<S> {
                 rec.completion_epoch += 1;
                 rec.ecc_count += 1;
                 let epoch = rec.completion_epoch;
+                let alloc = rec.alloc;
                 rec.state = JobState::Running {
                     started,
                     finish: new_finish,
@@ -680,6 +794,17 @@ impl<S: Scheduler> Engine<S> {
                     .queue
                     .push(new_finish, Event::Completion { job: id, epoch });
                 self.state.ecc_stats.applied_running += 1;
+                trace_event!(
+                    self.state.trace.as_deref_mut(),
+                    TraceEvent::Ecc {
+                        job: id.0,
+                        at: now.as_secs(),
+                        kind: ecc_tag(ecc.kind),
+                        amount: ecc.amount,
+                        num: alloc,
+                        queued: false,
+                    }
+                );
                 Ok(())
             }
             EccKind::ExtendProcs => {
@@ -698,6 +823,17 @@ impl<S: Scheduler> Engine<S> {
                 let alloc = rec.alloc;
                 self.state.running.update_num(id, alloc);
                 self.state.ecc_stats.applied_running += 1;
+                trace_event!(
+                    self.state.trace.as_deref_mut(),
+                    TraceEvent::Ecc {
+                        job: id.0,
+                        at: now.as_secs(),
+                        kind: ecc_tag(ecc.kind),
+                        amount: ecc.amount,
+                        num: alloc,
+                        queued: false,
+                    }
+                );
                 Ok(())
             }
             EccKind::ReduceProcs => {
@@ -717,6 +853,17 @@ impl<S: Scheduler> Engine<S> {
                     .release(shrink, now)
                     .map_err(|e| SimError::Start(e.to_string()))?;
                 self.state.ecc_stats.applied_running += 1;
+                trace_event!(
+                    self.state.trace.as_deref_mut(),
+                    TraceEvent::Ecc {
+                        job: id.0,
+                        at: now.as_secs(),
+                        kind: ecc_tag(ecc.kind),
+                        amount: ecc.amount,
+                        num: alloc,
+                        queued: false,
+                    }
+                );
                 Ok(())
             }
         }
@@ -1004,5 +1151,90 @@ mod tests {
         let r = run_jobs(&jobs, &[], EccPolicy::disabled());
         let o2 = r.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
         assert_eq!(o2.started, SimTime::from_secs(40));
+    }
+
+    #[test]
+    fn untraced_run_carries_no_sink() {
+        let r = run_jobs(&[JobSpec::batch(1, 0, 32, 10)], &[], EccPolicy::disabled());
+        assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn traced_run_records_full_lifecycle() {
+        let jobs = vec![
+            JobSpec::batch(1, 0, 320, 100),
+            JobSpec::batch(2, 30, 320, 50),
+        ];
+        let mut engine = Engine::new(
+            Machine::bluegene_p(),
+            TestFifo::new(),
+            EccPolicy::disabled(),
+        );
+        let mut sink = TraceSink::new();
+        sink.disable_timing();
+        engine.enable_tracing(sink);
+        engine.load(&jobs, &[]).unwrap();
+        let r = engine.run().unwrap();
+        let tr = r.trace.as_deref().expect("tracing was enabled");
+        let count = |f: fn(&TraceEvent) -> bool| tr.events().filter(|e| f(e)).count();
+        assert_eq!(count(|e| matches!(e, TraceEvent::RunMeta { .. })), 1);
+        assert_eq!(count(|e| matches!(e, TraceEvent::Submit { .. })), 2);
+        assert_eq!(count(|e| matches!(e, TraceEvent::Queued { .. })), 2);
+        assert_eq!(count(|e| matches!(e, TraceEvent::Start { .. })), 2);
+        assert_eq!(count(|e| matches!(e, TraceEvent::Finish { .. })), 2);
+        assert!(count(|e| matches!(e, TraceEvent::Cycle { .. })) > 0);
+        // Timing disabled: every cycle span is zeroed and the histogram
+        // stays empty, so the trace is byte-deterministic.
+        assert!(tr
+            .events()
+            .all(|e| !matches!(e, TraceEvent::Cycle { nanos, .. } if *nanos != 0)));
+        assert!(tr.cycle_hist.is_empty());
+        // Job 2 waits 70 s; the Finish event carries the same accounting
+        // as the outcome record.
+        assert!(tr
+            .events()
+            .any(|e| matches!(e, TraceEvent::Finish { job: 2, wait: 70, runtime: 50, .. })));
+    }
+
+    #[test]
+    fn traced_run_with_timing_populates_cycle_hist() {
+        let jobs = vec![JobSpec::batch(1, 0, 32, 10)];
+        let mut engine = Engine::new(
+            Machine::bluegene_p(),
+            TestFifo::new(),
+            EccPolicy::disabled(),
+        );
+        engine.enable_tracing(TraceSink::new());
+        engine.load(&jobs, &[]).unwrap();
+        let r = engine.run().unwrap();
+        let tr = r.trace.as_deref().unwrap();
+        assert!(!tr.cycle_hist.is_empty());
+    }
+
+    #[test]
+    fn engine_stats_serde_round_trips() {
+        let s = EngineStats {
+            events: 1,
+            cycles: 2,
+            events_coalesced: 3,
+            queue_ops: 4,
+            peak_queue_len: 5,
+            engine_nanos: 6,
+        };
+        let text = serde_json::to_string(&s).unwrap();
+        let back: EngineStats = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn engine_stats_serde_ignores_unknown_fields() {
+        let text = r#"{
+            "events": 10, "cycles": 5, "events_coalesced": 0,
+            "queue_ops": 20, "peak_queue_len": 3, "engine_nanos": 0,
+            "future_field": "ignored"
+        }"#;
+        let s: EngineStats = serde_json::from_str(text).unwrap();
+        assert_eq!(s.events, 10);
+        assert_eq!(s.peak_queue_len, 3);
     }
 }

@@ -43,5 +43,13 @@ pub use event::{Event, EventQueue};
 pub use job::{JobClass, JobId, JobOutcome, JobRecord, JobSpec, JobState};
 pub use machine::{Machine, MachineError};
 pub use running::{RunningJob, RunningSet};
-pub use sched_api::{JobView, SchedContext, SchedStats, Scheduler, StartError};
+pub use sched_api::{
+    JobView, SchedContext, SchedStats, Scheduler, StartError, DP_NANOS_SAMPLE_EVERY,
+};
 pub use time::{Duration, SimTime};
+
+// Tracing re-exports, so downstream crates that only need to *read* a
+// trace (metrics, the CLI) can stay off the trace crate directly.
+pub use elastisched_trace::{
+    trace_event, DpKernel, EccTag, LogHistogram, TraceEvent, TraceSink,
+};

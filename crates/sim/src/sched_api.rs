@@ -9,7 +9,16 @@ use crate::job::{JobClass, JobId};
 use crate::machine::MachineError;
 use crate::running::RunningSet;
 use crate::time::{Duration, SimTime};
+use elastisched_trace::TraceSink;
 use std::fmt;
+
+/// DP-kernel wall-clock timing is sampled: only one kernel invocation
+/// in every `DP_NANOS_SAMPLE_EVERY` reads the clock, and the measured
+/// span is multiplied back up by this factor. Shared by the solver (to
+/// sample) and by anything interpreting `dp_nanos` (to know it is an
+/// extrapolated estimate, not an exact sum). Must be a power of two —
+/// the solver masks with `DP_NANOS_SAMPLE_EVERY - 1`.
+pub const DP_NANOS_SAMPLE_EVERY: u64 = 16;
 
 /// A scheduler-facing snapshot of one waiting job.
 ///
@@ -86,7 +95,9 @@ pub struct SchedStats {
     pub dp_cache_hits: u64,
     /// DP solves that actually ran a kernel.
     pub dp_cache_misses: u64,
-    /// Cumulative wall-clock nanoseconds spent in DP solves.
+    /// *Estimated* wall-clock nanoseconds spent in DP solves: timing is
+    /// sampled 1-in-[`DP_NANOS_SAMPLE_EVERY`] and extrapolated, so this
+    /// is statistically accurate over a run but not an exact sum.
     pub dp_nanos: u64,
 }
 
@@ -122,6 +133,13 @@ pub trait SchedContext {
     /// The slice is invalidated by [`SchedContext::start`]; re-borrow
     /// after starting a job.
     fn waiting_jobs(&mut self) -> &[JobView];
+    /// The run's trace sink, when tracing is enabled. Schedulers record
+    /// decision events through this (via the `trace_event!` macro, which
+    /// skips event construction entirely when the sink is absent).
+    /// Defaults to `None` so contexts without tracing need no code.
+    fn trace(&mut self) -> Option<&mut TraceSink> {
+        None
+    }
 }
 
 /// A scheduling policy.

@@ -1,0 +1,112 @@
+//! Shared test helpers.
+//!
+//! The only export today is [`EnvGuard`], a RAII guard serializing
+//! tests that mutate process environment variables (such as
+//! `ELASTISCHED_THREADS`). Rust runs tests in threads within one
+//! process, and `std::env::set_var` is process-global, so two tests
+//! touching the same variable race unless they share a lock. Every
+//! test that sets an env var must go through this guard instead of
+//! calling `set_var` directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::env;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The process-wide lock all [`EnvGuard`]s share.
+fn env_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Holds the process-wide env lock, sets a variable, and restores its
+/// previous state (set or unset) on drop.
+///
+/// ```
+/// use elastisched_test_util::EnvGuard;
+///
+/// let guard = EnvGuard::set("ELASTISCHED_TEST_DOC", "4");
+/// assert_eq!(std::env::var("ELASTISCHED_TEST_DOC").as_deref(), Ok("4"));
+/// drop(guard);
+/// assert!(std::env::var("ELASTISCHED_TEST_DOC").is_err());
+/// ```
+pub struct EnvGuard {
+    key: String,
+    prev: Option<String>,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl EnvGuard {
+    /// Acquire the env lock and set `key=value` until drop.
+    pub fn set(key: &str, value: &str) -> EnvGuard {
+        // A test that panicked while holding the lock has already
+        // failed; the env state it left is restored by its own guard's
+        // drop, so the poison flag carries no extra information.
+        let lock = env_lock().lock().unwrap_or_else(|e| e.into_inner());
+        let prev = env::var(key).ok();
+        env::set_var(key, value);
+        EnvGuard {
+            key: key.to_string(),
+            prev,
+            _lock: lock,
+        }
+    }
+
+    /// Acquire the env lock and *unset* `key` until drop.
+    pub fn unset(key: &str) -> EnvGuard {
+        let lock = env_lock().lock().unwrap_or_else(|e| e.into_inner());
+        let prev = env::var(key).ok();
+        env::remove_var(key);
+        EnvGuard {
+            key: key.to_string(),
+            prev,
+            _lock: lock,
+        }
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        match &self.prev {
+            Some(v) => env::set_var(&self.key, v),
+            None => env::remove_var(&self.key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test uses its own key: assertions made after a guard drops
+    // run outside the lock, so a shared key would race across tests.
+
+    #[test]
+    fn set_then_restore_unset() {
+        const KEY: &str = "ELASTISCHED_TEST_UTIL_PROBE_A";
+        {
+            let _g = EnvGuard::set(KEY, "hello");
+            assert_eq!(env::var(KEY).as_deref(), Ok("hello"));
+        }
+        assert!(env::var(KEY).is_err(), "restored to unset");
+    }
+
+    #[test]
+    fn previous_value_restored_over_direct_mutation() {
+        const KEY: &str = "ELASTISCHED_TEST_UTIL_PROBE_B";
+        let outer = EnvGuard::set(KEY, "outer");
+        // Can't nest a second guard (it would deadlock on the shared
+        // lock by design); mutate directly and restore via the guard.
+        env::set_var(KEY, "inner");
+        drop(outer);
+        assert!(env::var(KEY).is_err());
+    }
+
+    #[test]
+    fn unset_hides_the_variable() {
+        const KEY: &str = "ELASTISCHED_TEST_UTIL_PROBE_C";
+        let _g = EnvGuard::unset(KEY);
+        assert!(env::var(KEY).is_err());
+    }
+}

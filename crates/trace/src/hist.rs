@@ -1,0 +1,168 @@
+//! Streaming log-bucketed histograms (HDR-style, allocation-free).
+//!
+//! A [`LogHistogram`] is a fixed array of 65 power-of-two buckets:
+//! bucket 0 counts exact zeros, bucket `b ≥ 1` counts values in
+//! `[2^(b-1), 2^b)`. Recording is a `leading_zeros` and an increment —
+//! no allocation, no branching beyond the zero check — so the engine can
+//! stream per-cycle wall-clock spans into one on the hot path, and the
+//! metrics layer can fold whole wait/slowdown distributions without
+//! materializing them.
+//!
+//! Quantiles are estimated from bucket midpoints (the arithmetic middle
+//! of the bucket range), giving ≤ ±50% relative error per value — the
+//! usual log-bucket trade: exact enough to tell 1 ms from 10 ms, cheap
+//! enough to never matter.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-size, allocation-free, log-bucketed histogram of `u64`
+/// samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Per-bucket counts (see module docs for the bucket bounds).
+    pub counts: [u64; HIST_BUCKETS],
+    /// Total samples recorded.
+    pub n: u64,
+    /// Largest sample seen (0 when empty).
+    pub max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: [0; HIST_BUCKETS],
+            n: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a sample: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Midpoint representative of a bucket, for quantile estimates.
+fn bucket_mid(b: usize) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        // Bucket b covers [2^(b-1), 2^b): arithmetic middle 1.5 · 2^(b-1).
+        1.5 * 2f64.powi(b as i32 - 1)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.n += 1;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`), from bucket midpoints
+    /// capped at the exact recorded maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen >= rank {
+                return bucket_mid(b).min(self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.n += other.n;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_counts_and_max() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.n, 5);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[3], 1); // 5 ∈ [4, 8)
+        assert_eq!(h.counts[10], 1); // 1000 ∈ [512, 1024)
+    }
+
+    #[test]
+    fn quantile_is_log_accurate() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        // True median 500; a log-bucket estimate must land in [256, 1024).
+        assert!((256.0..1024.0).contains(&p50), "p50 = {p50}");
+        // The minimum lands in bucket [1, 2), midpoint 1.5.
+        let p0 = h.quantile(0.0);
+        assert!((1.0..2.0).contains(&p0), "p0 = {p0}");
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        assert_eq!(LogHistogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_distributions() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(3);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.n, 2);
+        assert_eq!(a.max, 300);
+    }
+}

@@ -1,0 +1,196 @@
+//! The ring-buffer trace sink.
+//!
+//! A [`TraceSink`] is a bounded, overwrite-oldest event buffer owned by
+//! the simulation engine and lent to schedulers through
+//! `SchedContext::trace`. The simulator is single-threaded, so "lock
+//! free" here means *free of locks by construction*: recording is an
+//! index bump and a slot write, never a syscall or an allocation once
+//! the ring has filled. When a run outgrows the capacity the oldest
+//! events are overwritten and counted in [`TraceSink::dropped`], so a
+//! bounded sink can watch an unbounded run and keep the most recent
+//! history — the part an explanation usually needs.
+//!
+//! Two runtime knobs keep the enabled path proportional to interest:
+//!
+//! * [`TraceSink::set_cycle_sampling`] records only every Nth
+//!   [`crate::TraceEvent::Cycle`] span (decision and lifecycle events
+//!   are never sampled — they are rare and each one matters);
+//! * [`TraceSink::disable_timing`] skips the per-cycle clock reads and
+//!   zeroes `Cycle::nanos`, making traces byte-for-byte deterministic
+//!   (golden fixtures pin this form).
+
+use crate::event::TraceEvent;
+use crate::hist::LogHistogram;
+
+/// Default ring capacity: enough for a paper-scale run (500 jobs emit
+/// a few thousand events) with two orders of magnitude of headroom.
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// A bounded, overwrite-oldest buffer of [`TraceEvent`]s plus the
+/// streaming per-cycle wall-clock histogram.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    events: Vec<TraceEvent>,
+    /// Index of the *oldest* event once the ring has wrapped.
+    head: usize,
+    cap: usize,
+    dropped: u64,
+    timing: bool,
+    cycle_sample: u32,
+    cycle_seen: u32,
+    /// Wall-clock nanoseconds per engine cycle (empty when timing is
+    /// off). Streams into `RunMetrics` after the run.
+    pub cycle_hist: LogHistogram,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    /// A sink with the default capacity, timing on, no cycle sampling.
+    pub fn new() -> Self {
+        TraceSink::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A sink holding at most `cap` events (min 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        TraceSink {
+            events: Vec::new(),
+            head: 0,
+            cap: cap.max(1),
+            dropped: 0,
+            timing: true,
+            cycle_sample: 1,
+            cycle_seen: 0,
+            cycle_hist: LogHistogram::new(),
+        }
+    }
+
+    /// Record only every `n`-th engine cycle span (1 = all, the
+    /// default). Lifecycle and decision events are unaffected.
+    pub fn set_cycle_sampling(&mut self, n: u32) -> &mut Self {
+        self.cycle_sample = n.max(1);
+        self
+    }
+
+    /// Skip wall-clock reads: `Cycle::nanos` becomes 0 and the cycle
+    /// histogram stays empty, making the trace fully deterministic.
+    pub fn disable_timing(&mut self) -> &mut Self {
+        self.timing = false;
+        self
+    }
+
+    /// Whether per-cycle wall-clock timing is enabled.
+    pub fn timing(&self) -> bool {
+        self.timing
+    }
+
+    /// Called by the engine once per cycle: should this cycle's span
+    /// event be recorded under the sampling knob?
+    pub fn cycle_due(&mut self) -> bool {
+        self.cycle_seen += 1;
+        if self.cycle_seen >= self.cycle_sample {
+            self.cycle_seen = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Append an event, overwriting the oldest when full.
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events[self.head..]
+            .iter()
+            .chain(self.events[..self.head].iter())
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(job: u64) -> TraceEvent {
+        TraceEvent::Queued { job, at: job }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut s = TraceSink::with_capacity(8);
+        for i in 0..5 {
+            s.record(ev(i));
+        }
+        let got: Vec<u64> = s.events().filter_map(|e| e.job()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut s = TraceSink::with_capacity(4);
+        for i in 0..10 {
+            s.record(ev(i));
+        }
+        let got: Vec<u64> = s.events().filter_map(|e| e.job()).collect();
+        assert_eq!(got, vec![6, 7, 8, 9], "keeps the most recent history");
+        assert_eq!(s.dropped(), 6);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn cycle_sampling_records_one_in_n() {
+        let mut s = TraceSink::new();
+        s.set_cycle_sampling(4);
+        let due: Vec<bool> = (0..8).map(|_| s.cycle_due()).collect();
+        assert_eq!(due.iter().filter(|&&d| d).count(), 2);
+        // Every sample window fires exactly once.
+        assert!(due[3]);
+        assert!(due[7]);
+    }
+
+    #[test]
+    fn sampling_of_one_records_everything() {
+        let mut s = TraceSink::new();
+        assert!((0..5).all(|_| s.cycle_due()));
+    }
+
+    #[test]
+    fn timing_knob_round_trips() {
+        let mut s = TraceSink::new();
+        assert!(s.timing());
+        s.disable_timing();
+        assert!(!s.timing());
+    }
+}

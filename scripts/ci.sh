@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint, and perf-regression check, all offline.
+#
+# The repo vendors every dependency (see .cargo/config.toml), so the
+# whole gate must pass with no network access; --offline --locked makes
+# an accidental registry fetch or lockfile drift a hard failure instead
+# of a silent download.
+#
+# Usage: scripts/ci.sh [--no-bench]
+#   --no-bench   skip the bench-engine throughput check (useful on
+#                loaded/shared machines where timing is unreliable)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_bench_check=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-bench) run_bench_check=0 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "== build (release, offline, locked) =="
+cargo build --release --offline --locked --workspace
+
+echo "== tests =="
+cargo test --offline --locked --workspace --quiet
+
+echo "== clippy (deny warnings) =="
+cargo clippy --offline --locked --workspace --all-targets -- -D warnings
+
+if [ "$run_bench_check" = 1 ]; then
+    echo "== bench-engine regression check (2% budget) =="
+    ./target/release/repro bench-engine --check
+else
+    echo "== bench-engine regression check skipped (--no-bench) =="
+fi
+
+echo "CI gate passed."
