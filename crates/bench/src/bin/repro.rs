@@ -11,6 +11,13 @@
 //! repro bench-engine --check             # fail if headline regresses > 2%
 //! ```
 //!
+//! Global flags: `--serve-metrics <addr>` serves `/metrics` (Prometheus
+//! text) and `/status` (JSON) for the duration of the run; `--progress`
+//! prints per-point stderr progress lines with rate and ETA. Either one
+//! starts a telemetry campaign, whose per-scheduler cost table is
+//! printed at exit (see DESIGN.md §11; `escli top --addr <addr>` gives a
+//! one-shot live view).
+//!
 //! Figures are emitted as text series, CSV, JSON, and SVG plots.
 //!
 //! Absolute numbers are not expected to match the paper (different
@@ -204,7 +211,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <target> [--quick] [--out DIR]\n\
+            "usage: repro <target> [--quick] [--out DIR] [--serve-metrics ADDR] [--progress]\n\
              targets: all, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11,\n\
              \x20        table3, table4, table5, table6, table7,\n\
              \x20        baselines, ablation-lookahead, ablation-overestimate, ablation-contiguity,\n\
@@ -216,12 +223,26 @@ fn main() -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
     let force = args.iter().any(|a| a == "--force");
     let check = args.iter().any(|a| a == "--check");
+    let progress = args.iter().any(|a| a == "--progress");
+    let serve_metrics = args
+        .iter()
+        .position(|a| a == "--serve-metrics")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
+    let telemetry_requested = serve_metrics.is_some() || progress;
+    if telemetry_requested {
+        if let Err(e) = elastisched::telemetry::init(serve_metrics.as_deref(), progress) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        elastisched::telemetry::set_label("command", &format!("repro {target}"));
+    }
     let cfg = if quick {
         ReproConfig::quick()
     } else {
@@ -236,7 +257,13 @@ fn main() -> ExitCode {
     if opts.quick {
         eprintln!("(quick mode: {} jobs, {} loads)", cfg.n_jobs, cfg.loads.len());
     }
-    match run(&target, &cfg, &opts) {
+    let result = run(&target, &cfg, &opts);
+    if telemetry_requested {
+        if let Some(table) = elastisched::telemetry::cost_table() {
+            eprint!("{table}");
+        }
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

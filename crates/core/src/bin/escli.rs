@@ -11,7 +11,14 @@
 //!   decision that touched it, with optional JSONL / Chrome-trace export;
 //! * `tune` — empirically tune the maximum skip count `C_s` (§V-A);
 //! * `info` — trace statistics and workload characterization;
+//! * `top` — one-shot live view of another invocation's `--serve-metrics`
+//!   endpoint (`/status`);
 //! * `algorithms` — list the algorithm registry (paper Table III).
+//!
+//! The global `--serve-metrics <addr>` / `--progress` flags start a
+//! telemetry campaign for any simulating subcommand: a Prometheus-style
+//! scrape endpoint (`/metrics` + `/status`), stderr progress lines with
+//! ETA, and a per-scheduler cost table at exit. See DESIGN.md §11.
 
 use elastisched::prelude::*;
 use elastisched_sched::SchedParams;
@@ -32,7 +39,13 @@ USAGE:
                 [--machine M:unit] [--jsonl <out.jsonl>] [--chrome <out.json>]
   escli tune --ps P [--load L] [--jobs N] [--reps R] [--cs 1,3,7,...]
   escli info --trace <file.cwf>
+  escli top --addr <host:port>
   escli algorithms
+
+Global flags (any simulating subcommand):
+  --serve-metrics <addr>  serve /metrics (Prometheus) and /status (JSON)
+                          while running, e.g. 127.0.0.1:9898
+  --progress              stderr progress lines with rate and ETA
 
 Defaults: 500 jobs, P_S=0.5, P_D=0, machine 320:32 (BlueGene/P), C_s=7.
 Algorithms: FCFS, Conservative, EASY[-D|-E|-DE], LOS[-D|-E|-DE],
@@ -351,6 +364,24 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let addr = args
+        .get("addr")
+        .ok_or("--addr is required (host:port of a process started with --serve-metrics)")?;
+    let (code, body) = elastisched_sim::serve::http_get(
+        addr,
+        "/status",
+        std::time::Duration::from_secs(3),
+    )
+    .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if code != 200 {
+        return Err(format!("{addr} returned HTTP {code} for /status"));
+    }
+    let doc = elastisched_sim::StatusDoc::parse(&body)?;
+    print!("{}", elastisched::telemetry::render_status(&doc));
+    Ok(())
+}
+
 fn cmd_algorithms() {
     println!("{:<16} {:<15} ECC Processor", "Algorithm", "Workload");
     for a in Algorithm::PAPER_TABLE_III {
@@ -377,6 +408,18 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let args = Args::parse(&argv[1..]);
+    // Global telemetry flags: start the campaign before dispatch so the
+    // scrape endpoint is up for the whole run (`top` itself is a client
+    // and must not grab the registry).
+    let telemetry_requested = args.get("serve-metrics").is_some() || args.has("progress");
+    if cmd != "top" && telemetry_requested {
+        if let Err(e) = elastisched::telemetry::init(args.get("serve-metrics"), args.has("progress"))
+        {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        elastisched::telemetry::set_label("command", cmd);
+    }
     let result = match cmd {
         "generate" => cmd_generate(&args),
         "run" => cmd_run(&args),
@@ -385,6 +428,7 @@ fn main() -> ExitCode {
         "tune" => cmd_tune(&args),
         "gantt" => cmd_gantt(&args),
         "explain" => cmd_explain(&args),
+        "top" => cmd_top(&args),
         "algorithms" => {
             cmd_algorithms();
             Ok(())
@@ -395,6 +439,11 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown subcommand {other:?}\n\n{}", usage())),
     };
+    if telemetry_requested {
+        if let Some(table) = elastisched::telemetry::cost_table() {
+            eprint!("{table}");
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

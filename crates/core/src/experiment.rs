@@ -91,8 +91,16 @@ impl Experiment {
     }
 
     /// Run against a workload and summarize with the paper's metrics.
+    ///
+    /// When a telemetry campaign is active (`--serve-metrics` /
+    /// `--progress`), the derived metrics are also folded into the
+    /// campaign's per-scheduler cost table and live gauges
+    /// ([`crate::telemetry::record_run`]); otherwise that hook is a
+    /// single branch.
     pub fn run(&self, workload: &Workload) -> Result<RunMetrics, SimError> {
-        Ok(RunMetrics::from_result(&self.run_raw(workload)?))
+        let metrics = RunMetrics::from_result(&self.run_raw(workload)?);
+        crate::telemetry::record_run(&metrics);
+        Ok(metrics)
     }
 }
 

@@ -9,11 +9,52 @@
 
 use crate::calibrate::calibrated_workload;
 use crate::experiment::{Experiment, MachineSpec};
-use crate::sweep::parallel_map;
+use crate::sweep::try_parallel_map;
 use elastisched_metrics::{improvement_higher_is_better, improvement_lower_is_better, RunMetrics};
 use elastisched_sched::{Algorithm, SchedParams};
 use elastisched_workload::{GeneratorConfig, Workload};
 use serde::{Deserialize, Serialize};
+
+/// Generate one calibrated workload on a sweep worker, then drain the
+/// thread-local phase profile and attribute the generation time to the
+/// campaign's workload-gen row. Pre-generation fan-outs never call
+/// `RunMetrics::from_result` on the generating thread, so without the
+/// drain the pending profile would leak into whatever simulation runs
+/// on that worker next.
+fn gen_calibrated(
+    base: &GeneratorConfig,
+    machine: MachineSpec,
+    load: f64,
+    seed: u64,
+) -> Workload {
+    let w = calibrated_workload(base, machine, load, seed);
+    let pending = elastisched_sim::profile::take_pending();
+    crate::telemetry::record_workload_gen(
+        pending.nanos_of(elastisched_sim::Phase::WorkloadGen),
+    );
+    w
+}
+
+/// Fan one named stage of a figure out over the sweep pool, reporting it
+/// to the campaign telemetry and *continuing* when individual points
+/// panic: failed points are warned about on stderr and dropped, so one
+/// bad (algorithm × load × seed) combination degrades the averages for
+/// its bucket instead of discarding the whole figure.
+fn run_stage<I, O, F, N>(stage: &str, inputs: Vec<I>, name_of: N, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+    N: Fn(usize, &I) -> String + Sync,
+{
+    crate::telemetry::begin_stage(stage, inputs.len());
+    let (results, failures) = try_parallel_map(inputs, name_of, f);
+    crate::telemetry::end_stage();
+    for fail in &failures {
+        eprintln!("warning: sweep {fail}; continuing without it");
+    }
+    results.into_iter().flatten().collect()
+}
 
 /// Global knobs for the reproduction harness.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -158,13 +199,18 @@ fn load_sweep(
         }
     }
     let n_jobs = cfg.n_jobs;
-    let workloads: Vec<(usize, Workload)> = parallel_map(wl_inputs, |(li, load, seed)| {
-        let b = GeneratorConfig {
-            n_jobs,
-            ..*base
-        };
-        (li, calibrated_workload(&b, machine, load, seed))
-    });
+    let workloads: Vec<(usize, Workload)> = run_stage(
+        &format!("{id} workload-gen"),
+        wl_inputs,
+        |_, (_, load, seed)| format!("{id} gen load={load:.2} seed={seed}"),
+        |(li, load, seed)| {
+            let b = GeneratorConfig {
+                n_jobs,
+                ..*base
+            };
+            (li, gen_calibrated(&b, machine, load, seed))
+        },
+    );
 
     // Fan out (algorithm × workload) simulations.
     let mut tasks = Vec::new();
@@ -173,8 +219,14 @@ fn load_sweep(
             tasks.push((ai, *li, wi, algo, params));
         }
     }
-    let results: Vec<(usize, usize, RunMetrics)> =
-        parallel_map(tasks, |(ai, li, wi, algo, params)| {
+    let loads = &cfg.loads;
+    let results: Vec<(usize, usize, RunMetrics)> = run_stage(
+        &format!("{id} simulations"),
+        tasks,
+        |_, (_, li, wi, algo, _)| {
+            format!("{id} {} load={:.2} wl{wi}", algo.name(), loads[*li])
+        },
+        |(ai, li, wi, algo, params)| {
             let exp = Experiment {
                 algorithm: algo,
                 params,
@@ -184,7 +236,8 @@ fn load_sweep(
                 .run(&workloads[wi].1)
                 .expect("simulation must complete");
             (ai, li, m)
-        });
+        },
+    );
 
     let mut series: Vec<Series> = algorithms
         .iter()
@@ -223,13 +276,18 @@ pub fn fig1(cfg: &ReproConfig) -> Figure {
         }
     }
     let n_jobs = cfg.n_jobs;
-    let workloads: Vec<(usize, Workload)> = parallel_map(tasks, |(li, load, seed)| {
-        let base = GeneratorConfig {
-            n_jobs,
-            ..GeneratorConfig::sdsc_like()
-        };
-        (li, calibrated_workload(&base, machine, load, seed))
-    });
+    let workloads: Vec<(usize, Workload)> = run_stage(
+        "fig1 workload-gen",
+        tasks,
+        |_, (_, load, seed)| format!("fig1 gen load={load:.2} seed={seed}"),
+        |(li, load, seed)| {
+            let base = GeneratorConfig {
+                n_jobs,
+                ..GeneratorConfig::sdsc_like()
+            };
+            (li, gen_calibrated(&base, machine, load, seed))
+        },
+    );
     let algorithms = [Algorithm::Easy, Algorithm::Los];
     let mut sims = Vec::new();
     for (ai, algo) in algorithms.iter().enumerate() {
@@ -237,14 +295,19 @@ pub fn fig1(cfg: &ReproConfig) -> Figure {
             sims.push((ai, *li, wi, *algo));
         }
     }
-    let results: Vec<(usize, usize, RunMetrics)> = parallel_map(sims, |(ai, li, wi, algo)| {
-        let exp = Experiment::new(algo).on_machine(machine);
-        (
-            ai,
-            li,
-            exp.run(&workloads[wi].1).expect("simulation must complete"),
-        )
-    });
+    let results: Vec<(usize, usize, RunMetrics)> = run_stage(
+        "fig1 simulations",
+        sims,
+        |_, (_, li, wi, algo)| format!("fig1 {} load={:.2} wl{wi}", algo.name(), loads[*li]),
+        |(ai, li, wi, algo)| {
+            let exp = Experiment::new(algo).on_machine(machine);
+            (
+                ai,
+                li,
+                exp.run(&workloads[wi].1).expect("simulation must complete"),
+            )
+        },
+    );
     let mut series: Vec<Series> = algorithms
         .iter()
         .map(|a| Series {
@@ -277,15 +340,20 @@ pub fn cs_sweep(cfg: &ReproConfig, id: &str, p_small: f64) -> Figure {
         n_jobs: cfg.n_jobs,
         ..GeneratorConfig::paper_batch(p_small)
     };
-    let workloads: Vec<Workload> = parallel_map(
+    let workloads: Vec<Workload> = run_stage(
+        &format!("{id} workload-gen"),
         (0..cfg.replications)
             .map(|r| cfg.base_seed + r as u64)
             .collect(),
-        |seed| calibrated_workload(&base, machine, 0.9, seed),
+        |_, seed| format!("{id} gen seed={seed}"),
+        |seed| gen_calibrated(&base, machine, 0.9, seed),
     );
     // Baselines do not depend on C_s: run once per replication.
-    let baseline_metrics: Vec<(Algorithm, Vec<RunMetrics>)> =
-        parallel_map(vec![Algorithm::Easy, Algorithm::Los], |algo| {
+    let baseline_metrics: Vec<(Algorithm, Vec<RunMetrics>)> = run_stage(
+        &format!("{id} baselines"),
+        vec![Algorithm::Easy, Algorithm::Los],
+        |_, algo| format!("{id} baseline {}", algo.name()),
+        |algo| {
             let ms = workloads
                 .iter()
                 .map(|w| {
@@ -296,7 +364,8 @@ pub fn cs_sweep(cfg: &ReproConfig, id: &str, p_small: f64) -> Figure {
                 })
                 .collect();
             (algo, ms)
-        });
+        },
+    );
     // Delayed-LOS per C_s.
     let mut tasks = Vec::new();
     for (ci, &cs) in cfg.cs_values.iter().enumerate() {
@@ -304,15 +373,20 @@ pub fn cs_sweep(cfg: &ReproConfig, id: &str, p_small: f64) -> Figure {
             tasks.push((ci, cs, wi));
         }
     }
-    let dl_results: Vec<(usize, RunMetrics)> = parallel_map(tasks, |(ci, cs, wi)| {
-        let exp = Experiment::new(Algorithm::DelayedLos)
-            .with_cs(cs)
-            .on_machine(machine);
-        (
-            ci,
-            exp.run(&workloads[wi]).expect("simulation must complete"),
-        )
-    });
+    let dl_results: Vec<(usize, RunMetrics)> = run_stage(
+        &format!("{id} Delayed-LOS sweep"),
+        tasks,
+        |_, (_, cs, wi)| format!("{id} Delayed-LOS Cs={cs} wl{wi}"),
+        |(ci, cs, wi)| {
+            let exp = Experiment::new(Algorithm::DelayedLos)
+                .with_cs(cs)
+                .on_machine(machine);
+            (
+                ci,
+                exp.run(&workloads[wi]).expect("simulation must complete"),
+            )
+        },
+    );
 
     let mut series = Vec::new();
     for (algo, ms) in &baseline_metrics {
@@ -572,7 +646,7 @@ pub fn ablation_lookahead(cfg: &ReproConfig) -> Figure {
         ..GeneratorConfig::paper_batch(0.2)
     };
     let workloads: Vec<Workload> = (0..cfg.replications)
-        .map(|r| calibrated_workload(&base, machine, 0.9, cfg.base_seed + r as u64))
+        .map(|r| gen_calibrated(&base, machine, 0.9, cfg.base_seed + r as u64))
         .collect();
     let lookaheads = [1usize, 2, 5, 10, 25, 50, 100];
     let mut tasks = Vec::new();
@@ -581,17 +655,22 @@ pub fn ablation_lookahead(cfg: &ReproConfig) -> Figure {
             tasks.push((i, look, wi));
         }
     }
-    let results: Vec<(usize, RunMetrics)> = parallel_map(tasks, |(i, look, wi)| {
-        let exp = Experiment {
-            algorithm: Algorithm::DelayedLos,
-            params: SchedParams {
-                cs: default_cs_for_ps(0.2),
-                lookahead: look,
-            },
-            machine,
-        };
-        (i, exp.run(&workloads[wi]).expect("simulation must complete"))
-    });
+    let results: Vec<(usize, RunMetrics)> = run_stage(
+        "ablation-lookahead simulations",
+        tasks,
+        |_, (_, look, wi)| format!("ablation lookahead={look} wl{wi}"),
+        |(i, look, wi)| {
+            let exp = Experiment {
+                algorithm: Algorithm::DelayedLos,
+                params: SchedParams {
+                    cs: default_cs_for_ps(0.2),
+                    lookahead: look,
+                },
+                machine,
+            };
+            (i, exp.run(&workloads[wi]).expect("simulation must complete"))
+        },
+    );
     let mut points = Vec::new();
     for (i, &look) in lookaheads.iter().enumerate() {
         let bucket: Vec<RunMetrics> = results
@@ -627,8 +706,17 @@ pub fn ablation_overestimate(cfg: &ReproConfig) -> Figure {
         }
     }
     let n_jobs = cfg.n_jobs;
-    let results: Vec<(usize, usize, RunMetrics)> =
-        parallel_map(tasks, |(fi, factor, ai, algo, seed)| {
+    // Generation happens inline here, on the same worker that runs the
+    // simulation: the pending workload-gen time is absorbed into that
+    // run's phase profile by `RunMetrics::from_result`, so no explicit
+    // drain is needed.
+    let results: Vec<(usize, usize, RunMetrics)> = run_stage(
+        "ablation-overestimate simulations",
+        tasks,
+        |_, (_, factor, _, algo, seed)| {
+            format!("ablation overestimate={factor} {} seed={seed}", algo.name())
+        },
+        |(fi, factor, ai, algo, seed)| {
             let mut base = GeneratorConfig {
                 n_jobs,
                 ..GeneratorConfig::paper_batch(0.5)
@@ -641,7 +729,8 @@ pub fn ablation_overestimate(cfg: &ReproConfig) -> Figure {
                 ai,
                 exp.run(&w).expect("simulation must complete"),
             )
-        });
+        },
+    );
     let mut series: Vec<Series> = algorithms
         .iter()
         .map(|a| Series {

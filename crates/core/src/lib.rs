@@ -44,6 +44,7 @@ pub mod figures;
 pub mod plot;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;
 pub mod tune;
 
 pub use calibrate::{calibrated_workload, search_beta_arr};
@@ -55,7 +56,7 @@ pub use figures::{
     SeriesPoint,
 };
 pub use plot::{render_svg, write_figure_svgs, Metric};
-pub use sweep::parallel_map;
+pub use sweep::{parallel_map, try_parallel_map, PointFailure};
 pub use tune::{tune_cs, CsCandidate, CsTuning};
 
 /// The most common imports in one place.

@@ -55,6 +55,7 @@ pub fn tune_cs(
             tasks.push((ci, cs, wi));
         }
     }
+    crate::telemetry::begin_stage("tune-cs", tasks.len());
     let results: Vec<(usize, f64, f64)> = parallel_map(tasks, |(ci, cs, wi)| {
         let exp = Experiment {
             algorithm: Algorithm::DelayedLos,
@@ -64,6 +65,7 @@ pub fn tune_cs(
         let m = exp.run(&workloads[wi]).expect("simulation must complete");
         (ci, m.mean_wait, m.utilization)
     });
+    crate::telemetry::end_stage();
     let mut out = Vec::with_capacity(candidates.len());
     for (ci, &cs) in candidates.iter().enumerate() {
         let bucket: Vec<&(usize, f64, f64)> = results.iter().filter(|(c, _, _)| *c == ci).collect();

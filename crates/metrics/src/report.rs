@@ -6,7 +6,7 @@
 //! derives them (plus extra diagnostics) from a [`SimResult`].
 
 use crate::stats::Summary;
-use elastisched_sim::{LogHistogram, SimResult};
+use elastisched_sim::{profile, LogHistogram, Phase, PhaseProfile, SimResult};
 use serde::{Deserialize, Serialize};
 
 /// The paper's metrics for one simulation run.
@@ -84,6 +84,14 @@ pub struct RunMetrics {
     /// with timing enabled (see `TraceSink`); empty otherwise.
     #[serde(default)]
     pub cycle_hist: LogHistogram,
+    /// Where this run's wall time went, by coarse phase: DP solves and
+    /// the engine loop come from the simulator's own timers, metrics
+    /// derivation is timed here, and workload generation is absorbed
+    /// from any `PhaseTimer` the caller dropped on this thread before
+    /// deriving (see [`RunMetrics::from_result`]). Wall-clock detail,
+    /// excluded from equality like `engine_nanos`.
+    #[serde(default)]
+    pub phase_profile: PhaseProfile,
 }
 
 /// Equality ignores `dp_nanos`, `engine_nanos`, the engine-loop
@@ -116,7 +124,15 @@ impl PartialEq for RunMetrics {
 
 impl RunMetrics {
     /// Derive the metrics from a completed simulation.
+    ///
+    /// Also assembles the run's [`PhaseProfile`]: the derivation pass
+    /// itself is timed here, DP/engine-loop time is copied from the
+    /// result's counters, and — so callers can attribute workload
+    /// generation with a plain RAII timer — this thread's pending
+    /// [`profile::PhaseTimer`] recordings are **drained and absorbed**
+    /// into the profile (`profile::take_pending`).
     pub fn from_result(result: &SimResult) -> RunMetrics {
+        let derive_started = std::time::Instant::now();
         // One pass over the outcomes: only the wait series is
         // materialized (the summary needs the whole distribution); every
         // mean is reduced in place, in the same left-to-right order the
@@ -157,6 +173,13 @@ impl RunMetrics {
         } else {
             1.0
         };
+        let mut phase_profile = profile::take_pending();
+        phase_profile.record(Phase::DpSolve, result.sched_stats.dp_nanos);
+        phase_profile.record(Phase::EngineLoop, result.engine.engine_nanos);
+        phase_profile.record(
+            Phase::MetricsDerivation,
+            derive_started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
         RunMetrics {
             scheduler: result.scheduler.to_string(),
             jobs: result.outcomes.len(),
@@ -187,6 +210,7 @@ impl RunMetrics {
                 .as_deref()
                 .map(|t| t.cycle_hist)
                 .unwrap_or_default(),
+            phase_profile,
         }
     }
 }
@@ -285,6 +309,27 @@ mod tests {
         // Job 2: (100+100)/100 = 2.0 → 2000.
         assert_eq!(m.slowdown_hist.max, 2000);
         assert!(m.cycle_hist.is_empty(), "untraced run has no cycle hist");
+    }
+
+    #[test]
+    fn phase_profile_stamped_and_absorbs_pending_timers() {
+        let _ = profile::take_pending(); // isolate this test thread
+        profile::record_pending(Phase::WorkloadGen, 1234);
+        let mut r = result(vec![outcome(1, 0, 0, 100, 32)]);
+        r.sched_stats.dp_nanos = 55;
+        r.engine.engine_nanos = 99;
+        let m = RunMetrics::from_result(&r);
+        assert_eq!(m.phase_profile.nanos_of(Phase::WorkloadGen), 1234);
+        assert_eq!(m.phase_profile.nanos_of(Phase::DpSolve), 55);
+        assert_eq!(m.phase_profile.nanos_of(Phase::EngineLoop), 99);
+        assert_eq!(m.phase_profile.calls_of(Phase::MetricsDerivation), 1);
+        // The pending profile was drained into this run.
+        assert!(profile::take_pending().is_empty());
+        // Equality ignores the profile (wall-clock diagnostic), so a
+        // re-derivation without the pending timer still compares equal.
+        let again = RunMetrics::from_result(&r);
+        assert_eq!(m, again);
+        assert_eq!(again.phase_profile.nanos_of(Phase::WorkloadGen), 0);
     }
 
     #[test]

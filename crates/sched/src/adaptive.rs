@@ -110,7 +110,9 @@ impl Scheduler for Adaptive {
     }
 
     fn stats(&self) -> SchedStats {
-        self.work.stats().into()
+        let mut stats: SchedStats = self.work.stats().into();
+        self.telemetry.fill_sched_stats(&mut stats);
+        stats
     }
 }
 

@@ -20,14 +20,15 @@ use elastisched_sim::{
 
 /// Promote every due dedicated job (requested start ≤ now) to the head of
 /// the batch queue, preserving requested-start order (the earliest due
-/// job ends up first).
+/// job ends up first). Returns how many jobs were promoted.
 fn promote_due(
     batch: &mut BatchQueue,
     dedicated: &mut DedicatedQueue,
     ctx: &mut dyn SchedContext,
     scount: u32,
-) {
+) -> u64 {
     let now = ctx.now();
+    let mut promoted = 0u64;
     while let Some(d) = dedicated.head() {
         match d.class.requested_start() {
             Some(start) if start <= now => {
@@ -42,10 +43,12 @@ fn promote_due(
                 // `insert_priority` keeps dedicated jobs promoted across
                 // different cycles in requested-start order.
                 batch.insert_priority(view, scount);
+                promoted += 1;
             }
             _ => break,
         }
     }
+    promoted
 }
 
 /// The freeze protecting the first *future* dedicated job, if any.
@@ -68,6 +71,7 @@ macro_rules! dedicated_wrapper {
             dedicated: DedicatedQueue,
             lookahead: usize,
             work: DpWork,
+            promotions: u64,
         }
 
         impl $name {
@@ -78,6 +82,7 @@ macro_rules! dedicated_wrapper {
                     dedicated: DedicatedQueue::new(),
                     lookahead: DEFAULT_LOOKAHEAD,
                     work: DpWork::default(),
+                    promotions: 0,
                 }
             }
         }
@@ -104,7 +109,8 @@ macro_rules! dedicated_wrapper {
             }
 
             fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-                promote_due(&mut self.batch, &mut self.dedicated, ctx, 0);
+                self.promotions +=
+                    promote_due(&mut self.batch, &mut self.dedicated, ctx, 0);
                 let freeze = first_dedicated_freeze(&self.dedicated, ctx);
                 if self.batch.is_empty() {
                     return;
@@ -122,7 +128,9 @@ macro_rules! dedicated_wrapper {
             }
 
             fn stats(&self) -> SchedStats {
-                self.work.stats().into()
+                let mut stats: SchedStats = self.work.stats().into();
+                stats.dedicated_promotions = self.promotions;
+                stats
             }
         }
     };

@@ -252,7 +252,9 @@ impl Scheduler for DelayedLos {
     }
 
     fn stats(&self) -> SchedStats {
-        self.work.stats().into()
+        let mut stats: SchedStats = self.work.stats().into();
+        self.telemetry.fill_sched_stats(&mut stats);
+        stats
     }
 }
 

@@ -346,6 +346,9 @@ impl From<DpStats> for elastisched_sim::SchedStats {
             dp_cache_hits: s.cache_hits,
             dp_cache_misses: s.cache_misses,
             dp_nanos: s.nanos,
+            // Decision counters live in the schedulers' `Telemetry`,
+            // not the DP solver; `stats()` impls fill them on top.
+            ..elastisched_sim::SchedStats::default()
         }
     }
 }

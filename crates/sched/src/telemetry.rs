@@ -57,6 +57,17 @@ impl Telemetry {
         self.dp_cache_misses = stats.cache_misses;
         self.dp_nanos = stats.nanos;
     }
+
+    /// Project the decision counters onto the engine-facing
+    /// [`elastisched_sim::SchedStats`], so they ride `SimResult` out of
+    /// a run and land in the metrics registry. Overwrites (these are
+    /// lifetime-cumulative, like [`Telemetry::record_dp`]).
+    pub fn fill_sched_stats(&self, stats: &mut elastisched_sim::SchedStats) {
+        stats.head_force_starts = self.head_force_starts;
+        stats.head_skips = self.head_skips;
+        stats.dp_starts = self.dp_starts;
+        stats.dedicated_promotions = self.dedicated_promotions;
+    }
 }
 
 #[cfg(test)]

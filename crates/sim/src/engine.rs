@@ -540,10 +540,37 @@ impl<S: Scheduler> Engine<S> {
         engine_stats.queue_ops = self.state.queue.ops();
         engine_stats.peak_queue_len = self.state.queue.peak_len() as u64;
         engine_stats.engine_nanos = wall.elapsed().as_nanos() as u64;
+        let sched_stats = self.scheduler.stats();
+        // Flush run totals into the live metrics registry, once per run
+        // — never per event, so the hot loop above stays registry-free.
+        // `metric!` compiles out with the trace crate's `off` feature
+        // and is a single branch on `None` when no registry is
+        // installed (the default outside `--serve-metrics` campaigns).
+        elastisched_trace::metric!(|reg| {
+            use elastisched_trace::metrics::keys;
+            reg.counter_add(keys::RUNS_TOTAL, 1);
+            reg.counter_add(keys::JOBS_TOTAL, self.state.outcomes.len() as u64);
+            reg.counter_add(keys::ENGINE_EVENTS_TOTAL, engine_stats.events);
+            reg.counter_add(keys::ENGINE_CYCLES_TOTAL, engine_stats.cycles);
+            reg.counter_add(keys::EVENTS_COALESCED_TOTAL, engine_stats.events_coalesced);
+            reg.counter_add(keys::QUEUE_OPS_TOTAL, engine_stats.queue_ops);
+            reg.counter_add(keys::ENGINE_NANOS_TOTAL, engine_stats.engine_nanos);
+            reg.counter_add(keys::ECCS_APPLIED_TOTAL, self.state.ecc_stats.applied());
+            reg.counter_add(keys::DP_CACHE_HITS_TOTAL, sched_stats.dp_cache_hits);
+            reg.counter_add(keys::DP_CACHE_MISSES_TOTAL, sched_stats.dp_cache_misses);
+            reg.counter_add(keys::DP_NANOS_TOTAL, sched_stats.dp_nanos);
+            reg.counter_add(keys::HEAD_FORCE_STARTS_TOTAL, sched_stats.head_force_starts);
+            reg.counter_add(keys::HEAD_SKIPS_TOTAL, sched_stats.head_skips);
+            reg.counter_add(keys::DP_STARTS_TOTAL, sched_stats.dp_starts);
+            reg.counter_add(
+                keys::DEDICATED_PROMOTIONS_TOTAL,
+                sched_stats.dedicated_promotions,
+            );
+        });
         let state = self.state;
         Ok(SimResult {
             scheduler: self.scheduler.name(),
-            sched_stats: self.scheduler.stats(),
+            sched_stats,
             outcomes: state.outcomes,
             machine_total: state.machine.total(),
             busy_area: state.machine.busy_area(),

@@ -48,8 +48,11 @@ pub use sched_api::{
 };
 pub use time::{Duration, SimTime};
 
-// Tracing re-exports, so downstream crates that only need to *read* a
-// trace (metrics, the CLI) can stay off the trace crate directly.
+// Tracing / telemetry re-exports, so downstream crates that only need
+// to *read* a trace or touch the metrics plane (metrics, the CLI) can
+// stay off the trace crate directly.
 pub use elastisched_trace::{
-    trace_event, DpKernel, EccTag, LogHistogram, TraceEvent, TraceSink,
+    metric, metrics, profile, serve, trace_event, DpKernel, EccTag, LogHistogram,
+    MetricsRegistry, MetricsSnapshot, MetricsServer, Phase, PhaseProfile, PhaseTimer, StatusDoc,
+    TraceEvent, TraceSink,
 };

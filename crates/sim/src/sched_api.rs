@@ -99,6 +99,14 @@ pub struct SchedStats {
     /// sampled 1-in-[`DP_NANOS_SAMPLE_EVERY`] and extrapolated, so this
     /// is statistically accurate over a run but not an exact sum.
     pub dp_nanos: u64,
+    /// Head-of-queue jobs force-started (LOS family).
+    pub head_force_starts: u64,
+    /// Head-of-queue skip decisions (delayed-LOS waiting choice).
+    pub head_skips: u64,
+    /// Jobs started out of a DP selection.
+    pub dp_starts: u64,
+    /// Dedicated-node promotions performed by wrapper policies.
+    pub dedicated_promotions: u64,
 }
 
 /// Engine services available to a scheduler during a cycle.

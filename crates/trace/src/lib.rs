@@ -32,11 +32,17 @@
 pub mod event;
 pub mod export;
 pub mod hist;
+pub mod metrics;
+pub mod profile;
+pub mod serve;
 pub mod sink;
 
 pub use event::{DpKernel, EccTag, TraceEvent};
 pub use export::{from_jsonl, to_chrome_trace, to_jsonl};
 pub use hist::{LogHistogram, HIST_BUCKETS};
+pub use metrics::{MetricId, MetricKind, MetricSpec, MetricsRegistry, MetricsSnapshot};
+pub use profile::{Phase, PhaseProfile, PhaseTimer};
+pub use serve::{MetricsServer, StatusDoc};
 pub use sink::{TraceSink, DEFAULT_CAPACITY};
 
 /// False when this crate is built with the `off` feature, turning every
@@ -74,6 +80,33 @@ macro_rules! trace_event {
     };
 }
 
+/// Touch the process-global [`metrics::MetricsRegistry`], if metrics
+/// are compiled in and a registry has been installed.
+///
+/// The body binds the identifier you name to `&MetricsRegistry` and is
+/// **not evaluated** when no registry is installed — the same zero-cost
+/// discipline as [`trace_event!`]: compiled out under `--features off`,
+/// one branch on a `None` otherwise:
+///
+/// ```
+/// use elastisched_trace::metric;
+/// use elastisched_trace::metrics::keys;
+///
+/// // No registry installed: the body does not run.
+/// metric!(|reg| reg.counter_add(keys::RUNS_TOTAL, 1));
+/// ```
+#[macro_export]
+macro_rules! metric {
+    (|$reg:ident| $($body:tt)+) => {
+        if $crate::COMPILED_IN {
+            if let ::core::option::Option::Some($reg) = $crate::metrics::global() {
+                let $reg: &$crate::metrics::MetricsRegistry = $reg;
+                $($body)+
+            }
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +126,32 @@ mod tests {
             TraceEvent::Queued { job: 1, at: 1 }
         });
         assert!(!built, "event expression must not run without a sink");
+    }
+
+    #[test]
+    fn metric_macro_branches_on_global_install() {
+        use std::sync::Arc;
+
+        // Before any install, the body must not be evaluated.
+        let mut ran = false;
+        if metrics::global().is_none() {
+            metric!(|_reg| {
+                ran = true;
+            });
+            assert!(!ran, "metric! body must not run without a registry");
+        }
+
+        // First install wins, the second is refused.
+        let installed = metrics::install_global(Arc::new(metrics::MetricsRegistry::standard(2)));
+        assert!(installed, "no other trace unit test installs a registry");
+        assert!(!metrics::install_global(Arc::new(
+            metrics::MetricsRegistry::standard(1)
+        )));
+
+        metric!(|reg| reg.counter_add(metrics::keys::RUNS_TOTAL, 2));
+        if COMPILED_IN {
+            let reg = metrics::global().expect("installed above");
+            assert!(reg.counter_value(metrics::keys::RUNS_TOTAL) >= 2);
+        }
     }
 }

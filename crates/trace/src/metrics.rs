@@ -1,0 +1,914 @@
+//! Sharded, lock-free metrics registry: the live-counter plane.
+//!
+//! Where [`crate::sink`] is a post-hoc event log, this module is the
+//! *live* surface: a fixed set of metrics declared up front
+//! ([`MetricSpec`]), addressed by integer handle ([`MetricId`]), and
+//! backed by per-thread **shards** of relaxed atomics so sweep workers
+//! and the engine loop can bump counters concurrently without sharing a
+//! cache line, let alone a lock. Readers call [`MetricsRegistry::snapshot`],
+//! which merges the shards into a plain serializable value — the
+//! snapshot-merge API the HTTP endpoint ([`crate::serve`]) renders as
+//! Prometheus text exposition or JSON.
+//!
+//! # Cost model
+//!
+//! Same discipline as [`trace_event!`](crate::trace_event):
+//!
+//! * **compiled out** (`--features off`): every [`metric!`](crate::metric)
+//!   body is behind `if COMPILED_IN` with a constant `false` — deleted.
+//! * **disabled at runtime** (no registry installed, the default): one
+//!   branch on an `Option` that is `None`. The engine flushes its
+//!   counters **once per run**, never per event, so even that branch is
+//!   off the per-event hot path.
+//! * **enabled**: a relaxed `fetch_add` on a shard picked by a cached
+//!   thread-local index — no contention between worker threads.
+//!
+//! # Sharding
+//!
+//! Each thread is lazily assigned a small id (a global round-robin
+//! counter cached in a thread-local); the registry masks it by its
+//! power-of-two shard count. Two threads may share a shard when there
+//! are more threads than shards — still correct, just occasionally
+//! contended. Counter reads sum across shards; they are monotone but
+//! not a consistent cut (standard for scrape-style metrics).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::{bucket_index, bucket_upper_bound, LogHistogram, HIST_BUCKETS};
+use crate::profile::Phase;
+
+/// What a metric measures, fixed at registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotone non-negative integer total (`*_total`).
+    Counter,
+    /// Last-write-wins floating point level.
+    Gauge,
+    /// Log-bucketed distribution of `u64` samples.
+    Histogram,
+}
+
+/// Static description of one metric: Prometheus name, help text, kind.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// Prometheus-legal metric name (e.g. `elastisched_runs_total`).
+    pub name: &'static str,
+    /// One-line human description, rendered as `# HELP`.
+    pub help: &'static str,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+}
+
+/// Opaque handle to a registered metric: its index in the spec list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(pub usize);
+
+/// A merge-friendly histogram made of atomics, one per shard.
+struct AtomicHistogram {
+    counts: [AtomicU64; HIST_BUCKETS],
+    n: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            n: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn observe(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.n.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Fold a pre-aggregated [`LogHistogram`] in. The true sample sum is
+    /// unknown at this granularity, so it is estimated from bucket
+    /// midpoints (documented on [`MetricsRegistry::merge_hist`]).
+    fn merge_log(&self, h: &LogHistogram) {
+        let mut est_sum = 0f64;
+        for (b, &c) in h.counts.iter().enumerate() {
+            if c > 0 {
+                self.counts[b].fetch_add(c, Ordering::Relaxed);
+                let mid = if b == 0 {
+                    0.0
+                } else {
+                    1.5 * 2f64.powi(b as i32 - 1)
+                };
+                est_sum += mid * c as f64;
+            }
+        }
+        self.n.fetch_add(h.n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(est_sum.min(u64::MAX as f64) as u64, Ordering::Relaxed);
+        self.max.fetch_max(h.max, Ordering::Relaxed);
+    }
+}
+
+/// One shard: a counter cell per counter spec and an atomic histogram
+/// per histogram spec. Gauges are registry-level (sets are rare and
+/// last-write-wins — sharding them would make reads ambiguous).
+struct Shard {
+    counters: Vec<AtomicU64>,
+    hists: Vec<AtomicHistogram>,
+}
+
+/// The sharded registry. Cheap to update from any thread; snapshot to
+/// read. See the module docs for the cost model.
+pub struct MetricsRegistry {
+    specs: Vec<MetricSpec>,
+    /// spec index → slot within its kind's storage.
+    slot_of: Vec<usize>,
+    shards: Vec<Shard>,
+    shard_mask: usize,
+    gauges: Vec<AtomicU64>, // f64 bits
+    labels: Mutex<Vec<(String, String)>>,
+}
+
+/// Round-robin source of thread ids for shard selection.
+static NEXT_THREAD_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SHARD_SEED: std::cell::Cell<usize> =
+        const { std::cell::Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn thread_seed() -> usize {
+    THREAD_SHARD_SEED.with(|c| {
+        let mut v = c.get();
+        if v == usize::MAX {
+            v = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+        }
+        v
+    })
+}
+
+impl MetricsRegistry {
+    /// Build a registry over `specs` with roughly `shards` shards
+    /// (rounded up to a power of two, clamped to `[1, 64]`).
+    pub fn new(specs: Vec<MetricSpec>, shards: usize) -> Self {
+        let shard_count = shards.clamp(1, 64).next_power_of_two();
+        let mut slot_of = Vec::with_capacity(specs.len());
+        let (mut n_counters, mut n_gauges, mut n_hists) = (0usize, 0usize, 0usize);
+        for spec in &specs {
+            match spec.kind {
+                MetricKind::Counter => {
+                    slot_of.push(n_counters);
+                    n_counters += 1;
+                }
+                MetricKind::Gauge => {
+                    slot_of.push(n_gauges);
+                    n_gauges += 1;
+                }
+                MetricKind::Histogram => {
+                    slot_of.push(n_hists);
+                    n_hists += 1;
+                }
+            }
+        }
+        let shards = (0..shard_count)
+            .map(|_| Shard {
+                counters: (0..n_counters).map(|_| AtomicU64::new(0)).collect(),
+                hists: (0..n_hists).map(|_| AtomicHistogram::new()).collect(),
+            })
+            .collect();
+        MetricsRegistry {
+            specs,
+            slot_of,
+            shards,
+            shard_mask: shard_count - 1,
+            gauges: (0..n_gauges).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
+            labels: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The well-known workspace metric set (see [`keys`]), sharded for
+    /// `shards` concurrent writers.
+    pub fn standard(shards: usize) -> Self {
+        Self::new(STANDARD_SPECS.to_vec(), shards)
+    }
+
+    /// The registered metric specs, in [`MetricId`] order.
+    pub fn specs(&self) -> &[MetricSpec] {
+        &self.specs
+    }
+
+    #[inline]
+    fn shard(&self) -> &Shard {
+        &self.shards[thread_seed() & self.shard_mask]
+    }
+
+    #[inline]
+    fn slot(&self, id: MetricId, kind: MetricKind) -> usize {
+        debug_assert_eq!(self.specs[id.0].kind, kind, "metric kind mismatch");
+        self.slot_of[id.0]
+    }
+
+    /// Add `delta` to a counter on the current thread's shard.
+    #[inline]
+    pub fn counter_add(&self, id: MetricId, delta: u64) {
+        let slot = self.slot(id, MetricKind::Counter);
+        self.shard().counters[slot].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current counter total, summed across shards (saturating).
+    pub fn counter_value(&self, id: MetricId) -> u64 {
+        let slot = self.slot(id, MetricKind::Counter);
+        self.shards.iter().fold(0u64, |acc, s| {
+            acc.saturating_add(s.counters[slot].load(Ordering::Relaxed))
+        })
+    }
+
+    /// Set a gauge (last write wins across threads).
+    #[inline]
+    pub fn gauge_set(&self, id: MetricId, value: f64) {
+        let slot = self.slot(id, MetricKind::Gauge);
+        self.gauges[slot].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current gauge level.
+    pub fn gauge_value(&self, id: MetricId) -> f64 {
+        let slot = self.slot(id, MetricKind::Gauge);
+        f64::from_bits(self.gauges[slot].load(Ordering::Relaxed))
+    }
+
+    /// Record one sample into a histogram on the current thread's shard.
+    #[inline]
+    pub fn observe(&self, id: MetricId, v: u64) {
+        let slot = self.slot(id, MetricKind::Histogram);
+        self.shard().hists[slot].observe(v);
+    }
+
+    /// Fold a pre-aggregated [`LogHistogram`] into a histogram metric
+    /// (e.g. a whole run's wait distribution in one call). The
+    /// Prometheus `_sum` contribution is **estimated** from bucket
+    /// midpoints, since log buckets do not retain exact sample sums.
+    pub fn merge_hist(&self, id: MetricId, h: &LogHistogram) {
+        if h.is_empty() {
+            return;
+        }
+        let slot = self.slot(id, MetricKind::Histogram);
+        self.shard().hists[slot].merge_log(h);
+    }
+
+    /// Attach or replace a free-form label (rendered on the
+    /// `elastisched_info` series and echoed in `/status`).
+    pub fn set_label(&self, key: &str, value: &str) {
+        let mut labels = self.labels.lock().expect("metrics label lock poisoned");
+        if let Some(entry) = labels.iter_mut().find(|(k, _)| k == key) {
+            entry.1 = value.to_string();
+        } else {
+            labels.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Merge every shard into a plain, serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (i, spec) in self.specs.iter().enumerate() {
+            let id = MetricId(i);
+            match spec.kind {
+                MetricKind::Counter => counters.push(CounterSnap {
+                    name: spec.name.to_string(),
+                    help: spec.help.to_string(),
+                    value: self.counter_value(id),
+                }),
+                MetricKind::Gauge => gauges.push(GaugeSnap {
+                    name: spec.name.to_string(),
+                    help: spec.help.to_string(),
+                    value: self.gauge_value(id),
+                }),
+                MetricKind::Histogram => {
+                    let slot = self.slot_of[i];
+                    let mut hist = LogHistogram::new();
+                    let mut sum = 0u64;
+                    for shard in &self.shards {
+                        let ah = &shard.hists[slot];
+                        let mut part = LogHistogram::new();
+                        for (b, c) in ah.counts.iter().enumerate() {
+                            part.counts[b] = c.load(Ordering::Relaxed);
+                        }
+                        part.n = ah.n.load(Ordering::Relaxed);
+                        part.max = ah.max.load(Ordering::Relaxed);
+                        sum = sum.saturating_add(ah.sum.load(Ordering::Relaxed));
+                        hist.merge(&part);
+                    }
+                    histograms.push(HistSnap {
+                        name: spec.name.to_string(),
+                        help: spec.help.to_string(),
+                        sum,
+                        hist,
+                    });
+                }
+            }
+        }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            labels: self
+                .labels
+                .lock()
+                .expect("metrics label lock poisoned")
+                .iter()
+                .map(|(k, v)| LabelEntry {
+                    key: k.clone(),
+                    value: v.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One merged counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CounterSnap {
+    /// Metric name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Summed total across shards.
+    pub value: u64,
+}
+
+/// One gauge level in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct GaugeSnap {
+    /// Metric name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Last written level.
+    pub value: f64,
+}
+
+/// One merged histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct HistSnap {
+    /// Metric name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Sample sum (exact for `observe`d samples, midpoint-estimated for
+    /// merged [`LogHistogram`]s).
+    pub sum: u64,
+    /// Merged bucket counts.
+    pub hist: LogHistogram,
+}
+
+/// A free-form key/value label on the snapshot (campaign name, config).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LabelEntry {
+    /// Label key.
+    pub key: String,
+    /// Label value.
+    pub value: String,
+}
+
+/// A merged, serializable view of the registry at one instant. This is
+/// the `/status` JSON payload and the input to the Prometheus renderer.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Merged counters in registration order.
+    #[serde(default)]
+    pub counters: Vec<CounterSnap>,
+    /// Gauge levels in registration order.
+    #[serde(default)]
+    pub gauges: Vec<GaugeSnap>,
+    /// Merged histograms in registration order.
+    #[serde(default)]
+    pub histograms: Vec<HistSnap>,
+    /// Free-form labels.
+    #[serde(default)]
+    pub labels: Vec<LabelEntry>,
+}
+
+/// Escape a label value per the Prometheus text exposition rules.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render an `f64` the exposition format accepts (non-finite → 0).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter total by metric name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Look up a gauge level by metric name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Render as Prometheus text exposition format 0.0.4: `# HELP` /
+    /// `# TYPE` preamble per family, cumulative `_bucket{le="…"}`
+    /// series plus `_sum` / `_count` for histograms, and an
+    /// `elastisched_info{…} 1` series carrying the labels.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        if !self.labels.is_empty() {
+            out.push_str("# HELP elastisched_info Campaign labels.\n");
+            out.push_str("# TYPE elastisched_info gauge\n");
+            out.push_str("elastisched_info{");
+            for (i, l) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}=\"{}\"", l.key, escape_label(&l.value)));
+            }
+            out.push_str("} 1\n");
+        }
+        for c in &self.counters {
+            out.push_str(&format!("# HELP {} {}\n", c.name, c.help));
+            out.push_str(&format!("# TYPE {} counter\n", c.name));
+            out.push_str(&format!("{} {}\n", c.name, c.value));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("# HELP {} {}\n", g.name, g.help));
+            out.push_str(&format!("# TYPE {} gauge\n", g.name));
+            out.push_str(&format!("{} {}\n", g.name, fmt_f64(g.value)));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("# HELP {} {}\n", h.name, h.help));
+            out.push_str(&format!("# TYPE {} histogram\n", h.name));
+            let top = h
+                .hist
+                .counts
+                .iter()
+                .rposition(|&c| c > 0)
+                .unwrap_or(0);
+            let mut cum = 0u64;
+            for b in 0..=top {
+                cum = cum.saturating_add(h.hist.counts[b]);
+                out.push_str(&format!(
+                    "{}_bucket{{le=\"{}\"}} {}\n",
+                    h.name,
+                    bucket_upper_bound(b),
+                    cum
+                ));
+            }
+            out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", h.name, h.hist.n));
+            out.push_str(&format!("{}_sum {}\n", h.name, h.sum));
+            out.push_str(&format!("{}_count {}\n", h.name, h.hist.n));
+        }
+        out
+    }
+}
+
+/// Process-wide registry slot, installed once per process (typically by
+/// the campaign bootstrap in `elastisched::telemetry::init`).
+static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+
+/// Install the process-global registry. Returns `false` (and drops the
+/// argument) if one is already installed.
+pub fn install_global(reg: Arc<MetricsRegistry>) -> bool {
+    GLOBAL.set(reg).is_ok()
+}
+
+/// The process-global registry, if one has been installed. This is the
+/// branch-on-`None` every [`metric!`](crate::metric) call site takes.
+#[inline]
+pub fn global() -> Option<&'static Arc<MetricsRegistry>> {
+    GLOBAL.get()
+}
+
+/// The phase-nanos counter for a profiler phase, in the standard set.
+pub fn phase_nanos_key(phase: Phase) -> MetricId {
+    match phase {
+        Phase::WorkloadGen => keys::PHASE_WORKLOAD_GEN_NANOS,
+        Phase::DpSolve => keys::PHASE_DP_SOLVE_NANOS,
+        Phase::EngineLoop => keys::PHASE_ENGINE_LOOP_NANOS,
+        Phase::MetricsDerivation => keys::PHASE_METRICS_DERIVATION_NANOS,
+    }
+}
+
+/// Well-known [`MetricId`]s into [`MetricsRegistry::standard`]. The
+/// ids are indices into [`STANDARD_SPECS`]; a unit test pins the
+/// alignment.
+pub mod keys {
+    use super::MetricId;
+
+    /// Simulation runs completed.
+    pub const RUNS_TOTAL: MetricId = MetricId(0);
+    /// Jobs completed across all runs.
+    pub const JOBS_TOTAL: MetricId = MetricId(1);
+    /// Engine events processed.
+    pub const ENGINE_EVENTS_TOTAL: MetricId = MetricId(2);
+    /// Scheduler cycles executed.
+    pub const ENGINE_CYCLES_TOTAL: MetricId = MetricId(3);
+    /// Same-instant events coalesced into one cycle.
+    pub const EVENTS_COALESCED_TOTAL: MetricId = MetricId(4);
+    /// Event-queue push/pop operations.
+    pub const QUEUE_OPS_TOTAL: MetricId = MetricId(5);
+    /// Wall nanoseconds inside `Engine::run`.
+    pub const ENGINE_NANOS_TOTAL: MetricId = MetricId(6);
+    /// Elasticity change commands applied.
+    pub const ECCS_APPLIED_TOTAL: MetricId = MetricId(7);
+    /// DP selection-cache hits.
+    pub const DP_CACHE_HITS_TOTAL: MetricId = MetricId(8);
+    /// DP selection-cache misses.
+    pub const DP_CACHE_MISSES_TOTAL: MetricId = MetricId(9);
+    /// Sampled wall nanoseconds in DP solves.
+    pub const DP_NANOS_TOTAL: MetricId = MetricId(10);
+    /// Head-of-queue force starts.
+    pub const HEAD_FORCE_STARTS_TOTAL: MetricId = MetricId(11);
+    /// Head-of-queue skips (delayed-LOS waiting decision).
+    pub const HEAD_SKIPS_TOTAL: MetricId = MetricId(12);
+    /// Jobs started out of a DP selection.
+    pub const DP_STARTS_TOTAL: MetricId = MetricId(13);
+    /// Dedicated-node promotions.
+    pub const DEDICATED_PROMOTIONS_TOTAL: MetricId = MetricId(14);
+    /// Sweep points completed.
+    pub const SWEEP_POINTS_TOTAL: MetricId = MetricId(15);
+    /// Sweep points that panicked and were skipped.
+    pub const SWEEP_POINT_FAILURES_TOTAL: MetricId = MetricId(16);
+    /// Wall nanoseconds in workload generation.
+    pub const PHASE_WORKLOAD_GEN_NANOS: MetricId = MetricId(17);
+    /// Wall nanoseconds attributed to DP solves.
+    pub const PHASE_DP_SOLVE_NANOS: MetricId = MetricId(18);
+    /// Wall nanoseconds attributed to the engine loop.
+    pub const PHASE_ENGINE_LOOP_NANOS: MetricId = MetricId(19);
+    /// Wall nanoseconds deriving RunMetrics.
+    pub const PHASE_METRICS_DERIVATION_NANOS: MetricId = MetricId(20);
+    /// Points planned in the current sweep stage.
+    pub const SWEEP_POINTS_PLANNED: MetricId = MetricId(21);
+    /// Points finished in the current sweep stage.
+    pub const SWEEP_POINTS_DONE: MetricId = MetricId(22);
+    /// EWMA-estimated seconds until the current stage completes.
+    pub const SWEEP_ETA_SECONDS: MetricId = MetricId(23);
+    /// Smoothed sweep-point completion rate.
+    pub const SWEEP_POINTS_PER_SEC: MetricId = MetricId(24);
+    /// Cumulative simulated jobs per wall second.
+    pub const JOBS_PER_SEC: MetricId = MetricId(25);
+    /// Cumulative engine events per wall second.
+    pub const EVENTS_PER_SEC: MetricId = MetricId(26);
+    /// Wall milliseconds per completed sweep point.
+    pub const POINT_MILLIS: MetricId = MetricId(27);
+    /// Per-job wait times (simulated time units), merged across runs.
+    pub const JOB_WAIT_TIME: MetricId = MetricId(28);
+}
+
+/// Spec list behind [`MetricsRegistry::standard`], in [`keys`] order.
+pub const STANDARD_SPECS: &[MetricSpec] = &[
+    MetricSpec {
+        name: "elastisched_runs_total",
+        help: "Simulation runs completed.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_jobs_total",
+        help: "Jobs completed across all runs.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_engine_events_total",
+        help: "Engine events processed.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_engine_cycles_total",
+        help: "Scheduler cycles executed.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_engine_events_coalesced_total",
+        help: "Same-instant events coalesced into one scheduler cycle.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_engine_queue_ops_total",
+        help: "Event-queue push/pop operations.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_engine_nanos_total",
+        help: "Wall nanoseconds spent inside Engine::run.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_eccs_applied_total",
+        help: "Elasticity change commands applied.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_dp_cache_hits_total",
+        help: "DP selection-cache hits.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_dp_cache_misses_total",
+        help: "DP selection-cache misses.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_dp_nanos_total",
+        help: "Sampled wall nanoseconds spent in DP solves.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_sched_head_force_starts_total",
+        help: "Head-of-queue force starts across schedulers.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_sched_head_skips_total",
+        help: "Head-of-queue skips (delayed-LOS waiting decisions).",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_sched_dp_starts_total",
+        help: "Jobs started out of a DP selection.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_sched_dedicated_promotions_total",
+        help: "Dedicated-node promotions.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_sweep_points_total",
+        help: "Sweep points completed.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_sweep_point_failures_total",
+        help: "Sweep points that panicked and were skipped.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_phase_workload_gen_nanos_total",
+        help: "Wall nanoseconds in workload generation.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_phase_dp_solve_nanos_total",
+        help: "Wall nanoseconds attributed to DP solves.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_phase_engine_loop_nanos_total",
+        help: "Wall nanoseconds attributed to the engine loop.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_phase_metrics_derivation_nanos_total",
+        help: "Wall nanoseconds deriving RunMetrics from raw results.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_sweep_points_planned",
+        help: "Points planned in the current sweep stage.",
+        kind: MetricKind::Gauge,
+    },
+    MetricSpec {
+        name: "elastisched_sweep_points_done",
+        help: "Points finished in the current sweep stage.",
+        kind: MetricKind::Gauge,
+    },
+    MetricSpec {
+        name: "elastisched_sweep_eta_seconds",
+        help: "EWMA-estimated seconds until the current stage completes.",
+        kind: MetricKind::Gauge,
+    },
+    MetricSpec {
+        name: "elastisched_sweep_points_per_sec",
+        help: "Smoothed sweep-point completion rate.",
+        kind: MetricKind::Gauge,
+    },
+    MetricSpec {
+        name: "elastisched_jobs_per_sec",
+        help: "Cumulative simulated jobs per wall second.",
+        kind: MetricKind::Gauge,
+    },
+    MetricSpec {
+        name: "elastisched_events_per_sec",
+        help: "Cumulative engine events per wall second.",
+        kind: MetricKind::Gauge,
+    },
+    MetricSpec {
+        name: "elastisched_sweep_point_millis",
+        help: "Wall milliseconds per completed sweep point.",
+        kind: MetricKind::Histogram,
+    },
+    MetricSpec {
+        name: "elastisched_job_wait_time",
+        help: "Per-job wait times in simulated time units, merged across runs.",
+        kind: MetricKind::Histogram,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_keys_align_with_specs() {
+        let ids = [
+            (keys::RUNS_TOTAL, "elastisched_runs_total"),
+            (keys::JOBS_TOTAL, "elastisched_jobs_total"),
+            (keys::ENGINE_EVENTS_TOTAL, "elastisched_engine_events_total"),
+            (keys::ENGINE_CYCLES_TOTAL, "elastisched_engine_cycles_total"),
+            (
+                keys::EVENTS_COALESCED_TOTAL,
+                "elastisched_engine_events_coalesced_total",
+            ),
+            (keys::QUEUE_OPS_TOTAL, "elastisched_engine_queue_ops_total"),
+            (keys::ENGINE_NANOS_TOTAL, "elastisched_engine_nanos_total"),
+            (keys::ECCS_APPLIED_TOTAL, "elastisched_eccs_applied_total"),
+            (keys::DP_CACHE_HITS_TOTAL, "elastisched_dp_cache_hits_total"),
+            (
+                keys::DP_CACHE_MISSES_TOTAL,
+                "elastisched_dp_cache_misses_total",
+            ),
+            (keys::DP_NANOS_TOTAL, "elastisched_dp_nanos_total"),
+            (
+                keys::HEAD_FORCE_STARTS_TOTAL,
+                "elastisched_sched_head_force_starts_total",
+            ),
+            (keys::HEAD_SKIPS_TOTAL, "elastisched_sched_head_skips_total"),
+            (keys::DP_STARTS_TOTAL, "elastisched_sched_dp_starts_total"),
+            (
+                keys::DEDICATED_PROMOTIONS_TOTAL,
+                "elastisched_sched_dedicated_promotions_total",
+            ),
+            (keys::SWEEP_POINTS_TOTAL, "elastisched_sweep_points_total"),
+            (
+                keys::SWEEP_POINT_FAILURES_TOTAL,
+                "elastisched_sweep_point_failures_total",
+            ),
+            (
+                keys::PHASE_WORKLOAD_GEN_NANOS,
+                "elastisched_phase_workload_gen_nanos_total",
+            ),
+            (
+                keys::PHASE_DP_SOLVE_NANOS,
+                "elastisched_phase_dp_solve_nanos_total",
+            ),
+            (
+                keys::PHASE_ENGINE_LOOP_NANOS,
+                "elastisched_phase_engine_loop_nanos_total",
+            ),
+            (
+                keys::PHASE_METRICS_DERIVATION_NANOS,
+                "elastisched_phase_metrics_derivation_nanos_total",
+            ),
+            (keys::SWEEP_POINTS_PLANNED, "elastisched_sweep_points_planned"),
+            (keys::SWEEP_POINTS_DONE, "elastisched_sweep_points_done"),
+            (keys::SWEEP_ETA_SECONDS, "elastisched_sweep_eta_seconds"),
+            (keys::SWEEP_POINTS_PER_SEC, "elastisched_sweep_points_per_sec"),
+            (keys::JOBS_PER_SEC, "elastisched_jobs_per_sec"),
+            (keys::EVENTS_PER_SEC, "elastisched_events_per_sec"),
+            (keys::POINT_MILLIS, "elastisched_sweep_point_millis"),
+            (keys::JOB_WAIT_TIME, "elastisched_job_wait_time"),
+        ];
+        assert_eq!(ids.len(), STANDARD_SPECS.len(), "key list out of date");
+        for (id, name) in ids {
+            assert_eq!(STANDARD_SPECS[id.0].name, name);
+        }
+        // Names must be unique (Prometheus families may not repeat).
+        let mut names: Vec<_> = STANDARD_SPECS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), STANDARD_SPECS.len());
+    }
+
+    #[test]
+    fn concurrent_counter_adds_sum_exactly() {
+        let reg = Arc::new(MetricsRegistry::standard(8));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        reg.counter_add(keys::ENGINE_EVENTS_TOTAL, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter_value(keys::ENGINE_EVENTS_TOTAL), 80_000);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let reg = MetricsRegistry::standard(4);
+        reg.gauge_set(keys::SWEEP_ETA_SECONDS, 12.5);
+        assert_eq!(reg.gauge_value(keys::SWEEP_ETA_SECONDS), 12.5);
+        reg.gauge_set(keys::SWEEP_ETA_SECONDS, 3.0);
+        assert_eq!(reg.gauge_value(keys::SWEEP_ETA_SECONDS), 3.0);
+    }
+
+    #[test]
+    fn histogram_observe_and_merge_agree_in_snapshot() {
+        let reg = MetricsRegistry::standard(2);
+        reg.observe(keys::POINT_MILLIS, 10);
+        reg.observe(keys::POINT_MILLIS, 1000);
+        let mut pre = LogHistogram::new();
+        pre.record(10);
+        pre.record(1000);
+        reg.merge_hist(keys::JOB_WAIT_TIME, &pre);
+
+        let snap = reg.snapshot();
+        let point = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "elastisched_sweep_point_millis")
+            .unwrap();
+        assert_eq!(point.hist.n, 2);
+        assert_eq!(point.sum, 1010);
+        let wait = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "elastisched_job_wait_time")
+            .unwrap();
+        assert_eq!(wait.hist.n, 2);
+        assert_eq!(wait.hist.counts, pre.counts);
+        assert_eq!(wait.hist.max, 1000);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let reg = MetricsRegistry::standard(1);
+        reg.set_label("campaign", "unit \"test\"\nline");
+        reg.counter_add(keys::RUNS_TOTAL, 3);
+        reg.gauge_set(keys::SWEEP_ETA_SECONDS, 1.5);
+        reg.gauge_set(keys::JOBS_PER_SEC, f64::NAN);
+        reg.observe(keys::POINT_MILLIS, 7);
+        let text = reg.snapshot().to_prometheus();
+
+        assert!(text.contains("# TYPE elastisched_runs_total counter\n"));
+        assert!(text.contains("elastisched_runs_total 3\n"));
+        assert!(text.contains("# TYPE elastisched_sweep_eta_seconds gauge\n"));
+        assert!(text.contains("elastisched_sweep_eta_seconds 1.5\n"));
+        // NaN gauges render as 0, not as unparseable text.
+        assert!(text.contains("elastisched_jobs_per_sec 0\n"));
+        // Histogram family: cumulative buckets, +Inf, sum, count.
+        assert!(text.contains("elastisched_sweep_point_millis_bucket{le=\"7\"} 1\n"));
+        assert!(text.contains("elastisched_sweep_point_millis_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("elastisched_sweep_point_millis_sum 7\n"));
+        assert!(text.contains("elastisched_sweep_point_millis_count 1\n"));
+        // Label escaping: backslash-escaped quote and newline.
+        assert!(text.contains("campaign=\"unit \\\"test\\\"\\nline\""));
+        // Well-formedness: every non-comment line is `name{labels}? value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(!series.is_empty());
+            let name_end = series.find('{').unwrap_or(series.len());
+            let name = &series[..name_end];
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {name:?}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable sample value {value:?} in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = MetricsRegistry::standard(2);
+        reg.counter_add(keys::RUNS_TOTAL, 2);
+        reg.observe(keys::POINT_MILLIS, 42);
+        reg.set_label("campaign", "roundtrip");
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("elastisched_runs_total"), Some(2));
+    }
+
+    #[test]
+    fn bucket_le_7_covers_bucket_three() {
+        // 7 is the inclusive upper bound of bucket 3 ([4, 8)); the
+        // renderer's le labels must match the recorder's bucketing.
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_upper_bound(3), 7);
+    }
+}

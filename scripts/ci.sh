@@ -27,6 +27,19 @@ cargo build --release --offline --locked --workspace
 echo "== tests =="
 cargo test --offline --locked --workspace --quiet
 
+echo "== golden trace fixture =="
+# Byte-for-byte pin of the Figure 2 JSONL trace. Drift here means the
+# trace taxonomy or serialization changed: if that was intentional,
+# rerun with \`ELASTISCHED_BLESS=1 cargo test -p elastisched --test
+# golden_trace\` and commit the refreshed fixture.
+if ! cargo test --offline --locked --quiet -p elastisched --test golden_trace; then
+    echo "golden trace fixture drifted; rerun with \`ELASTISCHED_BLESS=1\` to re-bless (see above)" >&2
+    exit 1
+fi
+
+echo "== metrics endpoint smoke (scrape /metrics + /status over TCP) =="
+cargo test --offline --locked --quiet -p elastisched --test metrics_endpoint
+
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 
