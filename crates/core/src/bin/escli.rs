@@ -49,7 +49,9 @@ Global flags (any simulating subcommand):
 
 Defaults: 500 jobs, P_S=0.5, P_D=0, machine 320:32 (BlueGene/P), C_s=7.
 Algorithms: FCFS, Conservative, EASY[-D|-E|-DE], LOS[-D|-E|-DE],
-            Delayed-LOS[-E], Hybrid-LOS[-E], Adaptive."
+            Delayed-LOS[-E], Hybrid-LOS[-E], Adaptive — or a stack spec
+            <core>[+d][+e] (e.g. \"delayed-los+d\", \"fcfs+d\",
+            \"easy+d+e\"); see `escli algorithms`."
 }
 
 struct Args {
@@ -170,20 +172,34 @@ fn print_metrics(m: &RunMetrics) {
 
 fn cmd_run(args: &Args) -> Result<(), String> {
     let trace = args.get("trace").ok_or("--trace is required")?;
-    let algo: Algorithm = args
-        .get("algo")
-        .ok_or("--algo is required")?
-        .parse()
-        .map_err(|e: String| e)?;
+    let name = args.get("algo").ok_or("--algo is required")?;
     let cs: u32 = args.get_parsed("cs", 7)?;
     let machine = parse_machine(args)?;
     let w = load_trace(trace)?;
-    let exp = Experiment {
-        algorithm: algo,
-        params: SchedParams::with_cs(cs),
-        machine,
-    };
-    let m = exp.run(&w).map_err(|e| e.to_string())?;
+    let params = SchedParams::with_cs(cs);
+    // A registry name ("Hybrid-LOS") or a stack spec ("delayed-los+d"):
+    // the spec syntax also reaches compositions outside Table III, e.g.
+    // "fcfs+d" or "conservative+d+e".
+    let m = match name.parse::<Algorithm>() {
+        Ok(algo) => Experiment {
+            algorithm: algo,
+            params,
+            machine,
+        }
+        .run(&w),
+        Err(algo_err) => {
+            let spec: StackSpec = name
+                .parse()
+                .map_err(|spec_err| format!("{algo_err}; {spec_err}"))?;
+            StackExperiment {
+                spec,
+                params,
+                machine,
+            }
+            .run(&w)
+        }
+    }
+    .map_err(|e| e.to_string())?;
     print_metrics(&m);
     Ok(())
 }
@@ -383,11 +399,15 @@ fn cmd_top(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_algorithms() {
-    println!("{:<16} {:<15} ECC Processor", "Algorithm", "Workload");
-    for a in Algorithm::PAPER_TABLE_III {
+    println!(
+        "{:<18} {:<18} {:<15} ECC Processor",
+        "Algorithm", "Stack spec", "Workload"
+    );
+    for a in Algorithm::ALL {
         println!(
-            "{:<16} {:<15} {}",
+            "{:<18} {:<18} {:<15} {}",
             a.name(),
+            a.stack_spec().to_string(),
             if a.heterogeneous() {
                 "Heterogeneous"
             } else {
@@ -396,9 +416,7 @@ fn cmd_algorithms() {
             if a.elastic() { "Yes" } else { "No" }
         );
     }
-    println!("{:<16} {:<15} No", "FCFS", "Batch");
-    println!("{:<16} {:<15} No", "Conservative", "Batch");
-    println!("{:<16} {:<15} No", "Adaptive", "Batch");
+    println!("\n`run --algo` also accepts any stack spec <core>[+d][+e].");
 }
 
 fn main() -> ExitCode {

@@ -1,7 +1,7 @@
 //! Running one scheduling experiment end to end.
 
 use elastisched_metrics::RunMetrics;
-use elastisched_sched::{Algorithm, SchedParams};
+use elastisched_sched::{Algorithm, SchedParams, StackSpec};
 use elastisched_sim::{Engine, Machine, SimError, SimResult, TraceSink};
 use elastisched_workload::Workload;
 use serde::{Deserialize, Serialize};
@@ -104,6 +104,61 @@ impl Experiment {
     }
 }
 
+/// One experiment over an arbitrary policy stack: where [`Experiment`]
+/// is limited to the registry's named [`Algorithm`]s, this runs any
+/// [`StackSpec`] composition (e.g. `"fcfs+d"` or `"conservative+d+e"`),
+/// including stacks outside the paper's Table III.
+#[derive(Debug, Clone)]
+pub struct StackExperiment {
+    /// Which scheduler stack.
+    pub spec: StackSpec,
+    /// `C_s` and lookahead for the LOS family.
+    pub params: SchedParams,
+    /// Machine dimensions.
+    pub machine: MachineSpec,
+}
+
+impl StackExperiment {
+    /// An experiment on the paper's BlueGene/P with default tunables.
+    pub fn new(spec: StackSpec) -> Self {
+        StackExperiment {
+            spec,
+            params: SchedParams::default(),
+            machine: MachineSpec::BLUEGENE_P,
+        }
+    }
+
+    /// Override the maximum skip count `C_s`.
+    pub fn with_cs(mut self, cs: u32) -> Self {
+        self.params.cs = cs;
+        self
+    }
+
+    /// Override the machine.
+    pub fn on_machine(mut self, machine: MachineSpec) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Run against a workload, returning the raw simulation result. The
+    /// ECC policy is chosen by the spec's `+e` flag.
+    pub fn run_raw(&self, workload: &Workload) -> Result<SimResult, SimError> {
+        let scheduler = self.spec.build(self.params);
+        let mut engine = Engine::new(self.machine.build(), scheduler, self.spec.ecc_policy());
+        engine.load(&workload.jobs, &workload.eccs)?;
+        engine.run()
+    }
+
+    /// Run against a workload and summarize with the paper's metrics
+    /// (feeding the live-telemetry campaign when one is active, exactly
+    /// like [`Experiment::run`]).
+    pub fn run(&self, workload: &Workload) -> Result<RunMetrics, SimError> {
+        let metrics = RunMetrics::from_result(&self.run_raw(workload)?);
+        crate::telemetry::record_run(&metrics);
+        Ok(metrics)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +216,37 @@ mod tests {
         let a = Experiment::new(Algorithm::DelayedLos).run(&w).unwrap();
         let b = Experiment::new(Algorithm::DelayedLos).run(&w).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stack_experiment_runs_compositions_outside_the_registry() {
+        let w = generate(
+            &GeneratorConfig::paper_heterogeneous(0.5, 0.5)
+                .with_jobs(60)
+                .with_seed(4),
+        );
+        // FCFS-D exists only through the stack syntax, not as a named
+        // registry algorithm.
+        let spec: StackSpec = "fcfs+d".parse().unwrap();
+        let m = StackExperiment::new(spec).run(&w).unwrap();
+        assert_eq!(m.scheduler, "FCFS-D");
+        assert_eq!(m.jobs, 60);
+        assert!(m.dedicated_jobs > 0);
+    }
+
+    #[test]
+    fn stack_experiment_matches_experiment_on_registry_algorithms() {
+        let w = generate(
+            &GeneratorConfig::paper_heterogeneous(0.4, 0.3)
+                .with_paper_eccs()
+                .with_jobs(80)
+                .with_seed(5),
+        );
+        for algo in [Algorithm::Easy, Algorithm::HybridLosE, Algorithm::LosD] {
+            let a = Experiment::new(algo).run(&w).unwrap();
+            let b = StackExperiment::new(algo.stack_spec()).run(&w).unwrap();
+            assert_eq!(a, b, "{algo}");
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod tune;
 
 pub use calibrate::{calibrated_workload, search_beta_arr};
 pub use contiguity::{contiguity_study, ContiguityPoint, ContiguityStudy};
-pub use experiment::{Experiment, MachineSpec};
+pub use experiment::{Experiment, MachineSpec, StackExperiment};
 pub use explain::explain_job;
 pub use figures::{
     default_cs_for_ps, improvement_table, Figure, ImprovementTable, ReproConfig, Series,
@@ -62,10 +62,10 @@ pub use tune::{tune_cs, CsCandidate, CsTuning};
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::calibrate::calibrated_workload;
-    pub use crate::experiment::{Experiment, MachineSpec};
+    pub use crate::experiment::{Experiment, MachineSpec, StackExperiment};
     pub use crate::figures::ReproConfig;
     pub use elastisched_metrics::RunMetrics;
-    pub use elastisched_sched::{Algorithm, SchedParams};
+    pub use elastisched_sched::{Algorithm, CorePolicy, SchedParams, StackSpec};
     pub use elastisched_sim::{
         Duration, EccKind, EccPolicy, EccSpec, JobClass, JobId, JobSpec, Machine, SimTime,
     };

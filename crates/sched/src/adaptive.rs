@@ -9,46 +9,45 @@
 //! observed small-job fraction (`P_S` estimate) is high it behaves like
 //! EASY, otherwise like Delayed-LOS — mirroring Figures 7–8 where
 //! Delayed-LOS wins at low `P_S` and the two converge at high `P_S`.
+//!
+//! As a [`BatchPolicy`] core, Adaptive is itself a *core-switching stack*:
+//! it owns an [`EasyCore`] and a [`DelayedLosCore`] and routes each cycle
+//! (and each dedicated-claim cycle, when stacked as Adaptive-D) to the
+//! sub-core selected by the current `P_S` estimate.
 
-use crate::delayed_los::{delayed_los_cycle, DEFAULT_MAX_SKIP};
-use crate::dp::DpWork;
-use crate::telemetry::Telemetry;
-use crate::easy::easy_cycle;
+use crate::delayed_los::{DelayedLosCore, DEFAULT_MAX_SKIP};
+use crate::easy::EasyCore;
+use crate::freeze::Freeze;
 use crate::los::DEFAULT_LOOKAHEAD;
 use crate::queue::BatchQueue;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, SchedStats, Scheduler};
+use crate::stack::{BatchOnly, BatchPolicy, DedicatedClaim, PolicyShared, PolicyStack};
+use elastisched_sim::{JobView, SchedContext};
 use std::collections::VecDeque;
 
-/// Adaptive EASY / Delayed-LOS selection.
+/// The adaptive EASY / Delayed-LOS selection core.
 #[derive(Debug)]
-pub struct Adaptive {
-    queue: BatchQueue,
-    recent_sizes: VecDeque<u32>,
-    window: usize,
+pub struct AdaptiveCore {
+    easy: EasyCore,
+    delayed: DelayedLosCore,
+    pub(crate) recent_sizes: VecDeque<u32>,
+    pub(crate) window: usize,
     /// Jobs with at most this many allocation units count as "small"
     /// (the paper's small jobs are 1–3 units).
     small_units: u32,
     /// Switch to EASY when the observed small fraction is at least this.
     threshold: f64,
-    cs: u32,
-    lookahead: usize,
-    telemetry: Telemetry,
-    work: DpWork,
 }
 
-impl Adaptive {
+impl AdaptiveCore {
     /// Defaults: 64-arrival window, small ≤ 3 units, EASY above 60 %.
     pub fn new() -> Self {
-        Adaptive {
-            queue: BatchQueue::new(),
+        AdaptiveCore {
+            easy: EasyCore,
+            delayed: DelayedLosCore::new(DEFAULT_MAX_SKIP, DEFAULT_LOOKAHEAD),
             recent_sizes: VecDeque::new(),
             window: 64,
             small_units: 3,
             threshold: 0.6,
-            cs: DEFAULT_MAX_SKIP,
-            lookahead: DEFAULT_LOOKAHEAD,
-            telemetry: Telemetry::default(),
-            work: DpWork::default(),
         }
     }
 
@@ -64,62 +63,87 @@ impl Adaptive {
             .count();
         small as f64 / self.recent_sizes.len() as f64
     }
+
+    /// EASY when the small fraction clears the threshold.
+    fn prefers_easy(&self, unit: u32) -> bool {
+        self.observed_small_fraction(unit) >= self.threshold
+    }
 }
 
-impl Default for Adaptive {
+impl Default for AdaptiveCore {
     fn default() -> Self {
-        Adaptive::new()
+        AdaptiveCore::new()
     }
 }
 
-impl Scheduler for Adaptive {
-    fn on_arrival(&mut self, job: JobView) {
-        self.recent_sizes.push_back(job.num);
-        if self.recent_sizes.len() > self.window {
-            self.recent_sizes.pop_front();
-        }
-        self.queue.push_back(job);
-    }
-
-    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
-        self.queue.apply_ecc(id, num, dur);
-    }
-
-    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-        if self.observed_small_fraction(ctx.unit()) >= self.threshold {
-            easy_cycle(&mut self.queue, ctx, None);
-        } else {
-            delayed_los_cycle(
-                &mut self.queue,
-                ctx,
-                self.cs,
-                self.lookahead,
-                &mut self.telemetry,
-                &mut self.work,
-            );
-            self.telemetry.record_dp(self.work.stats());
-        }
-    }
-
-    fn waiting_len(&self) -> usize {
-        self.queue.len()
-    }
-
+impl BatchPolicy for AdaptiveCore {
     fn name(&self) -> &'static str {
         "Adaptive"
     }
 
-    fn stats(&self) -> SchedStats {
-        let mut stats: SchedStats = self.work.stats().into();
-        self.telemetry.fill_sched_stats(&mut stats);
-        stats
+    fn dedicated_name(&self) -> &'static str {
+        "Adaptive-D"
+    }
+
+    fn on_admit(&mut self, job: &JobView) {
+        self.recent_sizes.push_back(job.num);
+        if self.recent_sizes.len() > self.window {
+            self.recent_sizes.pop_front();
+        }
+    }
+
+    fn cycle(
+        &mut self,
+        queue: &mut BatchQueue,
+        ctx: &mut dyn SchedContext,
+        ded: Option<Freeze>,
+        shared: &mut PolicyShared,
+    ) {
+        if self.prefers_easy(ctx.unit()) {
+            self.easy.cycle(queue, ctx, ded, shared);
+        } else {
+            self.delayed.cycle(queue, ctx, ded, shared);
+        }
+    }
+
+    fn dedicated_cycle(
+        &mut self,
+        queue: &mut BatchQueue,
+        ctx: &mut dyn SchedContext,
+        claim: DedicatedClaim,
+        bump_scount: bool,
+        shared: &mut PolicyShared,
+    ) {
+        if self.prefers_easy(ctx.unit()) {
+            self.easy
+                .dedicated_cycle(queue, ctx, claim, bump_scount, shared);
+        } else {
+            self.delayed
+                .dedicated_cycle(queue, ctx, claim, bump_scount, shared);
+        }
+    }
+}
+
+/// Adaptive EASY / Delayed-LOS selection.
+pub type Adaptive = PolicyStack<BatchOnly<AdaptiveCore>>;
+
+impl Adaptive {
+    /// Defaults: 64-arrival window, small ≤ 3 units, EASY above 60 %.
+    pub fn new() -> Self {
+        PolicyStack::batch_only(AdaptiveCore::new())
+    }
+
+    /// Observed small-job fraction over the window (0.5 when no history).
+    pub fn observed_small_fraction(&self, unit: u32) -> f64 {
+        self.layer.core.observed_small_fraction(unit)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine};
+    use elastisched_sim::{JobSpec, Scheduler};
+    use elastisched_test_util::{run_on_bluegene, started};
 
     #[test]
     fn small_fraction_tracks_arrivals() {
@@ -140,7 +164,7 @@ mod tests {
         for i in 0..1000u64 {
             a.on_arrival(JobSpec::batch(i + 1, 0, 32, 10).to_view());
         }
-        assert_eq!(a.recent_sizes.len(), a.window);
+        assert_eq!(a.layer.core.recent_sizes.len(), a.layer.core.window);
     }
 
     #[test]
@@ -148,14 +172,7 @@ mod tests {
         let jobs: Vec<JobSpec> = (0..150)
             .map(|i| JobSpec::batch(i + 1, i * 13, 32 * (1 + (i as u32 * 7) % 10), 30 + i % 220))
             .collect();
-        let r = simulate(
-            Machine::bluegene_p(),
-            Adaptive::new(),
-            EccPolicy::disabled(),
-            &jobs,
-            &[],
-        )
-        .unwrap();
+        let r = run_on_bluegene(Adaptive::new(), &jobs);
         assert_eq!(r.outcomes.len(), 150);
     }
 
@@ -168,24 +185,9 @@ mod tests {
             JobSpec::batch(2, 0, 128, 100),
             JobSpec::batch(3, 0, 192, 100),
         ];
-        let r = simulate(
-            Machine::bluegene_p(),
-            Adaptive::new(),
-            EccPolicy::disabled(),
-            &jobs,
-            &[],
-        )
-        .unwrap();
-        let started = |id: u64| {
-            r.outcomes
-                .iter()
-                .find(|o| o.id.0 == id)
-                .unwrap()
-                .started
-                .as_secs()
-        };
-        assert_eq!(started(2), 0);
-        assert_eq!(started(3), 0);
-        assert_eq!(started(1), 100);
+        let r = run_on_bluegene(Adaptive::new(), &jobs);
+        assert_eq!(started(&r, 2), 0);
+        assert_eq!(started(&r, 3), 0);
+        assert_eq!(started(&r, 1), 100);
     }
 }

@@ -5,52 +5,65 @@
 //! cycle rebuilds the free-capacity timeline from the running set, walks
 //! the queue in FIFO order giving every job the earliest reservation that
 //! fits, and starts exactly the jobs whose reservation is "now".
+//!
+//! When stacked as Conservative-D the dedicated freeze is an additional
+//! gate on actual starts: a job whose profile reservation is "now" still
+//! stays queued if starting it would invade the first future dedicated
+//! job's window.
 
+use crate::freeze::Freeze;
 use crate::profile::ResourceProfile;
 use crate::queue::BatchQueue;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler, SimTime};
+use crate::stack::{ded_allows, ded_commit, BatchOnly, BatchPolicy, PolicyShared, PolicyStack};
+use elastisched_sim::{Duration, JobId, SchedContext, SimTime};
 
-/// Conservative backfilling scheduler.
+/// The conservative-backfilling policy core: per-cycle resource profile,
+/// everyone gets a reservation, only "start now" reservations (allowed by
+/// the dedicated freeze, when present) actually start.
 #[derive(Debug)]
-pub struct Conservative {
-    queue: BatchQueue,
+pub struct ConservativeCore {
     /// Per-cycle scratch, reused so steady-state cycles don't allocate.
     profile: ResourceProfile,
     start_now: Vec<JobId>,
 }
 
-impl Conservative {
-    /// A new, empty conservative scheduler.
+impl ConservativeCore {
+    /// A new conservative core with empty scratch.
     pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl Default for Conservative {
-    fn default() -> Self {
-        Conservative {
-            queue: BatchQueue::new(),
+        ConservativeCore {
             profile: ResourceProfile::idle(SimTime::ZERO, 0),
             start_now: Vec::new(),
         }
     }
 }
 
-impl Scheduler for Conservative {
-    fn on_arrival(&mut self, job: JobView) {
-        self.queue.push_back(job);
+impl Default for ConservativeCore {
+    fn default() -> Self {
+        ConservativeCore::new()
+    }
+}
+
+impl BatchPolicy for ConservativeCore {
+    fn name(&self) -> &'static str {
+        "Conservative"
     }
 
-    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
-        self.queue.apply_ecc(id, num, dur);
+    fn dedicated_name(&self) -> &'static str {
+        "Conservative-D"
     }
 
-    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+    fn cycle(
+        &mut self,
+        queue: &mut BatchQueue,
+        ctx: &mut dyn SchedContext,
+        mut ded: Option<Freeze>,
+        _shared: &mut PolicyShared,
+    ) {
         let now = ctx.now();
         self.profile
             .reset_from_running(ctx.running(), now, ctx.total());
         self.start_now.clear();
-        for w in self.queue.iter() {
+        for w in queue.iter() {
             // Reserve at least one second so zero-duration jobs still
             // occupy a decision slot.
             let dur = w.view.dur.max(Duration::from_secs(1));
@@ -65,43 +78,39 @@ impl Scheduler for Conservative {
             }
         }
         for &id in &self.start_now {
+            let w = queue
+                .iter()
+                .find(|w| w.view.id == id)
+                .expect("selected job still queued");
+            let (num, dur) = (w.view.num, w.view.dur);
+            if !ded_allows(&ded, now, num, dur) {
+                continue;
+            }
             ctx.start(id).expect("profile guarantees fit");
-            self.queue.remove(id);
+            ded_commit(&mut ded, now, num, dur);
+            queue.remove(id);
         }
     }
+}
 
-    fn waiting_len(&self) -> usize {
-        self.queue.len()
-    }
+/// Conservative backfilling scheduler.
+pub type Conservative = PolicyStack<BatchOnly<ConservativeCore>>;
 
-    fn name(&self) -> &'static str {
-        "Conservative"
+impl Conservative {
+    /// A new, empty conservative scheduler.
+    pub fn new() -> Self {
+        PolicyStack::batch_only(ConservativeCore::new())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine};
+    use elastisched_sim::JobSpec;
+    use elastisched_test_util::{run_on_bluegene, started};
 
     fn run(jobs: &[JobSpec]) -> elastisched_sim::SimResult {
-        simulate(
-            Machine::bluegene_p(),
-            Conservative::new(),
-            EccPolicy::disabled(),
-            jobs,
-            &[],
-        )
-        .unwrap()
-    }
-
-    fn started(r: &elastisched_sim::SimResult, id: u64) -> u64 {
-        r.outcomes
-            .iter()
-            .find(|o| o.id.0 == id)
-            .unwrap()
-            .started
-            .as_secs()
+        run_on_bluegene(Conservative::new(), jobs)
     }
 
     #[test]

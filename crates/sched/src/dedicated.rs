@@ -8,188 +8,51 @@
 //! while the first dedicated job's start lies in the future its freeze
 //! window (`fret_d`, `frec_d`) constrains every start decision — EASY's
 //! backfill checks and LOS's Reservation_DP both respect it.
+//!
+//! Both are plain compositions: the base policy core under the
+//! [`WithDedicated`] layer's *bulk* drive (promotion `scount` 0).
 
-use crate::dp::DpWork;
-use crate::easy::easy_cycle;
-use crate::freeze::{dedicated_freeze, Freeze};
-use crate::los::{los_cycle, DEFAULT_LOOKAHEAD};
-use crate::queue::{BatchQueue, DedicatedQueue};
-use elastisched_sim::{
-    trace_event, Duration, JobId, JobView, SchedContext, SchedStats, Scheduler, TraceEvent,
-};
+use crate::easy::EasyCore;
+use crate::los::{LosCore, DEFAULT_LOOKAHEAD};
+use crate::stack::{PolicyStack, WithDedicated};
 
-/// Promote every due dedicated job (requested start ≤ now) to the head of
-/// the batch queue, preserving requested-start order (the earliest due
-/// job ends up first). Returns how many jobs were promoted.
-fn promote_due(
-    batch: &mut BatchQueue,
-    dedicated: &mut DedicatedQueue,
-    ctx: &mut dyn SchedContext,
-    scount: u32,
-) -> u64 {
-    let now = ctx.now();
-    let mut promoted = 0u64;
-    while let Some(d) = dedicated.head() {
-        match d.class.requested_start() {
-            Some(start) if start <= now => {
-                let view = dedicated.pop_head().expect("head exists");
-                trace_event!(
-                    ctx.trace(),
-                    TraceEvent::Promote {
-                        job: view.id.0,
-                        at: now.as_secs(),
-                    }
-                );
-                // `insert_priority` keeps dedicated jobs promoted across
-                // different cycles in requested-start order.
-                batch.insert_priority(view, scount);
-                promoted += 1;
-            }
-            _ => break,
-        }
+/// EASY backfilling appended with the dedicated job queue.
+pub type EasyD = PolicyStack<WithDedicated<EasyCore>>;
+
+impl EasyD {
+    /// A new, empty EASY-D scheduler.
+    pub fn new() -> Self {
+        PolicyStack::with_dedicated(EasyCore, 0)
     }
-    promoted
 }
 
-/// The freeze protecting the first *future* dedicated job, if any.
-fn first_dedicated_freeze(
-    dedicated: &DedicatedQueue,
-    ctx: &dyn SchedContext,
-) -> Option<Freeze> {
-    let d = dedicated.head()?;
-    let start = d.class.requested_start()?;
-    let tot = dedicated.total_num_at_start(start);
-    dedicated_freeze(ctx.running(), ctx.now(), ctx.total(), start, tot)
+/// LOS appended with the dedicated job queue.
+pub type LosD = PolicyStack<WithDedicated<LosCore>>;
+
+impl LosD {
+    /// LOS-D with the default 50-job lookahead.
+    pub fn new() -> Self {
+        LosD::with_lookahead(DEFAULT_LOOKAHEAD)
+    }
+
+    /// LOS-D with an explicit lookahead window.
+    pub fn with_lookahead(lookahead: usize) -> Self {
+        PolicyStack::with_dedicated(LosCore::new(lookahead), 0)
+    }
 }
-
-macro_rules! dedicated_wrapper {
-    ($name:ident, $display:literal, $cycle:expr) => {
-        /// See module docs: a dedicated-queue append of the base policy.
-        #[derive(Debug)]
-        pub struct $name {
-            batch: BatchQueue,
-            dedicated: DedicatedQueue,
-            lookahead: usize,
-            work: DpWork,
-            promotions: u64,
-        }
-
-        impl $name {
-            /// New scheduler with the default lookahead.
-            pub fn new() -> Self {
-                Self {
-                    batch: BatchQueue::new(),
-                    dedicated: DedicatedQueue::new(),
-                    lookahead: DEFAULT_LOOKAHEAD,
-                    work: DpWork::default(),
-                    promotions: 0,
-                }
-            }
-        }
-
-        impl Default for $name {
-            fn default() -> Self {
-                Self::new()
-            }
-        }
-
-        impl Scheduler for $name {
-            fn on_arrival(&mut self, job: JobView) {
-                if job.class.is_dedicated() {
-                    self.dedicated.insert(job);
-                } else {
-                    self.batch.push_back(job);
-                }
-            }
-
-            fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
-                if !self.batch.apply_ecc(id, num, dur) {
-                    self.dedicated.apply_ecc(id, num, dur);
-                }
-            }
-
-            fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-                self.promotions +=
-                    promote_due(&mut self.batch, &mut self.dedicated, ctx, 0);
-                let freeze = first_dedicated_freeze(&self.dedicated, ctx);
-                if self.batch.is_empty() {
-                    return;
-                }
-                #[allow(clippy::redundant_closure_call)]
-                ($cycle)(&mut self.batch, ctx, self.lookahead, freeze, &mut self.work);
-            }
-
-            fn waiting_len(&self) -> usize {
-                self.batch.len() + self.dedicated.len()
-            }
-
-            fn name(&self) -> &'static str {
-                $display
-            }
-
-            fn stats(&self) -> SchedStats {
-                let mut stats: SchedStats = self.work.stats().into();
-                stats.dedicated_promotions = self.promotions;
-                stats
-            }
-        }
-    };
-}
-
-dedicated_wrapper!(
-    EasyD,
-    "EASY-D",
-    |queue: &mut BatchQueue,
-     ctx: &mut dyn SchedContext,
-     _look: usize,
-     fr: Option<Freeze>,
-     _work: &mut DpWork| { easy_cycle(queue, ctx, fr) }
-);
-
-dedicated_wrapper!(
-    LosD,
-    "LOS-D",
-    |queue: &mut BatchQueue,
-     ctx: &mut dyn SchedContext,
-     look: usize,
-     fr: Option<Freeze>,
-     work: &mut DpWork| { los_cycle(queue, ctx, look, fr, work) }
-);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine};
+    use elastisched_sim::JobSpec;
+    use elastisched_test_util::{run_on_bluegene, started};
 
     fn run_easy_d(jobs: &[JobSpec]) -> elastisched_sim::SimResult {
-        simulate(
-            Machine::bluegene_p(),
-            EasyD::new(),
-            EccPolicy::disabled(),
-            jobs,
-            &[],
-        )
-        .unwrap()
+        run_on_bluegene(EasyD::new(), jobs)
     }
 
     fn run_los_d(jobs: &[JobSpec]) -> elastisched_sim::SimResult {
-        simulate(
-            Machine::bluegene_p(),
-            LosD::new(),
-            EccPolicy::disabled(),
-            jobs,
-            &[],
-        )
-        .unwrap()
-    }
-
-    fn started(r: &elastisched_sim::SimResult, id: u64) -> u64 {
-        r.outcomes
-            .iter()
-            .find(|o| o.id.0 == id)
-            .unwrap()
-            .started
-            .as_secs()
+        run_on_bluegene(LosD::new(), jobs)
     }
 
     #[test]
@@ -254,20 +117,15 @@ mod tests {
     #[test]
     fn pure_batch_degenerates_to_base_policy() {
         // Without dedicated jobs EASY-D must equal EASY behaviourally.
+        // The registry-wide generalization of this property lives in
+        // tests/registry_properties.rs; this is the motivating instance.
         let jobs = vec![
             JobSpec::batch(1, 0, 256, 100),
             JobSpec::batch(2, 1, 320, 100),
             JobSpec::batch(3, 2, 32, 50),
         ];
         let rd = run_easy_d(&jobs);
-        let re = simulate(
-            Machine::bluegene_p(),
-            crate::easy::Easy::new(),
-            EccPolicy::disabled(),
-            &jobs,
-            &[],
-        )
-        .unwrap();
+        let re = run_on_bluegene(crate::easy::Easy::new(), &jobs);
         for id in 1..=3u64 {
             assert_eq!(started(&rd, id), started(&re, id));
         }

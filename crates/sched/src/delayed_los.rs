@@ -14,14 +14,14 @@
 //!   queue (lines 12–20).
 
 use crate::dp::{DpItem, DpWork};
-use crate::freeze::batch_head_freeze;
+use crate::freeze::{batch_head_freeze, Freeze};
 use crate::los::DEFAULT_LOOKAHEAD;
 use crate::queue::BatchQueue;
-use crate::telemetry::Telemetry;
-use elastisched_sim::{
-    trace_event, DpKernel, Duration, JobId, JobView, SchedContext, SchedStats, Scheduler,
-    TraceEvent,
+use crate::stack::{
+    debug_assert_unconstrained, BatchOnly, BatchPolicy, DedicatedClaim, PolicyShared, PolicyStack,
 };
+use crate::telemetry::Telemetry;
+use elastisched_sim::{trace_event, DpKernel, SchedContext, TraceEvent};
 
 /// Default maximum skip count. The paper's Fig. 5 finds the sweet spot at
 /// `C_s ≈ 7–8` for `P_S = 0.5`.
@@ -176,15 +176,148 @@ pub(crate) fn delayed_los_cycle(
     }
 }
 
-/// The Delayed-LOS scheduler (batch workloads).
-#[derive(Debug)]
-pub struct DelayedLos {
-    queue: BatchQueue,
-    cs: u32,
-    lookahead: usize,
-    telemetry: Telemetry,
-    work: DpWork,
+/// The Delayed-LOS policy core (Algorithm 1), with the skip budget that
+/// turns a dedicated stack into Hybrid-LOS (Algorithm 2): promoted due
+/// jobs enter with `scount = C_s` and the interleaved drive force-starts
+/// them; around a *future* dedicated start the core runs its
+/// Reservation_DP pass ([`BatchPolicy::dedicated_cycle`] override).
+#[derive(Debug, Clone, Copy)]
+pub struct DelayedLosCore {
+    pub(crate) cs: u32,
+    pub(crate) lookahead: usize,
 }
+
+impl DelayedLosCore {
+    /// A core with an explicit maximum skip count `C_s` and lookahead
+    /// window.
+    pub fn new(cs: u32, lookahead: usize) -> Self {
+        DelayedLosCore {
+            cs,
+            lookahead: lookahead.max(1),
+        }
+    }
+}
+
+impl Default for DelayedLosCore {
+    fn default() -> Self {
+        DelayedLosCore::new(DEFAULT_MAX_SKIP, DEFAULT_LOOKAHEAD)
+    }
+}
+
+impl BatchPolicy for DelayedLosCore {
+    fn name(&self) -> &'static str {
+        "Delayed-LOS"
+    }
+
+    fn dedicated_name(&self) -> &'static str {
+        "Hybrid-LOS"
+    }
+
+    fn skip_budget(&self) -> Option<u32> {
+        Some(self.cs)
+    }
+
+    fn cycle(
+        &mut self,
+        queue: &mut BatchQueue,
+        ctx: &mut dyn SchedContext,
+        ded: Option<Freeze>,
+        shared: &mut PolicyShared,
+    ) {
+        // Delayed-LOS is only ever driven unconstrained: under a
+        // dedicated claim the interleaved drive calls `dedicated_cycle`.
+        debug_assert_unconstrained(&ded);
+        delayed_los_cycle(
+            queue,
+            ctx,
+            self.cs,
+            self.lookahead,
+            &mut shared.telemetry,
+            &mut shared.work,
+        );
+    }
+
+    /// Hybrid-LOS's dedicated-freeze Reservation_DP pass (Algorithm 2
+    /// lines 8–33): one Reservation_DP over the *whole* batch queue
+    /// (head included) against the dedicated freeze, bumping the head's
+    /// `scount` when it was skipped and `bump_scount` is set.
+    fn dedicated_cycle(
+        &mut self,
+        queue: &mut BatchQueue,
+        ctx: &mut dyn SchedContext,
+        claim: DedicatedClaim,
+        bump_scount: bool,
+        shared: &mut PolicyShared,
+    ) {
+        let now = ctx.now();
+        let free = ctx.free();
+        let Some(freeze) = claim.freeze(ctx) else {
+            return; // dedicated bundle larger than the machine
+        };
+        let head_id = queue.head().expect("batch non-empty").view.id;
+        shared.work.clear_candidates();
+        for w in queue
+            .iter()
+            .filter(|w| w.view.num <= free)
+            .take(self.lookahead)
+        {
+            shared.work.ids.push(w.view.id);
+            shared.work.items.push(DpItem {
+                num: w.view.num,
+                extends: freeze.extends(now, w.view.dur),
+            });
+        }
+        let tracing = ctx.trace().is_some();
+        let hits_before = shared.work.solver.stats().cache_hits;
+        let candidates = shared.work.ids.len() as u32;
+        let sel = shared
+            .work
+            .solver
+            .reservation(&shared.work.items, free, freeze.frec, ctx.unit());
+        let mut chosen_trace: Vec<u64> = Vec::new();
+        if tracing {
+            chosen_trace.extend(sel.chosen.iter().map(|&i| shared.work.ids[i].0));
+        }
+        shared.telemetry.reservation_dp_calls += 1;
+        let head_selected = sel.chosen.iter().any(|&i| shared.work.ids[i] == head_id);
+        if bump_scount && !head_selected {
+            let head = queue.head_mut().expect("batch non-empty");
+            head.scount += 1;
+            let scount = head.scount;
+            shared.telemetry.head_skips += 1;
+            trace_event!(
+                ctx.trace(),
+                TraceEvent::HeadSkip {
+                    job: head_id.0,
+                    at: now.as_secs(),
+                    scount,
+                }
+            );
+        }
+        for &i in &sel.chosen {
+            let id = shared.work.ids[i];
+            ctx.start(id).expect("DP selection fits");
+            queue.remove(id);
+            shared.telemetry.dp_starts += 1;
+        }
+        if tracing {
+            let cache_hit = shared.work.solver.stats().cache_hits > hits_before;
+            trace_event!(
+                ctx.trace(),
+                TraceEvent::DpSelect {
+                    at: now.as_secs(),
+                    kernel: DpKernel::Reservation,
+                    candidates,
+                    chosen: chosen_trace,
+                    cache_hit,
+                }
+            );
+        }
+    }
+}
+
+/// The Delayed-LOS scheduler (batch workloads).
+pub type DelayedLos = PolicyStack<BatchOnly<DelayedLosCore>>;
 
 impl DelayedLos {
     /// Delayed-LOS with the default `C_s` and lookahead.
@@ -195,92 +328,23 @@ impl DelayedLos {
     /// Delayed-LOS with an explicit maximum skip count `C_s` and
     /// lookahead window.
     pub fn with_params(cs: u32, lookahead: usize) -> Self {
-        DelayedLos {
-            queue: BatchQueue::new(),
-            cs,
-            lookahead: lookahead.max(1),
-            telemetry: Telemetry::default(),
-            work: DpWork::default(),
-        }
+        PolicyStack::batch_only(DelayedLosCore::new(cs, lookahead))
     }
 
     /// The configured maximum skip count.
     pub fn max_skip(&self) -> u32 {
-        self.cs
-    }
-
-    /// Decision counters accumulated so far.
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
-    }
-}
-
-impl Default for DelayedLos {
-    fn default() -> Self {
-        DelayedLos::new()
-    }
-}
-
-impl Scheduler for DelayedLos {
-    fn on_arrival(&mut self, job: JobView) {
-        self.queue.push_back(job);
-    }
-
-    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
-        self.queue.apply_ecc(id, num, dur);
-    }
-
-    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-        self.telemetry.cycles += 1;
-        delayed_los_cycle(
-            &mut self.queue,
-            ctx,
-            self.cs,
-            self.lookahead,
-            &mut self.telemetry,
-            &mut self.work,
-        );
-        self.telemetry.record_dp(self.work.stats());
-    }
-
-    fn waiting_len(&self) -> usize {
-        self.queue.len()
-    }
-
-    fn name(&self) -> &'static str {
-        "Delayed-LOS"
-    }
-
-    fn stats(&self) -> SchedStats {
-        let mut stats: SchedStats = self.work.stats().into();
-        self.telemetry.fill_sched_stats(&mut stats);
-        stats
+        self.layer.core.cs
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine};
+    use elastisched_sim::JobSpec;
+    use elastisched_test_util::{run_on_bluegene, started};
 
     fn run_with(jobs: &[JobSpec], cs: u32) -> elastisched_sim::SimResult {
-        simulate(
-            Machine::bluegene_p(),
-            DelayedLos::with_params(cs, DEFAULT_LOOKAHEAD),
-            EccPolicy::disabled(),
-            jobs,
-            &[],
-        )
-        .unwrap()
-    }
-
-    fn started(r: &elastisched_sim::SimResult, id: u64) -> u64 {
-        r.outcomes
-            .iter()
-            .find(|o| o.id.0 == id)
-            .unwrap()
-            .started
-            .as_secs()
+        run_on_bluegene(DelayedLos::with_params(cs, DEFAULT_LOOKAHEAD), jobs)
     }
 
     #[test]
@@ -389,14 +453,7 @@ mod tests {
             id += 1;
         }
         let dl = run_with(&jobs, 7);
-        let los = simulate(
-            Machine::bluegene_p(),
-            crate::los::Los::new(),
-            EccPolicy::disabled(),
-            &jobs,
-            &[],
-        )
-        .unwrap();
+        let los = run_on_bluegene(crate::los::Los::new(), &jobs);
         assert!(
             dl.mean_utilization() >= los.mean_utilization() - 1e-9,
             "Delayed-LOS {} vs LOS {}",

@@ -6,35 +6,14 @@
 //! reservation: a backfill candidate must either finish before the shadow
 //! time or fit inside the extra capacity available at the shadow time.
 //!
-//! The core pass is exposed crate-internally so the dedicated wrapper
+//! The core pass is exposed crate-internally so the dedicated layer
 //! (EASY-D) and the adaptive policy can reuse it with an additional
 //! dedicated-freeze constraint.
 
 use crate::freeze::{batch_head_freeze, Freeze};
 use crate::queue::BatchQueue;
-use elastisched_sim::{
-    trace_event, Duration, JobId, JobView, SchedContext, Scheduler, SimTime, TraceEvent,
-};
-
-/// Does the (optional) dedicated freeze allow starting a `(num, dur)` job
-/// now? Allowed iff the job finishes before the freeze end time or fits
-/// in the remaining freeze capacity.
-pub(crate) fn ded_allows(ded: &Option<Freeze>, now: SimTime, num: u32, dur: Duration) -> bool {
-    match ded {
-        None => true,
-        Some(f) => !f.extends(now, dur) || num <= f.frec,
-    }
-}
-
-/// Commit a started job against the dedicated freeze budget.
-pub(crate) fn ded_commit(ded: &mut Option<Freeze>, now: SimTime, num: u32, dur: Duration) {
-    if let Some(f) = ded {
-        if f.extends(now, dur) {
-            debug_assert!(f.frec >= num);
-            f.frec -= num;
-        }
-    }
-}
+use crate::stack::{ded_allows, ded_commit, BatchOnly, BatchPolicy, PolicyShared, PolicyStack};
+use elastisched_sim::{trace_event, SchedContext, TraceEvent};
 
 /// One EASY scheduling cycle over `queue`, with an optional extra
 /// dedicated-freeze constraint (used by EASY-D).
@@ -95,67 +74,50 @@ pub(crate) fn easy_cycle(
     }
 }
 
-/// The EASY backfilling scheduler (batch workloads).
-#[derive(Debug, Default)]
-pub struct Easy {
-    queue: BatchQueue,
+/// The EASY policy core: aggressive backfilling around the head's
+/// reservation, with the dedicated freeze (when stacked) constraining
+/// both head starts and backfills.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EasyCore;
+
+impl BatchPolicy for EasyCore {
+    fn name(&self) -> &'static str {
+        "EASY"
+    }
+
+    fn dedicated_name(&self) -> &'static str {
+        "EASY-D"
+    }
+
+    fn cycle(
+        &mut self,
+        queue: &mut BatchQueue,
+        ctx: &mut dyn SchedContext,
+        ded: Option<Freeze>,
+        _shared: &mut PolicyShared,
+    ) {
+        easy_cycle(queue, ctx, ded);
+    }
 }
+
+/// The EASY backfilling scheduler (batch workloads).
+pub type Easy = PolicyStack<BatchOnly<EasyCore>>;
 
 impl Easy {
     /// A new, empty EASY scheduler.
     pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl Scheduler for Easy {
-    fn on_arrival(&mut self, job: JobView) {
-        // Plain EASY has no dedicated queue; a dedicated job in a batch-only
-        // experiment is treated as a batch job (the paper never feeds
-        // heterogeneous workloads to plain EASY).
-        self.queue.push_back(job);
-    }
-
-    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
-        self.queue.apply_ecc(id, num, dur);
-    }
-
-    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-        easy_cycle(&mut self.queue, ctx, None);
-    }
-
-    fn waiting_len(&self) -> usize {
-        self.queue.len()
-    }
-
-    fn name(&self) -> &'static str {
-        "EASY"
+        PolicyStack::batch_only(EasyCore)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine, SimTime};
+    use elastisched_sim::{Duration, JobId, JobSpec, JobView, Scheduler, SimTime};
+    use elastisched_test_util::{run_on_bluegene, started};
 
     fn run(jobs: &[JobSpec]) -> elastisched_sim::SimResult {
-        simulate(
-            Machine::bluegene_p(),
-            Easy::new(),
-            EccPolicy::disabled(),
-            jobs,
-            &[],
-        )
-        .unwrap()
-    }
-
-    fn started(r: &elastisched_sim::SimResult, id: u64) -> u64 {
-        r.outcomes
-            .iter()
-            .find(|o| o.id.0 == id)
-            .unwrap()
-            .started
-            .as_secs()
+        run_on_bluegene(Easy::new(), jobs)
     }
 
     #[test]

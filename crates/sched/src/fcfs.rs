@@ -4,55 +4,66 @@
 //! order; a blocked head blocks everything behind it. Useful as a lower
 //! bound in experiments and as an engine-exercising reference policy.
 //!
-//! FCFS needs no queue of its own: it reads the engine's arrival-ordered
-//! wait snapshot ([`SchedContext::waiting_jobs`]) directly, which already
-//! has queued ECCs folded in — the scheduler keeps only a count.
+//! As a [`BatchPolicy`] core the head-start loop runs over the stack's
+//! [`BatchQueue`] (arrival-ordered, with queued ECCs folded in — the same
+//! order as the engine's wait snapshot the pre-stack FCFS read), and the
+//! optional dedicated freeze (FCFS-D) gates each head start.
 
-use elastisched_sim::{JobView, SchedContext, Scheduler};
+use crate::freeze::Freeze;
+use crate::queue::BatchQueue;
+use crate::stack::{ded_allows, ded_commit, BatchOnly, BatchPolicy, PolicyShared, PolicyStack};
+use elastisched_sim::SchedContext;
+
+/// The strict-FCFS policy core: start heads in arrival order while they
+/// fit (and the dedicated freeze allows them); never look past a blocked
+/// head.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FcfsCore;
+
+impl BatchPolicy for FcfsCore {
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+
+    fn dedicated_name(&self) -> &'static str {
+        "FCFS-D"
+    }
+
+    fn cycle(
+        &mut self,
+        queue: &mut BatchQueue,
+        ctx: &mut dyn SchedContext,
+        mut ded: Option<Freeze>,
+        _shared: &mut PolicyShared,
+    ) {
+        let now = ctx.now();
+        while let Some(h) = queue.head() {
+            let (id, num, dur) = (h.view.id, h.view.num, h.view.dur);
+            if num > ctx.free() || !ded_allows(&ded, now, num, dur) {
+                break;
+            }
+            ctx.start(id).expect("fit was checked");
+            ded_commit(&mut ded, now, num, dur);
+            queue.pop_head();
+        }
+    }
+}
 
 /// Strict FCFS scheduler.
-#[derive(Debug, Default)]
-pub struct Fcfs {
-    waiting: usize,
-}
+pub type Fcfs = PolicyStack<BatchOnly<FcfsCore>>;
 
 impl Fcfs {
     /// A new, empty FCFS scheduler.
     pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl Scheduler for Fcfs {
-    fn on_arrival(&mut self, _job: JobView) {
-        self.waiting += 1;
-    }
-
-    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-        // Re-borrow after every start: starting the head invalidates the
-        // snapshot slice.
-        while let Some(&head) = ctx.waiting_jobs().first() {
-            if head.num > ctx.free() {
-                break;
-            }
-            ctx.start(head.id).expect("fit was checked");
-            self.waiting -= 1;
-        }
-    }
-
-    fn waiting_len(&self) -> usize {
-        self.waiting
-    }
-
-    fn name(&self) -> &'static str {
-        "FCFS"
+        PolicyStack::batch_only(FcfsCore)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine};
+    use elastisched_sim::JobSpec;
+    use elastisched_test_util::{run_on_bluegene, started};
 
     #[test]
     fn never_reorders() {
@@ -62,25 +73,10 @@ mod tests {
             JobSpec::batch(2, 1, 320, 10),
             JobSpec::batch(3, 2, 32, 10),
         ];
-        let r = simulate(
-            Machine::bluegene_p(),
-            Fcfs::new(),
-            EccPolicy::disabled(),
-            &jobs,
-            &[],
-        )
-        .unwrap();
-        let started = |id: u64| {
-            r.outcomes
-                .iter()
-                .find(|o| o.id.0 == id)
-                .unwrap()
-                .started
-                .as_secs()
-        };
-        assert_eq!(started(1), 0);
-        assert_eq!(started(2), 100);
-        assert_eq!(started(3), 110, "FCFS must not backfill");
+        let r = run_on_bluegene(Fcfs::new(), &jobs);
+        assert_eq!(started(&r, 1), 0);
+        assert_eq!(started(&r, 2), 100);
+        assert_eq!(started(&r, 3), 110, "FCFS must not backfill");
     }
 
     #[test]
@@ -90,14 +86,7 @@ mod tests {
             JobSpec::batch(2, 0, 96, 50),
             JobSpec::batch(3, 0, 96, 50),
         ];
-        let r = simulate(
-            Machine::bluegene_p(),
-            Fcfs::new(),
-            EccPolicy::disabled(),
-            &jobs,
-            &[],
-        )
-        .unwrap();
+        let r = run_on_bluegene(Fcfs::new(), &jobs);
         assert!(r.outcomes.iter().all(|o| o.started.as_secs() == 0));
     }
 }

@@ -1,318 +1,52 @@
 //! Hybrid-LOS (the paper's Algorithms 2 and 3) for heterogeneous
 //! workloads: batch jobs scheduled around rigid dedicated jobs.
 //!
-//! Structure of one cycle (Algorithm 2):
+//! Hybrid-LOS is not a hand-rolled scheduler here — it is the Delayed-LOS
+//! core stacked under the dedicated-queue layer:
 //!
-//! * dedicated queue empty → fall back to Delayed-LOS (line 4);
-//! * dedicated head is *due* (`start ≤ t`) → move it to the head of the
-//!   batch queue with `scount = C_s` so the head-start rule fires it as
-//!   soon as capacity allows (Algorithm 3, lines 6–7 / 39–42);
-//! * dedicated head is in the future → compute the dedicated freeze
-//!   (`fret_d`, `frec_d`, lines 8–30) and run Reservation_DP over the
-//!   batch queue around that reservation, incrementing the batch head's
-//!   `scount` when it is skipped (lines 22, 30);
-//! * batch head's skip budget exhausted → start it right away
-//!   (lines 35–37). **Deviation:** the paper does not re-check
-//!   `w_1^b.num ≤ m` here; we do, since activating a job larger than the
-//!   free capacity would oversubscribe the machine (see DESIGN.md).
+//! * the core's skip budget `C_s` selects [`WithDedicated`]'s
+//!   *interleaved* drive (the Algorithm 2 loop: force-start an
+//!   exhausted-budget batch head, promote due dedicated jobs one at a
+//!   time with `scount = C_s` — Algorithm 3 — and run at most one DP pass
+//!   per cycle);
+//! * around a *future* dedicated start the core's
+//!   [`BatchPolicy::dedicated_cycle`](crate::stack::BatchPolicy::dedicated_cycle)
+//!   override runs the Reservation_DP pass (Algorithm 2 lines 8–30),
+//!   incrementing the batch head's `scount` when it is skipped.
+//!
+//! **Deviation:** the paper does not re-check `w_1^b.num ≤ m` before a
+//! forced head start; we do, since activating a job larger than the free
+//! capacity would oversubscribe the machine (see DESIGN.md).
 
-use crate::delayed_los::delayed_los_cycle;
-use crate::dp::{DpItem, DpWork};
-use crate::freeze::dedicated_freeze;
-use crate::queue::{BatchQueue, DedicatedQueue};
-use crate::telemetry::Telemetry;
-use elastisched_sim::{
-    trace_event, DpKernel, Duration, JobId, JobView, SchedContext, SchedStats, Scheduler,
-    TraceEvent,
-};
+use crate::delayed_los::{DelayedLosCore, DEFAULT_MAX_SKIP};
+use crate::los::DEFAULT_LOOKAHEAD;
+use crate::stack::{PolicyStack, WithDedicated};
 
 /// The Hybrid-LOS scheduler (heterogeneous workloads).
-#[derive(Debug)]
-pub struct HybridLos {
-    batch: BatchQueue,
-    dedicated: DedicatedQueue,
-    cs: u32,
-    lookahead: usize,
-    telemetry: Telemetry,
-    work: DpWork,
-}
+pub type HybridLos = PolicyStack<WithDedicated<DelayedLosCore>>;
 
 impl HybridLos {
     /// Hybrid-LOS with the default `C_s` and lookahead.
     pub fn new() -> Self {
-        HybridLos::with_params(
-            crate::delayed_los::DEFAULT_MAX_SKIP,
-            crate::los::DEFAULT_LOOKAHEAD,
-        )
+        HybridLos::with_params(DEFAULT_MAX_SKIP, DEFAULT_LOOKAHEAD)
     }
 
-    /// Hybrid-LOS with explicit `C_s` and lookahead.
+    /// Hybrid-LOS with explicit `C_s` and lookahead. Promoted dedicated
+    /// jobs enter the batch queue with `scount = C_s` so the head-start
+    /// rule fires them as soon as capacity allows.
     pub fn with_params(cs: u32, lookahead: usize) -> Self {
-        HybridLos {
-            batch: BatchQueue::new(),
-            dedicated: DedicatedQueue::new(),
-            cs,
-            lookahead: lookahead.max(1),
-            telemetry: Telemetry::default(),
-            work: DpWork::default(),
-        }
-    }
-
-    /// Decision counters accumulated so far.
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
-    }
-
-    /// Algorithm 3: move the dedicated head to the batch head with
-    /// `scount = C_s`, preserving its original arrival time.
-    fn move_dedicated_head_to_batch_head(&mut self, ctx: &mut dyn SchedContext) {
-        if let Some(view) = self.dedicated.pop_head() {
-            let at = ctx.now().as_secs();
-            trace_event!(
-                ctx.trace(),
-                TraceEvent::Promote {
-                    job: view.id.0,
-                    at,
-                }
-            );
-            // `insert_priority` rather than a blind push-front: dedicated
-            // jobs promoted in *earlier* cycles must keep their
-            // requested-start precedence.
-            self.batch.insert_priority(view, self.cs);
-            self.telemetry.dedicated_promotions += 1;
-        }
-    }
-
-    /// The dedicated-freeze Reservation_DP pass (Algorithm 2 lines 8–33).
-    fn reservation_around_dedicated(
-        &mut self,
-        ctx: &mut dyn SchedContext,
-        bump_scount: bool,
-    ) {
-        let now = ctx.now();
-        let free = ctx.free();
-        let dhead = self.dedicated.head().expect("dedicated non-empty");
-        let start = dhead
-            .class
-            .requested_start()
-            .expect("dedicated job has a start");
-        let tot_start_num = self.dedicated.total_num_at_start(start);
-        let Some(freeze) = dedicated_freeze(ctx.running(), now, ctx.total(), start, tot_start_num)
-        else {
-            return; // dedicated bundle larger than the machine
-        };
-        let head_id = self.batch.head().expect("batch non-empty").view.id;
-        self.work.clear_candidates();
-        for w in self
-            .batch
-            .iter()
-            .filter(|w| w.view.num <= free)
-            .take(self.lookahead)
-        {
-            self.work.ids.push(w.view.id);
-            self.work.items.push(DpItem {
-                num: w.view.num,
-                extends: freeze.extends(now, w.view.dur),
-            });
-        }
-        let tracing = ctx.trace().is_some();
-        let hits_before = self.work.solver.stats().cache_hits;
-        let candidates = self.work.ids.len() as u32;
-        let sel = self
-            .work
-            .solver
-            .reservation(&self.work.items, free, freeze.frec, ctx.unit());
-        let mut chosen_trace: Vec<u64> = Vec::new();
-        if tracing {
-            chosen_trace.extend(sel.chosen.iter().map(|&i| self.work.ids[i].0));
-        }
-        self.telemetry.reservation_dp_calls += 1;
-        let head_selected = sel.chosen.iter().any(|&i| self.work.ids[i] == head_id);
-        if bump_scount && !head_selected {
-            let head = self.batch.head_mut().expect("batch non-empty");
-            head.scount += 1;
-            let scount = head.scount;
-            self.telemetry.head_skips += 1;
-            trace_event!(
-                ctx.trace(),
-                TraceEvent::HeadSkip {
-                    job: head_id.0,
-                    at: now.as_secs(),
-                    scount,
-                }
-            );
-        }
-        for &i in &sel.chosen {
-            let id = self.work.ids[i];
-            ctx.start(id).expect("DP selection fits");
-            self.batch.remove(id);
-            self.telemetry.dp_starts += 1;
-        }
-        if tracing {
-            let cache_hit = self.work.solver.stats().cache_hits > hits_before;
-            trace_event!(
-                ctx.trace(),
-                TraceEvent::DpSelect {
-                    at: now.as_secs(),
-                    kernel: DpKernel::Reservation,
-                    candidates,
-                    chosen: chosen_trace,
-                    cache_hit,
-                }
-            );
-        }
-        self.telemetry.record_dp(self.work.stats());
-    }
-}
-
-impl Default for HybridLos {
-    fn default() -> Self {
-        HybridLos::new()
-    }
-}
-
-impl Scheduler for HybridLos {
-    fn on_arrival(&mut self, job: JobView) {
-        if job.class.is_dedicated() {
-            self.dedicated.insert(job);
-        } else {
-            self.batch.push_back(job);
-        }
-    }
-
-    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
-        if !self.batch.apply_ecc(id, num, dur) {
-            self.dedicated.apply_ecc(id, num, dur);
-        }
-    }
-
-    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-        self.telemetry.cycles += 1;
-        let now = ctx.now();
-        let mut dp_done = false;
-        // Bounded loop: each iteration either starts a job, promotes one
-        // dedicated job, or returns — so it terminates.
-        for _ in 0..100_000 {
-            let m = ctx.free();
-            if m > 0 && !self.batch.is_empty() {
-                if self.dedicated.is_empty() {
-                    // Line 4: pure batch → Delayed-LOS.
-                    delayed_los_cycle(
-                        &mut self.batch,
-                        ctx,
-                        self.cs,
-                        self.lookahead,
-                        &mut self.telemetry,
-                        &mut self.work,
-                    );
-                    self.telemetry.record_dp(self.work.stats());
-                    return;
-                }
-                let head = self.batch.head().expect("batch non-empty");
-                let (head_id, head_num, head_scount) =
-                    (head.view.id, head.view.num, head.scount);
-                let dstart = self
-                    .dedicated
-                    .head()
-                    .and_then(|d| d.class.requested_start())
-                    .expect("dedicated job has a start");
-                if head_scount >= self.cs {
-                    // Lines 35–37 (guarded; see module docs).
-                    if head_num <= m {
-                        trace_event!(
-                            ctx.trace(),
-                            TraceEvent::HeadForceStart {
-                                job: head_id.0,
-                                at: now.as_secs(),
-                                scount: head_scount,
-                            }
-                        );
-                        ctx.start(head_id).expect("head fit was checked");
-                        self.batch.pop_head();
-                        self.telemetry.head_force_starts += 1;
-                        continue;
-                    }
-                    // Head cannot start: schedule around the dedicated
-                    // reservation (no further scount bumping).
-                    if dstart <= now {
-                        self.move_dedicated_head_to_batch_head(ctx);
-                        continue;
-                    }
-                    if dp_done {
-                        return;
-                    }
-                    self.reservation_around_dedicated(ctx, false);
-                    dp_done = true;
-                    continue;
-                }
-                // Lines 6–7: dedicated head due → promote it.
-                if dstart <= now {
-                    self.move_dedicated_head_to_batch_head(ctx);
-                    continue;
-                }
-                // Lines 8–33: schedule around the future dedicated start.
-                if dp_done {
-                    return;
-                }
-                self.reservation_around_dedicated(ctx, true);
-                dp_done = true;
-                continue;
-            }
-            // Lines 39–42: batch empty (or machine full) — promote a due
-            // dedicated head so the next capacity release can start it.
-            if let Some(d) = self.dedicated.head() {
-                let dstart = d.class.requested_start().expect("dedicated start");
-                if dstart <= now {
-                    self.move_dedicated_head_to_batch_head(ctx);
-                    if ctx.free() == 0 {
-                        return;
-                    }
-                    continue;
-                }
-            }
-            return;
-        }
-        unreachable!("Hybrid-LOS cycle failed to converge");
-    }
-
-    fn waiting_len(&self) -> usize {
-        self.batch.len() + self.dedicated.len()
-    }
-
-    fn name(&self) -> &'static str {
-        "Hybrid-LOS"
-    }
-
-    fn stats(&self) -> SchedStats {
-        let mut stats: SchedStats = self.work.stats().into();
-        self.telemetry.fill_sched_stats(&mut stats);
-        stats
+        PolicyStack::with_dedicated(DelayedLosCore::new(cs, lookahead), cs)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine};
+    use elastisched_sim::JobSpec;
+    use elastisched_test_util::{run_on_bluegene, started};
 
     fn run(jobs: &[JobSpec]) -> elastisched_sim::SimResult {
-        simulate(
-            Machine::bluegene_p(),
-            HybridLos::new(),
-            EccPolicy::disabled(),
-            jobs,
-            &[],
-        )
-        .unwrap()
-    }
-
-    fn started(r: &elastisched_sim::SimResult, id: u64) -> u64 {
-        r.outcomes
-            .iter()
-            .find(|o| o.id.0 == id)
-            .unwrap()
-            .started
-            .as_secs()
+        run_on_bluegene(HybridLos::new(), jobs)
     }
 
     #[test]

@@ -1,0 +1,917 @@
+//! The pre-stack scheduler implementations, kept **verbatim** as a
+//! differential oracle for the composable policy stack.
+//!
+//! Compiled only with the `legacy-schedulers` feature (a dev-time
+//! feature: the crate's own test targets enable it through the
+//! self-dev-dependency). The differential suite
+//! (`tests/legacy_differential.rs`) runs every registry algorithm through
+//! both [`crate::registry::Algorithm::build`] (the compositional stacks)
+//! and [`build`] here, and asserts identical run metrics — including the
+//! DP cache hit/miss counters, which pin the exact DP call sequence.
+//!
+//! Nothing in this module is maintained for new features; it exists to
+//! prove the stack refactor preserved behavior, and to keep proving it as
+//! the stack evolves. The shared cycle kernels (`easy_cycle`,
+//! `los_cycle`, `delayed_los_cycle`) are intentionally *not* duplicated:
+//! they were moved, not rewritten, and the oracle's job is to pin the
+//! driver/layer logic that did change.
+
+use crate::delayed_los::{delayed_los_cycle, DEFAULT_MAX_SKIP};
+use crate::dp::{DpItem, DpWork};
+use crate::easy::easy_cycle;
+use crate::freeze::{dedicated_freeze, Freeze};
+use crate::los::{los_cycle, DEFAULT_LOOKAHEAD};
+use crate::ordered::OrderPolicy;
+use crate::profile::ResourceProfile;
+use crate::queue::{BatchQueue, DedicatedQueue};
+use crate::registry::{Algorithm, SchedParams};
+use crate::telemetry::Telemetry;
+use elastisched_sim::{
+    trace_event, DpKernel, Duration, JobId, JobView, SchedContext, SchedStats, Scheduler,
+    SimTime, TraceEvent,
+};
+use std::collections::VecDeque;
+
+/// Instantiate the **legacy** scheduler for `algo`, mirroring the
+/// registry's pre-stack `Algorithm::build` exactly — including its quirk
+/// of ignoring `params.lookahead` for LOS-D.
+pub fn build(algo: Algorithm, params: SchedParams) -> Box<dyn Scheduler + Send> {
+    match algo {
+        Algorithm::Fcfs => Box::new(Fcfs::new()),
+        Algorithm::Conservative => Box::new(Conservative::new()),
+        Algorithm::Easy | Algorithm::EasyE => Box::new(Easy::new()),
+        Algorithm::EasyD | Algorithm::EasyDE => Box::new(EasyD::new()),
+        Algorithm::Los | Algorithm::LosE => Box::new(Los::with_lookahead(params.lookahead)),
+        Algorithm::LosD | Algorithm::LosDE => Box::new(LosD::new()),
+        Algorithm::DelayedLos | Algorithm::DelayedLosE => {
+            Box::new(DelayedLos::with_params(params.cs, params.lookahead))
+        }
+        Algorithm::HybridLos | Algorithm::HybridLosE => {
+            Box::new(HybridLos::with_params(params.cs, params.lookahead))
+        }
+        Algorithm::Adaptive => Box::new(Adaptive::new()),
+        Algorithm::Sjf => Box::new(Ordered::new(OrderPolicy::ShortestJobFirst)),
+        Algorithm::SjfBf => Box::new(Ordered::with_backfill(OrderPolicy::ShortestJobFirst)),
+        Algorithm::SmallestFirstBf => {
+            Box::new(Ordered::with_backfill(OrderPolicy::SmallestJobFirst))
+        }
+        Algorithm::LargestFirstBf => {
+            Box::new(Ordered::with_backfill(OrderPolicy::LargestJobFirst))
+        }
+    }
+}
+
+/// Legacy strict FCFS scheduler (snapshot-walking implementation).
+#[derive(Debug, Default)]
+pub struct Fcfs {
+    waiting: usize,
+}
+
+impl Fcfs {
+    /// A new, empty FCFS scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for Fcfs {
+    fn on_arrival(&mut self, _job: JobView) {
+        self.waiting += 1;
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        // Re-borrow after every start: starting the head invalidates the
+        // snapshot slice.
+        while let Some(&head) = ctx.waiting_jobs().first() {
+            if head.num > ctx.free() {
+                break;
+            }
+            ctx.start(head.id).expect("fit was checked");
+            self.waiting -= 1;
+        }
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.waiting
+    }
+
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+}
+
+/// Legacy conservative backfilling scheduler.
+#[derive(Debug)]
+pub struct Conservative {
+    queue: BatchQueue,
+    profile: ResourceProfile,
+    start_now: Vec<JobId>,
+}
+
+impl Conservative {
+    /// A new, empty conservative scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Default for Conservative {
+    fn default() -> Self {
+        Conservative {
+            queue: BatchQueue::new(),
+            profile: ResourceProfile::idle(SimTime::ZERO, 0),
+            start_now: Vec::new(),
+        }
+    }
+}
+
+impl Scheduler for Conservative {
+    fn on_arrival(&mut self, job: JobView) {
+        self.queue.push_back(job);
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        self.queue.apply_ecc(id, num, dur);
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        let now = ctx.now();
+        self.profile
+            .reset_from_running(ctx.running(), now, ctx.total());
+        self.start_now.clear();
+        for w in self.queue.iter() {
+            let dur = w.view.dur.max(Duration::from_secs(1));
+            let Some(at) = self.profile.earliest_start(now, w.view.num, dur) else {
+                continue;
+            };
+            self.profile
+                .try_reserve(at, dur, w.view.num)
+                .expect("earliest_start guarantees feasibility");
+            if at == now {
+                self.start_now.push(w.view.id);
+            }
+        }
+        for &id in &self.start_now {
+            ctx.start(id).expect("profile guarantees fit");
+            self.queue.remove(id);
+        }
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Conservative"
+    }
+}
+
+/// Legacy EASY backfilling scheduler.
+#[derive(Debug, Default)]
+pub struct Easy {
+    queue: BatchQueue,
+}
+
+impl Easy {
+    /// A new, empty EASY scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for Easy {
+    fn on_arrival(&mut self, job: JobView) {
+        self.queue.push_back(job);
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        self.queue.apply_ecc(id, num, dur);
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        easy_cycle(&mut self.queue, ctx, None);
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "EASY"
+    }
+}
+
+/// Legacy LOS scheduler.
+#[derive(Debug)]
+pub struct Los {
+    queue: BatchQueue,
+    lookahead: usize,
+    work: DpWork,
+}
+
+impl Los {
+    /// LOS with the default 50-job lookahead.
+    pub fn new() -> Self {
+        Los::with_lookahead(DEFAULT_LOOKAHEAD)
+    }
+
+    /// LOS with an explicit lookahead window.
+    pub fn with_lookahead(lookahead: usize) -> Self {
+        Los {
+            queue: BatchQueue::new(),
+            lookahead: lookahead.max(1),
+            work: DpWork::default(),
+        }
+    }
+}
+
+impl Default for Los {
+    fn default() -> Self {
+        Los::new()
+    }
+}
+
+impl Scheduler for Los {
+    fn on_arrival(&mut self, job: JobView) {
+        self.queue.push_back(job);
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        self.queue.apply_ecc(id, num, dur);
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        los_cycle(&mut self.queue, ctx, self.lookahead, None, &mut self.work);
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "LOS"
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.work.stats().into()
+    }
+}
+
+/// Legacy Delayed-LOS scheduler.
+#[derive(Debug)]
+pub struct DelayedLos {
+    queue: BatchQueue,
+    cs: u32,
+    lookahead: usize,
+    telemetry: Telemetry,
+    work: DpWork,
+}
+
+impl DelayedLos {
+    /// Delayed-LOS with the default `C_s` and lookahead.
+    pub fn new() -> Self {
+        DelayedLos::with_params(DEFAULT_MAX_SKIP, DEFAULT_LOOKAHEAD)
+    }
+
+    /// Delayed-LOS with an explicit maximum skip count `C_s` and
+    /// lookahead window.
+    pub fn with_params(cs: u32, lookahead: usize) -> Self {
+        DelayedLos {
+            queue: BatchQueue::new(),
+            cs,
+            lookahead: lookahead.max(1),
+            telemetry: Telemetry::default(),
+            work: DpWork::default(),
+        }
+    }
+}
+
+impl Default for DelayedLos {
+    fn default() -> Self {
+        DelayedLos::new()
+    }
+}
+
+impl Scheduler for DelayedLos {
+    fn on_arrival(&mut self, job: JobView) {
+        self.queue.push_back(job);
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        self.queue.apply_ecc(id, num, dur);
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        self.telemetry.cycles += 1;
+        delayed_los_cycle(
+            &mut self.queue,
+            ctx,
+            self.cs,
+            self.lookahead,
+            &mut self.telemetry,
+            &mut self.work,
+        );
+        self.telemetry.record_dp(self.work.stats());
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Delayed-LOS"
+    }
+
+    fn stats(&self) -> SchedStats {
+        let mut stats: SchedStats = self.work.stats().into();
+        self.telemetry.fill_sched_stats(&mut stats);
+        stats
+    }
+}
+
+/// Promote every due dedicated job to the head of the batch queue,
+/// preserving requested-start order. Returns how many were promoted.
+fn promote_due(
+    batch: &mut BatchQueue,
+    dedicated: &mut DedicatedQueue,
+    ctx: &mut dyn SchedContext,
+    scount: u32,
+) -> u64 {
+    let now = ctx.now();
+    let mut promoted = 0u64;
+    while let Some(d) = dedicated.head() {
+        match d.class.requested_start() {
+            Some(start) if start <= now => {
+                let view = dedicated.pop_head().expect("head exists");
+                trace_event!(
+                    ctx.trace(),
+                    TraceEvent::Promote {
+                        job: view.id.0,
+                        at: now.as_secs(),
+                    }
+                );
+                batch.insert_priority(view, scount);
+                promoted += 1;
+            }
+            _ => break,
+        }
+    }
+    promoted
+}
+
+/// The freeze protecting the first *future* dedicated job, if any.
+fn first_dedicated_freeze(
+    dedicated: &DedicatedQueue,
+    ctx: &dyn SchedContext,
+) -> Option<Freeze> {
+    let d = dedicated.head()?;
+    let start = d.class.requested_start()?;
+    let tot = dedicated.total_num_at_start(start);
+    dedicated_freeze(ctx.running(), ctx.now(), ctx.total(), start, tot)
+}
+
+macro_rules! dedicated_wrapper {
+    ($name:ident, $display:literal, $cycle:expr) => {
+        /// Legacy dedicated-queue append of the base policy.
+        #[derive(Debug)]
+        pub struct $name {
+            batch: BatchQueue,
+            dedicated: DedicatedQueue,
+            lookahead: usize,
+            work: DpWork,
+            promotions: u64,
+        }
+
+        impl $name {
+            /// New scheduler with the default lookahead.
+            pub fn new() -> Self {
+                Self {
+                    batch: BatchQueue::new(),
+                    dedicated: DedicatedQueue::new(),
+                    lookahead: DEFAULT_LOOKAHEAD,
+                    work: DpWork::default(),
+                    promotions: 0,
+                }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl Scheduler for $name {
+            fn on_arrival(&mut self, job: JobView) {
+                if job.class.is_dedicated() {
+                    self.dedicated.insert(job);
+                } else {
+                    self.batch.push_back(job);
+                }
+            }
+
+            fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+                if !self.batch.apply_ecc(id, num, dur) {
+                    self.dedicated.apply_ecc(id, num, dur);
+                }
+            }
+
+            fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+                self.promotions +=
+                    promote_due(&mut self.batch, &mut self.dedicated, ctx, 0);
+                let freeze = first_dedicated_freeze(&self.dedicated, ctx);
+                if self.batch.is_empty() {
+                    return;
+                }
+                #[allow(clippy::redundant_closure_call)]
+                ($cycle)(&mut self.batch, ctx, self.lookahead, freeze, &mut self.work);
+            }
+
+            fn waiting_len(&self) -> usize {
+                self.batch.len() + self.dedicated.len()
+            }
+
+            fn name(&self) -> &'static str {
+                $display
+            }
+
+            fn stats(&self) -> SchedStats {
+                let mut stats: SchedStats = self.work.stats().into();
+                stats.dedicated_promotions = self.promotions;
+                stats
+            }
+        }
+    };
+}
+
+dedicated_wrapper!(
+    EasyD,
+    "EASY-D",
+    |queue: &mut BatchQueue,
+     ctx: &mut dyn SchedContext,
+     _look: usize,
+     fr: Option<Freeze>,
+     _work: &mut DpWork| { easy_cycle(queue, ctx, fr) }
+);
+
+dedicated_wrapper!(
+    LosD,
+    "LOS-D",
+    |queue: &mut BatchQueue,
+     ctx: &mut dyn SchedContext,
+     look: usize,
+     fr: Option<Freeze>,
+     work: &mut DpWork| { los_cycle(queue, ctx, look, fr, work) }
+);
+
+/// Legacy Hybrid-LOS scheduler (hand-rolled Algorithm 2 loop).
+#[derive(Debug)]
+pub struct HybridLos {
+    batch: BatchQueue,
+    dedicated: DedicatedQueue,
+    cs: u32,
+    lookahead: usize,
+    telemetry: Telemetry,
+    work: DpWork,
+}
+
+impl HybridLos {
+    /// Hybrid-LOS with the default `C_s` and lookahead.
+    pub fn new() -> Self {
+        HybridLos::with_params(DEFAULT_MAX_SKIP, DEFAULT_LOOKAHEAD)
+    }
+
+    /// Hybrid-LOS with explicit `C_s` and lookahead.
+    pub fn with_params(cs: u32, lookahead: usize) -> Self {
+        HybridLos {
+            batch: BatchQueue::new(),
+            dedicated: DedicatedQueue::new(),
+            cs,
+            lookahead: lookahead.max(1),
+            telemetry: Telemetry::default(),
+            work: DpWork::default(),
+        }
+    }
+
+    /// Algorithm 3: move the dedicated head to the batch head with
+    /// `scount = C_s`, preserving its original arrival time.
+    fn move_dedicated_head_to_batch_head(&mut self, ctx: &mut dyn SchedContext) {
+        if let Some(view) = self.dedicated.pop_head() {
+            let at = ctx.now().as_secs();
+            trace_event!(
+                ctx.trace(),
+                TraceEvent::Promote {
+                    job: view.id.0,
+                    at,
+                }
+            );
+            self.batch.insert_priority(view, self.cs);
+            self.telemetry.dedicated_promotions += 1;
+        }
+    }
+
+    /// The dedicated-freeze Reservation_DP pass (Algorithm 2 lines 8–33).
+    fn reservation_around_dedicated(
+        &mut self,
+        ctx: &mut dyn SchedContext,
+        bump_scount: bool,
+    ) {
+        let now = ctx.now();
+        let free = ctx.free();
+        let dhead = self.dedicated.head().expect("dedicated non-empty");
+        let start = dhead
+            .class
+            .requested_start()
+            .expect("dedicated job has a start");
+        let tot_start_num = self.dedicated.total_num_at_start(start);
+        let Some(freeze) = dedicated_freeze(ctx.running(), now, ctx.total(), start, tot_start_num)
+        else {
+            return; // dedicated bundle larger than the machine
+        };
+        let head_id = self.batch.head().expect("batch non-empty").view.id;
+        self.work.clear_candidates();
+        for w in self
+            .batch
+            .iter()
+            .filter(|w| w.view.num <= free)
+            .take(self.lookahead)
+        {
+            self.work.ids.push(w.view.id);
+            self.work.items.push(DpItem {
+                num: w.view.num,
+                extends: freeze.extends(now, w.view.dur),
+            });
+        }
+        let tracing = ctx.trace().is_some();
+        let hits_before = self.work.solver.stats().cache_hits;
+        let candidates = self.work.ids.len() as u32;
+        let sel = self
+            .work
+            .solver
+            .reservation(&self.work.items, free, freeze.frec, ctx.unit());
+        let mut chosen_trace: Vec<u64> = Vec::new();
+        if tracing {
+            chosen_trace.extend(sel.chosen.iter().map(|&i| self.work.ids[i].0));
+        }
+        self.telemetry.reservation_dp_calls += 1;
+        let head_selected = sel.chosen.iter().any(|&i| self.work.ids[i] == head_id);
+        if bump_scount && !head_selected {
+            let head = self.batch.head_mut().expect("batch non-empty");
+            head.scount += 1;
+            let scount = head.scount;
+            self.telemetry.head_skips += 1;
+            trace_event!(
+                ctx.trace(),
+                TraceEvent::HeadSkip {
+                    job: head_id.0,
+                    at: now.as_secs(),
+                    scount,
+                }
+            );
+        }
+        for &i in &sel.chosen {
+            let id = self.work.ids[i];
+            ctx.start(id).expect("DP selection fits");
+            self.batch.remove(id);
+            self.telemetry.dp_starts += 1;
+        }
+        if tracing {
+            let cache_hit = self.work.solver.stats().cache_hits > hits_before;
+            trace_event!(
+                ctx.trace(),
+                TraceEvent::DpSelect {
+                    at: now.as_secs(),
+                    kernel: DpKernel::Reservation,
+                    candidates,
+                    chosen: chosen_trace,
+                    cache_hit,
+                }
+            );
+        }
+        self.telemetry.record_dp(self.work.stats());
+    }
+}
+
+impl Default for HybridLos {
+    fn default() -> Self {
+        HybridLos::new()
+    }
+}
+
+impl Scheduler for HybridLos {
+    fn on_arrival(&mut self, job: JobView) {
+        if job.class.is_dedicated() {
+            self.dedicated.insert(job);
+        } else {
+            self.batch.push_back(job);
+        }
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        if !self.batch.apply_ecc(id, num, dur) {
+            self.dedicated.apply_ecc(id, num, dur);
+        }
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        self.telemetry.cycles += 1;
+        let now = ctx.now();
+        let mut dp_done = false;
+        // Bounded loop: each iteration either starts a job, promotes one
+        // dedicated job, or returns — so it terminates.
+        for _ in 0..100_000 {
+            let m = ctx.free();
+            if m > 0 && !self.batch.is_empty() {
+                if self.dedicated.is_empty() {
+                    // Line 4: pure batch → Delayed-LOS.
+                    delayed_los_cycle(
+                        &mut self.batch,
+                        ctx,
+                        self.cs,
+                        self.lookahead,
+                        &mut self.telemetry,
+                        &mut self.work,
+                    );
+                    self.telemetry.record_dp(self.work.stats());
+                    return;
+                }
+                let head = self.batch.head().expect("batch non-empty");
+                let (head_id, head_num, head_scount) =
+                    (head.view.id, head.view.num, head.scount);
+                let dstart = self
+                    .dedicated
+                    .head()
+                    .and_then(|d| d.class.requested_start())
+                    .expect("dedicated job has a start");
+                if head_scount >= self.cs {
+                    // Lines 35–37 (guarded; see module docs).
+                    if head_num <= m {
+                        trace_event!(
+                            ctx.trace(),
+                            TraceEvent::HeadForceStart {
+                                job: head_id.0,
+                                at: now.as_secs(),
+                                scount: head_scount,
+                            }
+                        );
+                        ctx.start(head_id).expect("head fit was checked");
+                        self.batch.pop_head();
+                        self.telemetry.head_force_starts += 1;
+                        continue;
+                    }
+                    // Head cannot start: schedule around the dedicated
+                    // reservation (no further scount bumping).
+                    if dstart <= now {
+                        self.move_dedicated_head_to_batch_head(ctx);
+                        continue;
+                    }
+                    if dp_done {
+                        return;
+                    }
+                    self.reservation_around_dedicated(ctx, false);
+                    dp_done = true;
+                    continue;
+                }
+                // Lines 6–7: dedicated head due → promote it.
+                if dstart <= now {
+                    self.move_dedicated_head_to_batch_head(ctx);
+                    continue;
+                }
+                // Lines 8–33: schedule around the future dedicated start.
+                if dp_done {
+                    return;
+                }
+                self.reservation_around_dedicated(ctx, true);
+                dp_done = true;
+                continue;
+            }
+            // Lines 39–42: batch empty (or machine full) — promote a due
+            // dedicated head so the next capacity release can start it.
+            if let Some(d) = self.dedicated.head() {
+                let dstart = d.class.requested_start().expect("dedicated start");
+                if dstart <= now {
+                    self.move_dedicated_head_to_batch_head(ctx);
+                    if ctx.free() == 0 {
+                        return;
+                    }
+                    continue;
+                }
+            }
+            return;
+        }
+        unreachable!("Hybrid-LOS cycle failed to converge");
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.batch.len() + self.dedicated.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Hybrid-LOS"
+    }
+
+    fn stats(&self) -> SchedStats {
+        let mut stats: SchedStats = self.work.stats().into();
+        self.telemetry.fill_sched_stats(&mut stats);
+        stats
+    }
+}
+
+/// Legacy adaptive EASY / Delayed-LOS selection.
+#[derive(Debug)]
+pub struct Adaptive {
+    queue: BatchQueue,
+    recent_sizes: VecDeque<u32>,
+    window: usize,
+    small_units: u32,
+    threshold: f64,
+    cs: u32,
+    lookahead: usize,
+    telemetry: Telemetry,
+    work: DpWork,
+}
+
+impl Adaptive {
+    /// Defaults: 64-arrival window, small ≤ 3 units, EASY above 60 %.
+    pub fn new() -> Self {
+        Adaptive {
+            queue: BatchQueue::new(),
+            recent_sizes: VecDeque::new(),
+            window: 64,
+            small_units: 3,
+            threshold: 0.6,
+            cs: DEFAULT_MAX_SKIP,
+            lookahead: DEFAULT_LOOKAHEAD,
+            telemetry: Telemetry::default(),
+            work: DpWork::default(),
+        }
+    }
+
+    /// Observed small-job fraction over the window (0.5 when no history).
+    pub fn observed_small_fraction(&self, unit: u32) -> f64 {
+        if self.recent_sizes.is_empty() {
+            return 0.5;
+        }
+        let small = self
+            .recent_sizes
+            .iter()
+            .filter(|&&n| n <= self.small_units * unit)
+            .count();
+        small as f64 / self.recent_sizes.len() as f64
+    }
+}
+
+impl Default for Adaptive {
+    fn default() -> Self {
+        Adaptive::new()
+    }
+}
+
+impl Scheduler for Adaptive {
+    fn on_arrival(&mut self, job: JobView) {
+        self.recent_sizes.push_back(job.num);
+        if self.recent_sizes.len() > self.window {
+            self.recent_sizes.pop_front();
+        }
+        self.queue.push_back(job);
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        self.queue.apply_ecc(id, num, dur);
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        if self.observed_small_fraction(ctx.unit()) >= self.threshold {
+            easy_cycle(&mut self.queue, ctx, None);
+        } else {
+            delayed_los_cycle(
+                &mut self.queue,
+                ctx,
+                self.cs,
+                self.lookahead,
+                &mut self.telemetry,
+                &mut self.work,
+            );
+            self.telemetry.record_dp(self.work.stats());
+        }
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Adaptive"
+    }
+
+    fn stats(&self) -> SchedStats {
+        let mut stats: SchedStats = self.work.stats().into();
+        self.telemetry.fill_sched_stats(&mut stats);
+        stats
+    }
+}
+
+/// Legacy order-based scheduler (maintained sorted queue).
+#[derive(Debug)]
+pub struct Ordered {
+    policy: OrderPolicy,
+    backfill: bool,
+    queue: Vec<JobView>, // kept sorted by policy key
+}
+
+impl Ordered {
+    /// Pure ordering, no backfill: a blocked head blocks the queue.
+    pub fn new(policy: OrderPolicy) -> Self {
+        Ordered {
+            policy,
+            backfill: false,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Ordering plus EASY-style aggressive backfilling.
+    pub fn with_backfill(policy: OrderPolicy) -> Self {
+        Ordered {
+            backfill: true,
+            ..Ordered::new(policy)
+        }
+    }
+
+    fn insert_sorted(&mut self, job: JobView) {
+        let key = self.policy.key(&job);
+        let pos = self
+            .queue
+            .partition_point(|j| self.policy.key(j) < key);
+        self.queue.insert(pos, job);
+    }
+}
+
+impl Scheduler for Ordered {
+    fn on_arrival(&mut self, job: JobView) {
+        self.insert_sorted(job);
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        if let Some(pos) = self.queue.iter().position(|j| j.id == id) {
+            let mut job = self.queue.remove(pos);
+            job.num = num;
+            job.dur = dur;
+            self.insert_sorted(job); // key may have changed
+        }
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        let now = ctx.now();
+        // Start in policy order while the head fits.
+        while let Some(h) = self.queue.first() {
+            if h.num <= ctx.free() {
+                ctx.start(h.id).expect("fit was checked");
+                self.queue.remove(0);
+            } else {
+                break;
+            }
+        }
+        if !self.backfill || self.queue.is_empty() {
+            return;
+        }
+        // EASY-style: reserve for the blocked head, backfill the rest in
+        // policy order.
+        let head = &self.queue[0];
+        let Some(shadow) =
+            crate::freeze::batch_head_freeze(ctx.running(), now, ctx.total(), head.num)
+        else {
+            return;
+        };
+        let mut extra = shadow.frec;
+        let candidates: Vec<(JobId, u32, SimTime)> = self.queue[1..]
+            .iter()
+            .map(|j| (j.id, j.num, now + j.dur))
+            .collect();
+        for (id, num, finish) in candidates {
+            if num > ctx.free() {
+                continue;
+            }
+            let delays_head = finish >= shadow.fret;
+            if delays_head && num > extra {
+                continue;
+            }
+            ctx.start(id).expect("backfill fit was checked");
+            self.queue.retain(|j| j.id != id);
+            if delays_head {
+                extra -= num;
+            }
+        }
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.backfill {
+            self.policy.name_backfill()
+        } else {
+            self.policy.name()
+        }
+    }
+}

@@ -14,6 +14,25 @@
 //! * the [`Algorithm`] registry realizing the paper's Table III
 //!   (`-E` variants are the same policies run with the engine's ECC
 //!   processor enabled).
+//!
+//! ## The policy stack
+//!
+//! Every scheduler above is a composition in the [`stack`] module's
+//! layered architecture: a policy **core** (one [`BatchPolicy`] cycle
+//! over a [`BatchQueue`] under an optional dedicated freeze) wrapped in a
+//! **layer** ([`BatchOnly`] or the dedicated-queue layer
+//! [`WithDedicated`]) and driven by the [`PolicyStack`] scheduler, which
+//! owns all the queue/telemetry/trace plumbing. `Easy` is
+//! `PolicyStack<BatchOnly<EasyCore>>`, `HybridLos` is
+//! `PolicyStack<WithDedicated<DelayedLosCore>>`, and so on — and new
+//! combinations (e.g. `WithDedicated<FcfsCore>`) come for free. The
+//! [`StackSpec`] syntax (`"easy+d"`, `"delayed-los+d+e"`) names any such
+//! stack from a string.
+//!
+//! The `legacy-schedulers` feature compiles the pre-stack
+//! implementations ([`legacy`]) as a differential oracle; the
+//! `legacy_differential` suite proves run-metric equality for every
+//! registry algorithm.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,25 +46,32 @@ pub mod easy;
 pub mod fcfs;
 pub mod freeze;
 pub mod hybrid_los;
+#[cfg(feature = "legacy-schedulers")]
+pub mod legacy;
 pub mod los;
 pub mod ordered;
 pub mod profile;
 pub mod queue;
 pub mod registry;
+pub mod stack;
 pub mod telemetry;
 
-pub use adaptive::Adaptive;
-pub use conservative::Conservative;
+pub use adaptive::{Adaptive, AdaptiveCore};
+pub use conservative::{Conservative, ConservativeCore};
 pub use dedicated::{EasyD, LosD};
-pub use delayed_los::{DelayedLos, DEFAULT_MAX_SKIP};
+pub use delayed_los::{DelayedLos, DelayedLosCore, DEFAULT_MAX_SKIP};
 pub use dp::{basic_dp, reservation_dp, DpItem, DpSolver, DpStats, DpWork, Selection};
-pub use easy::Easy;
-pub use fcfs::Fcfs;
+pub use easy::{Easy, EasyCore};
+pub use fcfs::{Fcfs, FcfsCore};
 pub use freeze::{batch_head_freeze, dedicated_freeze, Freeze};
 pub use hybrid_los::HybridLos;
-pub use los::{Los, DEFAULT_LOOKAHEAD};
-pub use ordered::{OrderPolicy, Ordered};
+pub use los::{Los, LosCore, DEFAULT_LOOKAHEAD};
+pub use ordered::{OrderPolicy, Ordered, OrderedCore};
 pub use profile::{ReserveError, ResourceProfile};
 pub use queue::{BatchQueue, DedicatedQueue, WaitingJob};
-pub use registry::{Algorithm, SchedParams};
+pub use registry::{Algorithm, CorePolicy, SchedParams, StackSpec};
+pub use stack::{
+    BatchOnly, BatchPolicy, DedicatedClaim, PolicyShared, PolicyStack, StackLayer, StackState,
+    WithDedicated,
+};
 pub use telemetry::Telemetry;

@@ -11,13 +11,10 @@
 //! shadow, exactly as in Hybrid-LOS's structure.
 
 use crate::dp::{DpItem, DpWork};
-use crate::easy::{ded_allows, ded_commit};
 use crate::freeze::{batch_head_freeze, Freeze};
 use crate::queue::BatchQueue;
-use elastisched_sim::{
-    trace_event, DpKernel, Duration, JobId, JobView, SchedContext, SchedStats, Scheduler,
-    TraceEvent,
-};
+use crate::stack::{ded_allows, ded_commit, BatchOnly, BatchPolicy, PolicyShared, PolicyStack};
+use elastisched_sim::{trace_event, DpKernel, SchedContext, TraceEvent};
 
 /// Default lookahead window: the LOS paper shows 50 jobs suffice.
 pub const DEFAULT_LOOKAHEAD: usize = 50;
@@ -99,13 +96,51 @@ pub(crate) fn los_cycle(
     }
 }
 
-/// The LOS scheduler (batch workloads).
-#[derive(Debug)]
-pub struct Los {
-    queue: BatchQueue,
+/// The LOS policy core: eager head starts plus one Reservation_DP pass
+/// against the binding freeze (the dedicated one when stacked as LOS-D,
+/// the batch-head shadow otherwise).
+#[derive(Debug, Clone, Copy)]
+pub struct LosCore {
     lookahead: usize,
-    work: DpWork,
 }
+
+impl LosCore {
+    /// A LOS core with an explicit lookahead window.
+    pub fn new(lookahead: usize) -> Self {
+        LosCore {
+            lookahead: lookahead.max(1),
+        }
+    }
+}
+
+impl Default for LosCore {
+    fn default() -> Self {
+        LosCore::new(DEFAULT_LOOKAHEAD)
+    }
+}
+
+impl BatchPolicy for LosCore {
+    fn name(&self) -> &'static str {
+        "LOS"
+    }
+
+    fn dedicated_name(&self) -> &'static str {
+        "LOS-D"
+    }
+
+    fn cycle(
+        &mut self,
+        queue: &mut BatchQueue,
+        ctx: &mut dyn SchedContext,
+        ded: Option<Freeze>,
+        shared: &mut PolicyShared,
+    ) {
+        los_cycle(queue, ctx, self.lookahead, ded, &mut shared.work);
+    }
+}
+
+/// The LOS scheduler (batch workloads).
+pub type Los = PolicyStack<BatchOnly<LosCore>>;
 
 impl Los {
     /// LOS with the default 50-job lookahead.
@@ -115,69 +150,18 @@ impl Los {
 
     /// LOS with an explicit lookahead window.
     pub fn with_lookahead(lookahead: usize) -> Self {
-        Los {
-            queue: BatchQueue::new(),
-            lookahead: lookahead.max(1),
-            work: DpWork::default(),
-        }
-    }
-}
-
-impl Default for Los {
-    fn default() -> Self {
-        Los::new()
-    }
-}
-
-impl Scheduler for Los {
-    fn on_arrival(&mut self, job: JobView) {
-        self.queue.push_back(job);
-    }
-
-    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
-        self.queue.apply_ecc(id, num, dur);
-    }
-
-    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-        los_cycle(&mut self.queue, ctx, self.lookahead, None, &mut self.work);
-    }
-
-    fn waiting_len(&self) -> usize {
-        self.queue.len()
-    }
-
-    fn name(&self) -> &'static str {
-        "LOS"
-    }
-
-    fn stats(&self) -> SchedStats {
-        self.work.stats().into()
+        PolicyStack::batch_only(LosCore::new(lookahead))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine};
+    use elastisched_sim::JobSpec;
+    use elastisched_test_util::{run_on_bluegene, started};
 
     fn run(jobs: &[JobSpec]) -> elastisched_sim::SimResult {
-        simulate(
-            Machine::bluegene_p(),
-            Los::new(),
-            EccPolicy::disabled(),
-            jobs,
-            &[],
-        )
-        .unwrap()
-    }
-
-    fn started(r: &elastisched_sim::SimResult, id: u64) -> u64 {
-        r.outcomes
-            .iter()
-            .find(|o| o.id.0 == id)
-            .unwrap()
-            .started
-            .as_secs()
+        run_on_bluegene(Los::new(), jobs)
     }
 
     #[test]
@@ -246,24 +230,9 @@ mod tests {
             JobSpec::batch(4, 3, 96, 50),
             JobSpec::batch(5, 4, 32, 50),
         ];
-        let r = simulate(
-            Machine::bluegene_p(),
-            Los::with_lookahead(1),
-            EccPolicy::disabled(),
-            &jobs,
-            &[],
-        )
-        .unwrap();
-        let started = |id: u64| {
-            r.outcomes
-                .iter()
-                .find(|o| o.id.0 == id)
-                .unwrap()
-                .started
-                .as_secs()
-        };
-        assert_eq!(started(3), 2, "lookahead-1 takes the first fitting job");
-        assert!(started(4) >= 100);
+        let r = run_on_bluegene(Los::with_lookahead(1), &jobs);
+        assert_eq!(started(&r, 3), 2, "lookahead-1 takes the first fitting job");
+        assert!(started(&r, 4) >= 100);
     }
 
     #[test]

@@ -5,9 +5,17 @@
 //! The paper cites studies [5], [13] finding that these orderings "do not
 //! necessarily perform better than a straightforward FCFS scheduling" —
 //! the `repro baselines` target reproduces that comparison.
+//!
+//! The core shares the stack's FIFO [`BatchQueue`] and imposes its
+//! ordering per cycle: starts are chosen by a min-key scan, backfill
+//! candidates through a sorted scratch vector. Jobs resized by a queued
+//! ECC reorder automatically — the key is recomputed from the live view
+//! every cycle.
 
-use crate::freeze::batch_head_freeze;
-use elastisched_sim::{Duration, JobId, JobView, SchedContext, Scheduler, SimTime};
+use crate::freeze::{batch_head_freeze, Freeze};
+use crate::queue::BatchQueue;
+use crate::stack::{ded_allows, ded_commit, BatchOnly, BatchPolicy, PolicyShared, PolicyStack};
+use elastisched_sim::{Duration, JobId, JobView, SchedContext};
 use serde::{Deserialize, Serialize};
 
 /// Queue ordering disciplines.
@@ -23,7 +31,7 @@ pub enum OrderPolicy {
 }
 
 impl OrderPolicy {
-    fn key(&self, j: &JobView) -> (u64, u64, u64) {
+    pub(crate) fn key(&self, j: &JobView) -> (u64, u64, u64) {
         // Tertiary keys keep the order deterministic and FIFO-fair.
         match self {
             OrderPolicy::ShortestJobFirst => (j.dur.as_secs(), j.submit.as_secs(), j.id.0),
@@ -34,7 +42,7 @@ impl OrderPolicy {
         }
     }
 
-    fn name(&self) -> &'static str {
+    pub(crate) fn name(&self) -> &'static str {
         match self {
             OrderPolicy::ShortestJobFirst => "SJF",
             OrderPolicy::SmallestJobFirst => "Smallest-First",
@@ -42,110 +50,74 @@ impl OrderPolicy {
         }
     }
 
-    fn name_backfill(&self) -> &'static str {
+    pub(crate) fn name_backfill(&self) -> &'static str {
         match self {
             OrderPolicy::ShortestJobFirst => "SJF-BF",
             OrderPolicy::SmallestJobFirst => "Smallest-First-BF",
             OrderPolicy::LargestJobFirst => "Largest-First-BF",
         }
     }
+
+    fn name_dedicated(&self) -> &'static str {
+        match self {
+            OrderPolicy::ShortestJobFirst => "SJF-D",
+            OrderPolicy::SmallestJobFirst => "Smallest-First-D",
+            OrderPolicy::LargestJobFirst => "Largest-First-D",
+        }
+    }
+
+    fn name_backfill_dedicated(&self) -> &'static str {
+        match self {
+            OrderPolicy::ShortestJobFirst => "SJF-BF-D",
+            OrderPolicy::SmallestJobFirst => "Smallest-First-BF-D",
+            OrderPolicy::LargestJobFirst => "Largest-First-BF-D",
+        }
+    }
 }
 
-/// A scheduler that keeps its waiting queue sorted by an [`OrderPolicy`]
-/// and optionally backfills around a blocked head (EASY-style shadow).
+/// A backfill candidate: (policy key, id, num, dur).
+type BackfillCandidate = ((u64, u64, u64), JobId, u32, Duration);
+
+/// The order-based policy core: per-cycle min-key starts with optional
+/// EASY-style backfilling around the blocked policy-head.
 #[derive(Debug)]
-pub struct Ordered {
+pub struct OrderedCore {
     policy: OrderPolicy,
     backfill: bool,
-    queue: Vec<JobView>, // kept sorted by policy key
+    /// Per-cycle backfill scratch, reused across cycles so steady state
+    /// doesn't allocate.
+    scratch: Vec<BackfillCandidate>,
 }
 
-impl Ordered {
-    /// Pure ordering, no backfill: a blocked head blocks the queue.
+impl OrderedCore {
+    /// Pure ordering, no backfill: a blocked policy-head blocks the queue.
     pub fn new(policy: OrderPolicy) -> Self {
-        Ordered {
+        OrderedCore {
             policy,
             backfill: false,
-            queue: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
     /// Ordering plus EASY-style aggressive backfilling.
     pub fn with_backfill(policy: OrderPolicy) -> Self {
-        Ordered {
+        OrderedCore {
             backfill: true,
-            ..Ordered::new(policy)
+            ..OrderedCore::new(policy)
         }
     }
 
-    fn insert_sorted(&mut self, job: JobView) {
-        let key = self.policy.key(&job);
-        let pos = self
-            .queue
-            .partition_point(|j| self.policy.key(j) < key);
-        self.queue.insert(pos, job);
+    /// Index of the queue's policy-minimal job, if any.
+    fn min_index(&self, queue: &BatchQueue) -> Option<usize> {
+        queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| self.policy.key(&w.view))
+            .map(|(i, _)| i)
     }
 }
 
-impl Scheduler for Ordered {
-    fn on_arrival(&mut self, job: JobView) {
-        self.insert_sorted(job);
-    }
-
-    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
-        if let Some(pos) = self.queue.iter().position(|j| j.id == id) {
-            let mut job = self.queue.remove(pos);
-            job.num = num;
-            job.dur = dur;
-            self.insert_sorted(job); // key may have changed
-        }
-    }
-
-    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
-        let now = ctx.now();
-        // Start in policy order while the head fits.
-        while let Some(h) = self.queue.first() {
-            if h.num <= ctx.free() {
-                ctx.start(h.id).expect("fit was checked");
-                self.queue.remove(0);
-            } else {
-                break;
-            }
-        }
-        if !self.backfill || self.queue.is_empty() {
-            return;
-        }
-        // EASY-style: reserve for the blocked head, backfill the rest in
-        // policy order.
-        let head = &self.queue[0];
-        let Some(shadow) = batch_head_freeze(ctx.running(), now, ctx.total(), head.num) else {
-            return;
-        };
-        let mut extra = shadow.frec;
-        let candidates: Vec<(JobId, u32, SimTime)> = self.queue[1..]
-            .iter()
-            .map(|j| (j.id, j.num, now + j.dur))
-            .collect();
-        for (id, num, finish) in candidates {
-            if num > ctx.free() {
-                continue;
-            }
-            let delays_head = finish >= shadow.fret;
-            if delays_head && num > extra {
-                continue;
-            }
-            ctx.start(id).expect("backfill fit was checked");
-            self.queue.retain(|j| j.id != id);
-            if delays_head {
-                extra -= num;
-            }
-        }
-    }
-
-    fn waiting_len(&self) -> usize {
-        self.queue.len()
-    }
-
+impl BatchPolicy for OrderedCore {
     fn name(&self) -> &'static str {
         if self.backfill {
             self.policy.name_backfill()
@@ -153,25 +125,96 @@ impl Scheduler for Ordered {
             self.policy.name()
         }
     }
+
+    fn dedicated_name(&self) -> &'static str {
+        if self.backfill {
+            self.policy.name_backfill_dedicated()
+        } else {
+            self.policy.name_dedicated()
+        }
+    }
+
+    fn cycle(
+        &mut self,
+        queue: &mut BatchQueue,
+        ctx: &mut dyn SchedContext,
+        mut ded: Option<Freeze>,
+        _shared: &mut PolicyShared,
+    ) {
+        let now = ctx.now();
+        // Start in policy order while the policy-head fits.
+        let head_num = loop {
+            let Some(i) = self.min_index(queue) else { return };
+            let w = queue.get(i).expect("index from scan");
+            let (id, num, dur) = (w.view.id, w.view.num, w.view.dur);
+            if num <= ctx.free() && ded_allows(&ded, now, num, dur) {
+                ctx.start(id).expect("fit was checked");
+                ded_commit(&mut ded, now, num, dur);
+                queue.remove_at(i);
+            } else {
+                break num;
+            }
+        };
+        if !self.backfill {
+            return;
+        }
+        // EASY-style: reserve for the blocked policy-head, backfill the
+        // rest in policy order.
+        let Some(shadow) = batch_head_freeze(ctx.running(), now, ctx.total(), head_num) else {
+            return;
+        };
+        let mut extra = shadow.frec;
+        let head_i = self.min_index(queue).expect("head is still queued");
+        self.scratch.clear();
+        for (i, w) in queue.iter().enumerate() {
+            if i != head_i {
+                self.scratch
+                    .push((self.policy.key(&w.view), w.view.id, w.view.num, w.view.dur));
+            }
+        }
+        self.scratch.sort_unstable();
+        for &(_, id, num, dur) in &self.scratch {
+            if num > ctx.free() {
+                continue;
+            }
+            let delays_head = shadow.extends(now, dur);
+            if delays_head && num > extra {
+                continue;
+            }
+            if !ded_allows(&ded, now, num, dur) {
+                continue;
+            }
+            ctx.start(id).expect("backfill fit was checked");
+            queue.remove(id);
+            if delays_head {
+                extra -= num;
+            }
+            ded_commit(&mut ded, now, num, dur);
+        }
+    }
+}
+
+/// A scheduler that orders its waiting queue by an [`OrderPolicy`] and
+/// optionally backfills around a blocked head (EASY-style shadow).
+pub type Ordered = PolicyStack<BatchOnly<OrderedCore>>;
+
+impl Ordered {
+    /// Pure ordering, no backfill: a blocked head blocks the queue.
+    pub fn new(policy: OrderPolicy) -> Self {
+        PolicyStack::batch_only(OrderedCore::new(policy))
+    }
+
+    /// Ordering plus EASY-style aggressive backfilling.
+    pub fn with_backfill(policy: OrderPolicy) -> Self {
+        PolicyStack::batch_only(OrderedCore::with_backfill(policy))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine};
-
-    fn run(sched: Ordered, jobs: &[JobSpec]) -> elastisched_sim::SimResult {
-        simulate(Machine::bluegene_p(), sched, EccPolicy::disabled(), jobs, &[]).unwrap()
-    }
-
-    fn started(r: &elastisched_sim::SimResult, id: u64) -> u64 {
-        r.outcomes
-            .iter()
-            .find(|o| o.id.0 == id)
-            .unwrap()
-            .started
-            .as_secs()
-    }
+    use elastisched_sim::{simulate, EccPolicy, EccSpec, JobSpec, Machine, Scheduler, SimTime};
+    use elastisched_test_util::{run_on_bluegene, started};
 
     #[test]
     fn sjf_runs_short_jobs_first() {
@@ -183,7 +226,7 @@ mod tests {
             JobSpec::batch(3, 2, 320, 50),
             JobSpec::batch(4, 3, 320, 200),
         ];
-        let r = run(Ordered::new(OrderPolicy::ShortestJobFirst), &jobs);
+        let r = run_on_bluegene(Ordered::new(OrderPolicy::ShortestJobFirst), &jobs);
         assert_eq!(started(&r, 3), 100);
         assert_eq!(started(&r, 4), 150);
         assert_eq!(started(&r, 2), 350);
@@ -197,7 +240,7 @@ mod tests {
             JobSpec::batch(3, 2, 256, 50),
             JobSpec::batch(4, 3, 128, 50),
         ];
-        let r = run(Ordered::new(OrderPolicy::LargestJobFirst), &jobs);
+        let r = run_on_bluegene(Ordered::new(OrderPolicy::LargestJobFirst), &jobs);
         // At t=100: order is 256, 128, 64 → all fit simultaneously
         // (256 + 64 = 320? no: 256+128 > 320). Largest (3) starts, then
         // 128 (4) doesn't fit, blocking 64 (2) too (no backfill).
@@ -213,7 +256,7 @@ mod tests {
             JobSpec::batch(2, 1, 320, 100), // blocked head after sort? size 320 → last
             JobSpec::batch(3, 2, 32, 30),
         ];
-        let r = run(Ordered::with_backfill(OrderPolicy::SmallestJobFirst), &jobs);
+        let r = run_on_bluegene(Ordered::with_backfill(OrderPolicy::SmallestJobFirst), &jobs);
         // Smallest-first: job 3 (32) runs immediately beside job 1.
         assert_eq!(started(&r, 3), 2);
     }
@@ -227,19 +270,32 @@ mod tests {
             JobSpec::batch(2, 1, 320, 10),
             JobSpec::batch(3, 2, 64, 500),
         ];
-        let r = run(Ordered::with_backfill(OrderPolicy::ShortestJobFirst), &jobs);
+        let r = run_on_bluegene(Ordered::with_backfill(OrderPolicy::ShortestJobFirst), &jobs);
         assert_eq!(started(&r, 2), 100, "head reservation violated");
         assert!(started(&r, 3) >= 110);
     }
 
     #[test]
     fn ecc_reorders_queue() {
-        let mut s = Ordered::new(OrderPolicy::ShortestJobFirst);
-        s.on_arrival(JobSpec::batch(1, 0, 32, 100).to_view());
-        s.on_arrival(JobSpec::batch(2, 0, 32, 200).to_view());
-        // Job 2 shrinks to 10 s: it must move to the front.
-        s.on_queued_ecc(JobId(2), 32, Duration::from_secs(10));
-        assert_eq!(s.queue[0].id, JobId(2));
+        // Jobs 2 and 3 wait behind a full-machine job. Job 3 is longer at
+        // submit, but a queued reduce-time ECC makes it the shortest —
+        // SJF must then run it first.
+        let jobs = vec![
+            JobSpec::batch(1, 0, 320, 100),
+            JobSpec::batch(2, 1, 320, 100),
+            JobSpec::batch(3, 2, 320, 200),
+        ];
+        let eccs = vec![EccSpec::reduce_time(JobId(3), SimTime::from_secs(10), 150)];
+        let r = simulate(
+            Machine::bluegene_p(),
+            Ordered::new(OrderPolicy::ShortestJobFirst),
+            EccPolicy::time_only(),
+            &jobs,
+            &eccs,
+        )
+        .unwrap();
+        assert_eq!(started(&r, 3), 100, "shrunk job moves to the front");
+        assert_eq!(started(&r, 2), 150);
     }
 
     #[test]
@@ -248,6 +304,11 @@ mod tests {
         assert_eq!(
             Ordered::with_backfill(OrderPolicy::LargestJobFirst).name(),
             "Largest-First-BF"
+        );
+        assert_eq!(
+            PolicyStack::with_dedicated(OrderedCore::with_backfill(OrderPolicy::SmallestJobFirst), 0)
+                .name(),
+            "Smallest-First-BF-D"
         );
     }
 
@@ -261,9 +322,14 @@ mod tests {
             OrderPolicy::SmallestJobFirst,
             OrderPolicy::LargestJobFirst,
         ] {
-            assert_eq!(run(Ordered::new(policy), &jobs).outcomes.len(), 120);
             assert_eq!(
-                run(Ordered::with_backfill(policy), &jobs).outcomes.len(),
+                run_on_bluegene(Ordered::new(policy), &jobs).outcomes.len(),
+                120
+            );
+            assert_eq!(
+                run_on_bluegene(Ordered::with_backfill(policy), &jobs)
+                    .outcomes
+                    .len(),
                 120
             );
         }

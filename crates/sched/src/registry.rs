@@ -1,21 +1,30 @@
 //! The algorithm registry: the paper's Table III plus extra baselines.
 //!
-//! Each [`Algorithm`] names one of the twelve paper configurations
-//! (EASY/LOS/Delayed-LOS/Hybrid-LOS × {plain, -D, -E, -DE}) or one of the
-//! additional baselines (FCFS, Conservative, Adaptive). The `-E` suffix
-//! is realized by the engine's ECC policy, not by a different scheduler
-//! struct — exactly as in the paper, where the ECC processor is appended
-//! to an existing algorithm.
+//! Each [`Algorithm`] names one of the twelve paper configurations —
+//! EASY and LOS each in {plain, -D, -E, -DE}, plus Delayed-LOS and
+//! Hybrid-LOS each in {plain, -E} (Hybrid-LOS *is* the dedicated-queue
+//! form of Delayed-LOS, so it has no separate -D row) — or one of the
+//! additional baselines (FCFS, Conservative, Adaptive, and the ordered
+//! policies). The `-E` suffix is realized by the engine's ECC policy,
+//! not by a different scheduler struct — exactly as in the paper, where
+//! the ECC processor is appended to an existing algorithm.
+//!
+//! Every algorithm is described by a [`StackSpec`]: a [`CorePolicy`]
+//! plus the dedicated-queue and ECC-processor flags. The spec is the
+//! single source of truth — [`Algorithm::heterogeneous`],
+//! [`Algorithm::elastic`], [`Algorithm::ecc_policy`] and
+//! [`Algorithm::build`] all read it — and it is [`FromStr`]-able with a
+//! compact `"<core>[+d][+e]"` syntax (`"easy+d"`, `"delayed-los+d+e"`),
+//! which also names stacks outside Table III (e.g. `"fcfs+d"`).
 
-use crate::adaptive::Adaptive;
-use crate::conservative::Conservative;
-use crate::dedicated::{EasyD, LosD};
-use crate::delayed_los::{DelayedLos, DEFAULT_MAX_SKIP};
-use crate::easy::Easy;
-use crate::fcfs::Fcfs;
-use crate::hybrid_los::HybridLos;
-use crate::los::{Los, DEFAULT_LOOKAHEAD};
-use crate::ordered::{OrderPolicy, Ordered};
+use crate::adaptive::AdaptiveCore;
+use crate::conservative::ConservativeCore;
+use crate::delayed_los::{DelayedLosCore, DEFAULT_MAX_SKIP};
+use crate::easy::EasyCore;
+use crate::fcfs::FcfsCore;
+use crate::los::{LosCore, DEFAULT_LOOKAHEAD};
+use crate::ordered::{OrderPolicy, OrderedCore};
+use crate::stack::PolicyStack;
 use elastisched_sim::{EccPolicy, Scheduler};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -46,6 +55,205 @@ impl SchedParams {
             cs,
             ..SchedParams::default()
         }
+    }
+}
+
+/// The base batch policy of a stack: which [`crate::stack::BatchPolicy`]
+/// core drives the cycle, before any dedicated-queue or ECC layering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorePolicy {
+    /// First-come first-served (no backfilling).
+    Fcfs,
+    /// Conservative backfilling.
+    Conservative,
+    /// EASY aggressive backfilling.
+    Easy,
+    /// Lookahead Optimizing Scheduler.
+    Los,
+    /// The paper's Delayed-LOS (Algorithm 1; its dedicated form is
+    /// Hybrid-LOS).
+    DelayedLos,
+    /// Dynamic EASY/Delayed-LOS selection (paper §V-A sketch).
+    Adaptive,
+    /// Shortest-job-first, no backfill.
+    Sjf,
+    /// Shortest-job-first with EASY-style backfilling.
+    SjfBf,
+    /// Smallest-job-first, no backfill.
+    SmallestFirst,
+    /// Smallest-job-first with backfilling.
+    SmallestFirstBf,
+    /// Largest-job-first, no backfill.
+    LargestFirst,
+    /// Largest-job-first with backfilling.
+    LargestFirstBf,
+}
+
+impl CorePolicy {
+    /// Every core, in registry order.
+    pub const ALL: [CorePolicy; 12] = [
+        CorePolicy::Fcfs,
+        CorePolicy::Conservative,
+        CorePolicy::Easy,
+        CorePolicy::Los,
+        CorePolicy::DelayedLos,
+        CorePolicy::Adaptive,
+        CorePolicy::Sjf,
+        CorePolicy::SjfBf,
+        CorePolicy::SmallestFirst,
+        CorePolicy::SmallestFirstBf,
+        CorePolicy::LargestFirst,
+        CorePolicy::LargestFirstBf,
+    ];
+
+    /// The kebab-case token used in stack-spec strings.
+    pub fn token(&self) -> &'static str {
+        match self {
+            CorePolicy::Fcfs => "fcfs",
+            CorePolicy::Conservative => "conservative",
+            CorePolicy::Easy => "easy",
+            CorePolicy::Los => "los",
+            CorePolicy::DelayedLos => "delayed-los",
+            CorePolicy::Adaptive => "adaptive",
+            CorePolicy::Sjf => "sjf",
+            CorePolicy::SjfBf => "sjf-bf",
+            CorePolicy::SmallestFirst => "smallest-first",
+            CorePolicy::SmallestFirstBf => "smallest-first-bf",
+            CorePolicy::LargestFirst => "largest-first",
+            CorePolicy::LargestFirstBf => "largest-first-bf",
+        }
+    }
+}
+
+/// A fully-specified scheduler stack: a policy core, optionally layered
+/// with the dedicated queue (`+d`), optionally run under the engine's
+/// ECC processor (`+e`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StackSpec {
+    /// The base batch policy.
+    pub core: CorePolicy,
+    /// Layer the dedicated-job queue on top of the core.
+    pub dedicated: bool,
+    /// Run the engine's ECC processor (time elasticity) alongside.
+    pub elastic: bool,
+}
+
+impl StackSpec {
+    /// A plain batch-only, non-elastic stack over `core`.
+    pub fn plain(core: CorePolicy) -> Self {
+        StackSpec {
+            core,
+            dedicated: false,
+            elastic: false,
+        }
+    }
+
+    /// The same spec with the dedicated-queue layer enabled.
+    pub fn with_dedicated(self) -> Self {
+        StackSpec {
+            dedicated: true,
+            ..self
+        }
+    }
+
+    /// The same spec with the ECC processor enabled.
+    pub fn with_elastic(self) -> Self {
+        StackSpec {
+            elastic: true,
+            ..self
+        }
+    }
+
+    /// The ECC policy the engine should run with.
+    pub fn ecc_policy(&self) -> EccPolicy {
+        if self.elastic {
+            EccPolicy::time_only()
+        } else {
+            EccPolicy::disabled()
+        }
+    }
+
+    /// Instantiate the scheduler stack.
+    ///
+    /// The promotion skip-count of the dedicated layer is `C_s` for the
+    /// skip-budgeted cores (Delayed-LOS — giving Hybrid-LOS — and
+    /// Adaptive) and `0` for everything else, matching the paper's
+    /// Algorithm 3 and the EASY-D/LOS-D constructions respectively.
+    pub fn build(&self, params: SchedParams) -> Box<dyn Scheduler + Send> {
+        macro_rules! stack {
+            ($core:expr, $scount:expr) => {
+                if self.dedicated {
+                    Box::new(PolicyStack::with_dedicated($core, $scount))
+                        as Box<dyn Scheduler + Send>
+                } else {
+                    Box::new(PolicyStack::batch_only($core))
+                }
+            };
+        }
+        match self.core {
+            CorePolicy::Fcfs => stack!(FcfsCore, 0),
+            CorePolicy::Conservative => stack!(ConservativeCore::new(), 0),
+            CorePolicy::Easy => stack!(EasyCore, 0),
+            CorePolicy::Los => stack!(LosCore::new(params.lookahead), 0),
+            CorePolicy::DelayedLos => {
+                stack!(DelayedLosCore::new(params.cs, params.lookahead), params.cs)
+            }
+            CorePolicy::Adaptive => stack!(AdaptiveCore::new(), params.cs),
+            CorePolicy::Sjf => stack!(OrderedCore::new(OrderPolicy::ShortestJobFirst), 0),
+            CorePolicy::SjfBf => {
+                stack!(OrderedCore::with_backfill(OrderPolicy::ShortestJobFirst), 0)
+            }
+            CorePolicy::SmallestFirst => {
+                stack!(OrderedCore::new(OrderPolicy::SmallestJobFirst), 0)
+            }
+            CorePolicy::SmallestFirstBf => {
+                stack!(OrderedCore::with_backfill(OrderPolicy::SmallestJobFirst), 0)
+            }
+            CorePolicy::LargestFirst => {
+                stack!(OrderedCore::new(OrderPolicy::LargestJobFirst), 0)
+            }
+            CorePolicy::LargestFirstBf => {
+                stack!(OrderedCore::with_backfill(OrderPolicy::LargestJobFirst), 0)
+            }
+        }
+    }
+}
+
+impl fmt::Display for StackSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.core.token())?;
+        if self.dedicated {
+            f.write_str("+d")?;
+        }
+        if self.elastic {
+            f.write_str("+e")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for StackSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let canon = s.to_ascii_lowercase().replace(['_', ' '], "-");
+        let mut parts = canon.split('+');
+        let core_tok = parts.next().unwrap_or_default();
+        let core = CorePolicy::ALL
+            .into_iter()
+            .find(|c| c.token() == core_tok)
+            .ok_or_else(|| format!("unknown policy core {core_tok:?} in stack spec {s:?}"))?;
+        let mut spec = StackSpec::plain(core);
+        for flag in parts {
+            match flag {
+                "d" | "ded" | "dedicated" => spec.dedicated = true,
+                "e" | "ecc" | "elastic" => spec.elastic = true,
+                other => {
+                    return Err(format!("unknown stack flag {other:?} in stack spec {s:?}"))
+                }
+            }
+        }
+        Ok(spec)
     }
 }
 
@@ -93,6 +301,29 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// Every registered algorithm, in declaration order.
+    pub const ALL: [Algorithm; 19] = [
+        Algorithm::Fcfs,
+        Algorithm::Conservative,
+        Algorithm::Easy,
+        Algorithm::EasyD,
+        Algorithm::EasyE,
+        Algorithm::EasyDE,
+        Algorithm::Los,
+        Algorithm::LosD,
+        Algorithm::LosE,
+        Algorithm::LosDE,
+        Algorithm::DelayedLos,
+        Algorithm::HybridLos,
+        Algorithm::DelayedLosE,
+        Algorithm::HybridLosE,
+        Algorithm::Adaptive,
+        Algorithm::Sjf,
+        Algorithm::SjfBf,
+        Algorithm::SmallestFirstBf,
+        Algorithm::LargestFirstBf,
+    ];
+
     /// The twelve configurations of the paper's Table III, in table order.
     pub const PAPER_TABLE_III: [Algorithm; 12] = [
         Algorithm::Easy,
@@ -134,68 +365,56 @@ impl Algorithm {
         }
     }
 
+    /// The stack this algorithm composes to — the single source of truth
+    /// for [`Self::heterogeneous`], [`Self::elastic`],
+    /// [`Self::ecc_policy`] and [`Self::build`].
+    pub fn stack_spec(&self) -> StackSpec {
+        use CorePolicy as C;
+        let plain = StackSpec::plain;
+        match self {
+            Algorithm::Fcfs => plain(C::Fcfs),
+            Algorithm::Conservative => plain(C::Conservative),
+            Algorithm::Easy => plain(C::Easy),
+            Algorithm::EasyD => plain(C::Easy).with_dedicated(),
+            Algorithm::EasyE => plain(C::Easy).with_elastic(),
+            Algorithm::EasyDE => plain(C::Easy).with_dedicated().with_elastic(),
+            Algorithm::Los => plain(C::Los),
+            Algorithm::LosD => plain(C::Los).with_dedicated(),
+            Algorithm::LosE => plain(C::Los).with_elastic(),
+            Algorithm::LosDE => plain(C::Los).with_dedicated().with_elastic(),
+            Algorithm::DelayedLos => plain(C::DelayedLos),
+            Algorithm::HybridLos => plain(C::DelayedLos).with_dedicated(),
+            Algorithm::DelayedLosE => plain(C::DelayedLos).with_elastic(),
+            Algorithm::HybridLosE => plain(C::DelayedLos).with_dedicated().with_elastic(),
+            Algorithm::Adaptive => plain(C::Adaptive),
+            Algorithm::Sjf => plain(C::Sjf),
+            Algorithm::SjfBf => plain(C::SjfBf),
+            Algorithm::SmallestFirstBf => plain(C::SmallestFirstBf),
+            Algorithm::LargestFirstBf => plain(C::LargestFirstBf),
+        }
+    }
+
     /// Whether the algorithm schedules heterogeneous workloads (has a
     /// dedicated queue) — the "Workload Scheduling" column of Table III.
     pub fn heterogeneous(&self) -> bool {
-        matches!(
-            self,
-            Algorithm::EasyD
-                | Algorithm::EasyDE
-                | Algorithm::LosD
-                | Algorithm::LosDE
-                | Algorithm::HybridLos
-                | Algorithm::HybridLosE
-        )
+        self.stack_spec().dedicated
     }
 
     /// Whether the ECC processor is attached — the "ECC Processor"
     /// column of Table III.
     pub fn elastic(&self) -> bool {
-        matches!(
-            self,
-            Algorithm::EasyE
-                | Algorithm::EasyDE
-                | Algorithm::LosE
-                | Algorithm::LosDE
-                | Algorithm::DelayedLosE
-                | Algorithm::HybridLosE
-        )
+        self.stack_spec().elastic
     }
 
     /// The ECC policy the engine should run with.
     pub fn ecc_policy(&self) -> EccPolicy {
-        if self.elastic() {
-            EccPolicy::time_only()
-        } else {
-            EccPolicy::disabled()
-        }
+        self.stack_spec().ecc_policy()
     }
 
-    /// Instantiate the scheduler.
+    /// Instantiate the scheduler (compositionally, via
+    /// [`Self::stack_spec`]).
     pub fn build(&self, params: SchedParams) -> Box<dyn Scheduler + Send> {
-        match self {
-            Algorithm::Fcfs => Box::new(Fcfs::new()),
-            Algorithm::Conservative => Box::new(Conservative::new()),
-            Algorithm::Easy | Algorithm::EasyE => Box::new(Easy::new()),
-            Algorithm::EasyD | Algorithm::EasyDE => Box::new(EasyD::new()),
-            Algorithm::Los | Algorithm::LosE => Box::new(Los::with_lookahead(params.lookahead)),
-            Algorithm::LosD | Algorithm::LosDE => Box::new(LosD::new()),
-            Algorithm::DelayedLos | Algorithm::DelayedLosE => {
-                Box::new(DelayedLos::with_params(params.cs, params.lookahead))
-            }
-            Algorithm::HybridLos | Algorithm::HybridLosE => {
-                Box::new(HybridLos::with_params(params.cs, params.lookahead))
-            }
-            Algorithm::Adaptive => Box::new(Adaptive::new()),
-            Algorithm::Sjf => Box::new(Ordered::new(OrderPolicy::ShortestJobFirst)),
-            Algorithm::SjfBf => Box::new(Ordered::with_backfill(OrderPolicy::ShortestJobFirst)),
-            Algorithm::SmallestFirstBf => {
-                Box::new(Ordered::with_backfill(OrderPolicy::SmallestJobFirst))
-            }
-            Algorithm::LargestFirstBf => {
-                Box::new(Ordered::with_backfill(OrderPolicy::LargestJobFirst))
-            }
-        }
+        self.stack_spec().build(params)
     }
 }
 
@@ -210,28 +429,8 @@ impl FromStr for Algorithm {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let canon = s.to_ascii_lowercase().replace(['_', ' '], "-");
-        let all = [
-            Algorithm::Fcfs,
-            Algorithm::Conservative,
-            Algorithm::Easy,
-            Algorithm::EasyD,
-            Algorithm::EasyE,
-            Algorithm::EasyDE,
-            Algorithm::Los,
-            Algorithm::LosD,
-            Algorithm::LosE,
-            Algorithm::LosDE,
-            Algorithm::DelayedLos,
-            Algorithm::HybridLos,
-            Algorithm::DelayedLosE,
-            Algorithm::HybridLosE,
-            Algorithm::Adaptive,
-            Algorithm::Sjf,
-            Algorithm::SjfBf,
-            Algorithm::SmallestFirstBf,
-            Algorithm::LargestFirstBf,
-        ];
-        all.into_iter()
+        Algorithm::ALL
+            .into_iter()
             .find(|a| a.name().to_ascii_lowercase() == canon)
             .ok_or_else(|| format!("unknown algorithm {s:?}"))
     }
@@ -267,6 +466,17 @@ mod tests {
     }
 
     #[test]
+    fn all_is_exhaustive_and_unique() {
+        let mut names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Algorithm::ALL.len(), "duplicate names in ALL");
+        for a in Algorithm::PAPER_TABLE_III {
+            assert!(Algorithm::ALL.contains(&a), "{a} missing from ALL");
+        }
+    }
+
+    #[test]
     fn ecc_policy_matches_elasticity() {
         assert!(!Algorithm::Easy.ecc_policy().time_elasticity);
         assert!(Algorithm::EasyE.ecc_policy().time_elasticity);
@@ -277,7 +487,7 @@ mod tests {
     #[test]
     fn build_produces_named_schedulers() {
         let p = SchedParams::default();
-        for a in Algorithm::PAPER_TABLE_III {
+        for a in Algorithm::ALL {
             let s = a.build(p);
             // The -E variants reuse the base scheduler struct.
             let base = a.name().trim_end_matches("-E").trim_end_matches("-DE");
@@ -289,11 +499,13 @@ mod tests {
         }
         assert_eq!(Algorithm::Fcfs.build(p).name(), "FCFS");
         assert_eq!(Algorithm::Adaptive.build(p).name(), "Adaptive");
+        assert_eq!(Algorithm::HybridLos.build(p).name(), "Hybrid-LOS");
+        assert_eq!(Algorithm::EasyD.build(p).name(), "EASY-D");
     }
 
     #[test]
     fn from_str_roundtrips() {
-        for a in Algorithm::PAPER_TABLE_III {
+        for a in Algorithm::ALL {
             assert_eq!(a.name().parse::<Algorithm>().unwrap(), a);
         }
         assert_eq!("easy".parse::<Algorithm>().unwrap(), Algorithm::Easy);
@@ -302,6 +514,43 @@ mod tests {
             Algorithm::DelayedLos
         );
         assert!("bogus".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn stack_spec_parses_and_displays() {
+        let spec: StackSpec = "delayed-los+d".parse().unwrap();
+        assert_eq!(spec, Algorithm::HybridLos.stack_spec());
+        assert_eq!(spec.to_string(), "delayed-los+d");
+
+        let spec: StackSpec = "easy+d+e".parse().unwrap();
+        assert_eq!(spec, Algorithm::EasyDE.stack_spec());
+        assert_eq!(spec.to_string(), "easy+d+e");
+
+        // Flag aliases and order-independence.
+        let a: StackSpec = "los+ecc+dedicated".parse().unwrap();
+        let b: StackSpec = "los+d+e".parse().unwrap();
+        assert_eq!(a, b);
+
+        // Stacks outside Table III are expressible too.
+        let spec: StackSpec = "fcfs+d".parse().unwrap();
+        assert!(spec.dedicated && !spec.elastic);
+        assert_eq!(spec.build(SchedParams::default()).name(), "FCFS-D");
+
+        assert!("bogus+d".parse::<StackSpec>().is_err());
+        assert!("easy+x".parse::<StackSpec>().is_err());
+    }
+
+    #[test]
+    fn stack_spec_is_single_source_of_truth() {
+        let p = SchedParams::default();
+        for a in Algorithm::ALL {
+            let spec = a.stack_spec();
+            assert_eq!(spec.dedicated, a.heterogeneous(), "{a}");
+            assert_eq!(spec.elastic, a.elastic(), "{a}");
+            assert_eq!(spec.build(p).name(), a.build(p).name(), "{a}");
+            // Spec strings roundtrip through FromStr.
+            assert_eq!(spec.to_string().parse::<StackSpec>().unwrap(), spec, "{a}");
+        }
     }
 
     #[test]

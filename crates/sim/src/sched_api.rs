@@ -41,19 +41,19 @@ pub struct JobView {
 impl crate::job::JobSpec {
     /// The scheduler-facing view of this spec (no ECCs applied yet).
     pub fn to_view(&self) -> JobView {
-        JobView {
-            id: self.id,
-            num: self.num,
-            dur: self.dur,
-            submit: self.submit,
-            class: self.class,
-        }
+        JobView::from(self)
     }
 }
 
 impl From<&crate::job::JobSpec> for JobView {
     fn from(spec: &crate::job::JobSpec) -> Self {
-        spec.to_view()
+        JobView {
+            id: spec.id,
+            num: spec.num,
+            dur: spec.dur,
+            submit: spec.submit,
+            class: spec.class,
+        }
     }
 }
 

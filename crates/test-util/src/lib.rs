@@ -1,18 +1,47 @@
 //! Shared test helpers.
 //!
-//! The only export today is [`EnvGuard`], a RAII guard serializing
-//! tests that mutate process environment variables (such as
-//! `ELASTISCHED_THREADS`). Rust runs tests in threads within one
-//! process, and `std::env::set_var` is process-global, so two tests
-//! touching the same variable race unless they share a lock. Every
-//! test that sets an env var must go through this guard instead of
-//! calling `set_var` directly.
+//! * [`EnvGuard`] — a RAII guard serializing tests that mutate process
+//!   environment variables (such as `ELASTISCHED_THREADS`). Rust runs
+//!   tests in threads within one process, and `std::env::set_var` is
+//!   process-global, so two tests touching the same variable race
+//!   unless they share a lock. Every test that sets an env var must go
+//!   through this guard instead of calling `set_var` directly.
+//! * [`run_on_bluegene`] / [`started`] — the scheduler-test shorthand
+//!   previously copy-pasted across `elastisched-sched`'s test modules:
+//!   simulate a job stream on the paper's BlueGene/P with ECCs disabled,
+//!   and read one job's start second out of the result.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use elastisched_sim::{simulate, EccPolicy, JobSpec, Machine, Scheduler, SimResult};
 use std::env;
 use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Simulate `jobs` (no ECCs, ECC processing disabled) under `sched` on
+/// the paper's BlueGene/P (320 processors, 32-processor node groups).
+/// Panics on simulation errors — these are test inputs.
+pub fn run_on_bluegene<S: Scheduler>(sched: S, jobs: &[JobSpec]) -> SimResult {
+    simulate(
+        Machine::bluegene_p(),
+        sched,
+        EccPolicy::disabled(),
+        jobs,
+        &[],
+    )
+    .expect("test workload simulates cleanly")
+}
+
+/// The start time (in whole seconds) of job `id` in a simulation result.
+/// Panics when the job is absent — tests address jobs they submitted.
+pub fn started(r: &SimResult, id: u64) -> u64 {
+    r.outcomes
+        .iter()
+        .find(|o| o.id.0 == id)
+        .expect("job is in the result")
+        .started
+        .as_secs()
+}
 
 /// The process-wide lock all [`EnvGuard`]s share.
 fn env_lock() -> &'static Mutex<()> {

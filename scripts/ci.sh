@@ -40,6 +40,17 @@ fi
 echo "== metrics endpoint smoke (scrape /metrics + /status over TCP) =="
 cargo test --offline --locked --quiet -p elastisched --test metrics_endpoint
 
+echo "== differential oracles (reference DP kernels + legacy schedulers) =="
+# The policy stack must be metric-identical to the pre-stack scheduler
+# implementations (kept verbatim behind the legacy-schedulers feature),
+# and the bitset DP kernels to the scalar reference kernels. Feature
+# unification already enables both features for every sched test target
+# (self dev-dependency), so these are plain test invocations — named
+# here so a failure is attributed to an oracle, not a unit test.
+cargo test --offline --locked --quiet -p elastisched-sched --test legacy_differential
+cargo test --offline --locked --quiet -p elastisched-sched --test registry_properties
+cargo test --offline --locked --quiet -p elastisched-sched --test dp_properties
+
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 
