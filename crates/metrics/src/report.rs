@@ -52,6 +52,14 @@ pub struct RunMetrics {
     /// solves.
     #[serde(default)]
     pub dp_nanos: u64,
+    /// DP cache misses answered by extending/replaying the solver's
+    /// retained cross-cycle reachability table.
+    #[serde(default)]
+    pub dp_incremental_hits: u64,
+    /// DP cache misses where the retained table was rebuilt from row
+    /// zero.
+    #[serde(default)]
+    pub dp_incremental_rebuilds: u64,
     /// Events the engine dispatched over the run.
     #[serde(default)]
     pub engine_events: u64,
@@ -101,7 +109,9 @@ pub struct RunMetrics {
 /// processed events, not what the simulation computed, and the
 /// histograms are derived observability detail (fixtures recorded
 /// before they existed must still compare equal). Two metrics are equal
-/// when every simulation-derived quantity matches.
+/// when every simulation-derived quantity matches — the DP cache and
+/// incremental counters included, since the solver's call sequence is
+/// deterministic for a given workload and policy.
 impl PartialEq for RunMetrics {
     fn eq(&self, other: &Self) -> bool {
         self.scheduler == other.scheduler
@@ -119,6 +129,8 @@ impl PartialEq for RunMetrics {
             && self.eccs_applied == other.eccs_applied
             && self.dp_cache_hits == other.dp_cache_hits
             && self.dp_cache_misses == other.dp_cache_misses
+            && self.dp_incremental_hits == other.dp_incremental_hits
+            && self.dp_incremental_rebuilds == other.dp_incremental_rebuilds
     }
 }
 
@@ -197,6 +209,8 @@ impl RunMetrics {
             dp_cache_hits: result.sched_stats.dp_cache_hits,
             dp_cache_misses: result.sched_stats.dp_cache_misses,
             dp_nanos: result.sched_stats.dp_nanos,
+            dp_incremental_hits: result.sched_stats.dp_incremental_hits,
+            dp_incremental_rebuilds: result.sched_stats.dp_incremental_rebuilds,
             engine_events: result.engine.events,
             engine_cycles: result.engine.cycles,
             events_coalesced: result.engine.events_coalesced,

@@ -29,7 +29,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in metric series"));
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in metric series"));
     quantile_of_sorted(&sorted, q)
 }
 
@@ -89,8 +89,10 @@ impl Summary {
         // bit-identical to a direct mean/std_dev call); the order
         // statistics share one sorted copy instead of re-sorting per
         // quantile.
+        // Unstable sort: no merge buffer, and equal f64 values are
+        // indistinguishable so the order statistics are unchanged.
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in metric series"));
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in metric series"));
         Summary {
             n: xs.len(),
             mean: mean(xs),

@@ -72,11 +72,20 @@ pub(crate) fn delayed_los_cycle(
             return;
         }
         if head_num <= free {
-            // Lines 6–11: Basic_DP over the waiting queue.
+            // Lines 6–11: Basic_DP over the waiting queue. Queue
+            // positions are staged alongside the candidates so chosen
+            // jobs are removed by index instead of an O(Q) id scan.
             work.clear_candidates();
-            for w in queue.iter().filter(|w| w.view.num <= free).take(lookahead) {
+            for (pos, w) in queue.iter().enumerate() {
+                if w.view.num > free {
+                    continue;
+                }
                 work.ids.push(w.view.id);
                 work.sizes.push(w.view.num);
+                work.positions.push(pos as u32);
+                if work.ids.len() == lookahead {
+                    break;
+                }
             }
             let tracing = ctx.trace().is_some();
             let hits_before = work.solver.stats().cache_hits;
@@ -104,11 +113,14 @@ pub(crate) fn delayed_los_cycle(
                 );
             }
             for &i in &sel.chosen {
-                let id = work.ids[i];
-                ctx.start(id).expect("DP selection fits");
+                ctx.start(work.ids[i]).expect("DP selection fits");
                 free -= work.sizes[i];
-                queue.remove(id);
                 telemetry.dp_starts += 1;
+            }
+            // Chosen indices ascend, so staged positions do too: remove
+            // back-to-front so earlier positions stay valid.
+            for &i in sel.chosen.iter().rev() {
+                queue.remove_at(work.positions[i] as usize);
             }
             if tracing {
                 let cache_hit = work.solver.stats().cache_hits > hits_before;
@@ -131,17 +143,19 @@ pub(crate) fn delayed_los_cycle(
             return; // head larger than the machine; engine validation forbids this
         };
         work.clear_candidates();
-        for w in queue
-            .iter()
-            .skip(1)
-            .filter(|w| w.view.num <= free)
-            .take(lookahead)
-        {
+        for (pos, w) in queue.iter().enumerate().skip(1) {
+            if w.view.num > free {
+                continue;
+            }
             work.ids.push(w.view.id);
             work.items.push(DpItem {
                 num: w.view.num,
                 extends: freeze.extends(now, w.view.dur),
             });
+            work.positions.push(pos as u32);
+            if work.ids.len() == lookahead {
+                break;
+            }
         }
         let tracing = ctx.trace().is_some();
         let hits_before = work.solver.stats().cache_hits;
@@ -153,11 +167,12 @@ pub(crate) fn delayed_los_cycle(
             chosen_trace.extend(sel.chosen.iter().map(|&i| work.ids[i].0));
         }
         for &i in &sel.chosen {
-            let id = work.ids[i];
-            ctx.start(id).expect("DP selection fits");
+            ctx.start(work.ids[i]).expect("DP selection fits");
             free -= work.items[i].num;
-            queue.remove(id);
             telemetry.dp_starts += 1;
+        }
+        for &i in sel.chosen.iter().rev() {
+            queue.remove_at(work.positions[i] as usize);
         }
         if tracing {
             let cache_hit = work.solver.stats().cache_hits > hits_before;
@@ -256,16 +271,19 @@ impl BatchPolicy for DelayedLosCore {
         };
         let head_id = queue.head().expect("batch non-empty").view.id;
         shared.work.clear_candidates();
-        for w in queue
-            .iter()
-            .filter(|w| w.view.num <= free)
-            .take(self.lookahead)
-        {
+        for (pos, w) in queue.iter().enumerate() {
+            if w.view.num > free {
+                continue;
+            }
             shared.work.ids.push(w.view.id);
             shared.work.items.push(DpItem {
                 num: w.view.num,
                 extends: freeze.extends(now, w.view.dur),
             });
+            shared.work.positions.push(pos as u32);
+            if shared.work.ids.len() == self.lookahead {
+                break;
+            }
         }
         let tracing = ctx.trace().is_some();
         let hits_before = shared.work.solver.stats().cache_hits;
@@ -295,10 +313,11 @@ impl BatchPolicy for DelayedLosCore {
             );
         }
         for &i in &sel.chosen {
-            let id = shared.work.ids[i];
-            ctx.start(id).expect("DP selection fits");
-            queue.remove(id);
+            ctx.start(shared.work.ids[i]).expect("DP selection fits");
             shared.telemetry.dp_starts += 1;
+        }
+        for &i in sel.chosen.iter().rev() {
+            queue.remove_at(shared.work.positions[i] as usize);
         }
         if tracing {
             let cache_hit = shared.work.solver.stats().cache_hits > hits_before;

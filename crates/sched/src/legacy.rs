@@ -33,8 +33,7 @@ use elastisched_sim::{
 use std::collections::VecDeque;
 
 /// Instantiate the **legacy** scheduler for `algo`, mirroring the
-/// registry's pre-stack `Algorithm::build` exactly — including its quirk
-/// of ignoring `params.lookahead` for LOS-D.
+/// registry's pre-stack `Algorithm::build` exactly.
 pub fn build(algo: Algorithm, params: SchedParams) -> Box<dyn Scheduler + Send> {
     match algo {
         Algorithm::Fcfs => Box::new(Fcfs::new()),
@@ -42,7 +41,7 @@ pub fn build(algo: Algorithm, params: SchedParams) -> Box<dyn Scheduler + Send> 
         Algorithm::Easy | Algorithm::EasyE => Box::new(Easy::new()),
         Algorithm::EasyD | Algorithm::EasyDE => Box::new(EasyD::new()),
         Algorithm::Los | Algorithm::LosE => Box::new(Los::with_lookahead(params.lookahead)),
-        Algorithm::LosD | Algorithm::LosDE => Box::new(LosD::new()),
+        Algorithm::LosD | Algorithm::LosDE => Box::new(LosD::with_lookahead(params.lookahead)),
         Algorithm::DelayedLos | Algorithm::DelayedLosE => {
             Box::new(DelayedLos::with_params(params.cs, params.lookahead))
         }
@@ -385,10 +384,15 @@ macro_rules! dedicated_wrapper {
         impl $name {
             /// New scheduler with the default lookahead.
             pub fn new() -> Self {
+                Self::with_lookahead(DEFAULT_LOOKAHEAD)
+            }
+
+            /// New scheduler with an explicit DP lookahead depth.
+            pub fn with_lookahead(lookahead: usize) -> Self {
                 Self {
                     batch: BatchQueue::new(),
                     dedicated: DedicatedQueue::new(),
-                    lookahead: DEFAULT_LOOKAHEAD,
+                    lookahead,
                     work: DpWork::default(),
                     promotions: 0,
                 }

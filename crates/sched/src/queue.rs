@@ -145,9 +145,13 @@ impl BatchQueue {
 }
 
 /// The sorted list of waiting dedicated jobs (`W^d`).
+///
+/// Backed by a `VecDeque` so the common consumption pattern — pop the
+/// earliest-start head once its time arrives — is O(1) instead of
+/// sliding the whole tail down.
 #[derive(Debug, Clone, Default)]
 pub struct DedicatedQueue {
-    jobs: Vec<JobView>,
+    jobs: VecDeque<JobView>,
 }
 
 impl DedicatedQueue {
@@ -186,16 +190,12 @@ impl DedicatedQueue {
 
     /// The head `w_1^d` (earliest requested start), if any.
     pub fn head(&self) -> Option<&JobView> {
-        self.jobs.first()
+        self.jobs.front()
     }
 
     /// Remove and return the head.
     pub fn pop_head(&mut self) -> Option<JobView> {
-        if self.jobs.is_empty() {
-            None
-        } else {
-            Some(self.jobs.remove(0))
-        }
+        self.jobs.pop_front()
     }
 
     /// Iterate in increasing requested-start order.
@@ -205,12 +205,23 @@ impl DedicatedQueue {
 
     /// Total processors requested by dedicated jobs whose requested start
     /// equals `start` (the paper's `tot_start_num`, Algorithm 2 line 16).
+    /// The queue is sorted by requested start, so the scan stops at the
+    /// first later start instead of filtering the whole queue.
     pub fn total_num_at_start(&self, start: SimTime) -> u32 {
-        self.jobs
-            .iter()
-            .filter(|j| j.class.requested_start() == Some(start))
-            .map(|j| j.num)
-            .sum()
+        let mut tot = 0;
+        for j in &self.jobs {
+            let Some(s) = j.class.requested_start() else {
+                continue;
+            };
+            if s < start {
+                continue;
+            }
+            if s > start {
+                break;
+            }
+            tot += j.num;
+        }
+        tot
     }
 
     /// Update a queued dedicated job after an ECC. Returns true if found.

@@ -41,6 +41,13 @@ pub struct Telemetry {
     /// estimate (statistically accurate over a run, not an exact sum).
     #[serde(default)]
     pub dp_nanos: u64,
+    /// Cache misses answered by extending/replaying the solver's
+    /// retained cross-cycle reachability table.
+    #[serde(default)]
+    pub dp_incremental_hits: u64,
+    /// Cache misses where the retained table was rebuilt from row zero.
+    #[serde(default)]
+    pub dp_incremental_rebuilds: u64,
 }
 
 impl Telemetry {
@@ -56,6 +63,8 @@ impl Telemetry {
         self.dp_cache_hits = stats.cache_hits;
         self.dp_cache_misses = stats.cache_misses;
         self.dp_nanos = stats.nanos;
+        self.dp_incremental_hits = stats.incremental_hits;
+        self.dp_incremental_rebuilds = stats.incremental_rebuilds;
     }
 
     /// Project the decision counters onto the engine-facing
@@ -104,6 +113,8 @@ mod tests {
             dp_cache_hits: 8,
             dp_cache_misses: 9,
             dp_nanos: 10,
+            dp_incremental_hits: 11,
+            dp_incremental_rebuilds: 12,
         };
         let text = serde_json::to_string(&t).unwrap();
         let back: Telemetry = serde_json::from_str(&text).unwrap();

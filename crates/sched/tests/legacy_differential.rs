@@ -74,9 +74,7 @@ fn every_algorithm_matches_its_legacy_oracle() {
 #[test]
 fn oracle_matches_under_non_default_params() {
     // A second `C_s` exercises the skip-budget plumbing of the
-    // Delayed-LOS / Hybrid-LOS pair specifically. (`lookahead` is left
-    // at its default: the legacy LOS-D constructor hard-codes it, a
-    // quirk the compositional build deliberately fixes — see DESIGN.md.)
+    // Delayed-LOS / Hybrid-LOS pair specifically.
     let params = SchedParams::with_cs(2);
     let w = generate(
         &GeneratorConfig::paper_heterogeneous(0.4, 0.4)
@@ -93,5 +91,34 @@ fn oracle_matches_under_non_default_params() {
         let stacked = run(algo.build(params), algo, &w);
         let oracle = run(legacy::build(algo, params), algo, &w);
         assert_eq!(stacked, oracle, "{algo} diverged with C_s = 2");
+    }
+}
+
+#[test]
+fn oracle_matches_under_non_default_lookahead() {
+    // A shorter DP lookahead changes which candidates every LOS-family
+    // scheduler stages; both implementations must honor it. (The legacy
+    // LOS-D constructor used to hard-code the default lookahead — this
+    // pins the fix on both sides of the differential.)
+    let params = SchedParams {
+        lookahead: 7,
+        ..SchedParams::default()
+    };
+    let w = generate(
+        &GeneratorConfig::paper_heterogeneous(0.4, 0.4)
+            .with_paper_eccs()
+            .with_jobs(250)
+            .with_seed(55),
+    );
+    for algo in [
+        Algorithm::Los,
+        Algorithm::LosD,
+        Algorithm::LosDE,
+        Algorithm::DelayedLos,
+        Algorithm::HybridLos,
+    ] {
+        let stacked = run(algo.build(params), algo, &w);
+        let oracle = run(legacy::build(algo, params), algo, &w);
+        assert_eq!(stacked, oracle, "{algo} diverged with lookahead = 7");
     }
 }

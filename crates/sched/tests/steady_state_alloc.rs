@@ -5,20 +5,32 @@
 //! A counting `#[global_allocator]` wraps the system allocator; the test
 //! warms the solver on every instance it will see, snapshots the
 //! allocation counter, runs many steady-state solves, and asserts the
-//! counter did not move. Everything lives in one `#[test]` because the
-//! counter is process-global and tests run concurrently.
+//! counter did not move. The counter is **thread-local**: a process-wide
+//! atomic would also count allocations made concurrently by other test
+//! threads (the harness runs tests in parallel), which made this test
+//! flake; counting only the current thread's traffic makes the assertion
+//! deterministic regardless of what runs alongside.
 
 use elastisched_sched::{DpItem, DpSolver};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bump the current thread's counter. The allocator can be entered
+/// before the thread-local is initialized (or during its teardown);
+/// `try_with` skips counting in those windows instead of recursing.
+fn count_one() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc(layout)
     }
 
@@ -27,12 +39,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc_zeroed(layout)
     }
 }
@@ -41,7 +53,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(|c| c.get())
 }
 
 /// Deterministic pseudo-random instances (xorshift; no external deps).

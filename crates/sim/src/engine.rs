@@ -409,6 +409,9 @@ impl<S: Scheduler> Engine<S> {
         self.state.records.reserve(jobs.len());
         self.state.id_map.reserve(jobs.len());
         self.state.outcomes.reserve(jobs.len());
+        // Worst case every job waits at once; one up-front reservation
+        // spares the snapshot repeated mid-run regrowth.
+        self.state.wait_views.reserve(jobs.len());
         for spec in jobs {
             self.state
                 .machine
@@ -559,6 +562,14 @@ impl<S: Scheduler> Engine<S> {
             reg.counter_add(keys::DP_CACHE_HITS_TOTAL, sched_stats.dp_cache_hits);
             reg.counter_add(keys::DP_CACHE_MISSES_TOTAL, sched_stats.dp_cache_misses);
             reg.counter_add(keys::DP_NANOS_TOTAL, sched_stats.dp_nanos);
+            reg.counter_add(
+                keys::DP_INCREMENTAL_HITS_TOTAL,
+                sched_stats.dp_incremental_hits,
+            );
+            reg.counter_add(
+                keys::DP_INCREMENTAL_REBUILDS_TOTAL,
+                sched_stats.dp_incremental_rebuilds,
+            );
             reg.counter_add(keys::HEAD_FORCE_STARTS_TOTAL, sched_stats.head_force_starts);
             reg.counter_add(keys::HEAD_SKIPS_TOTAL, sched_stats.head_skips);
             reg.counter_add(keys::DP_STARTS_TOTAL, sched_stats.dp_starts);

@@ -32,7 +32,6 @@
 use crate::ecc::EccSpec;
 use crate::job::JobId;
 use crate::time::SimTime;
-use std::collections::VecDeque;
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,14 +55,38 @@ struct Entry {
     event: Event,
 }
 
+/// A slab slot: one pending event plus the intra-bucket link.
+#[derive(Debug, Clone)]
+struct Slot {
+    at: SimTime,
+    event: Event,
+    /// Next slot in the same bucket (time-sorted), or [`NIL`]. Doubles
+    /// as the free-list link when the slot is vacant.
+    next: u32,
+}
+
+/// Null slot index for the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// An empty bucket: no head, no tail.
+const EMPTY: (u32, u32) = (NIL, NIL);
+
 /// Smallest calendar size; also the initial size.
 const MIN_BUCKETS: usize = 16;
 
 /// A time-ordered, insertion-stable event queue (calendar queue).
 #[derive(Debug)]
 pub struct EventQueue {
-    /// `buckets.len()` is always a power of two.
-    buckets: Vec<VecDeque<Entry>>,
+    /// `(head, tail)` slot indices per bucket ([`EMPTY`] when vacant);
+    /// `buckets.len()` is always a power of two. Buckets are 8-byte
+    /// index pairs into the shared `slots` slab rather than owning
+    /// containers: the day scan walks a dense array, and a run costs two
+    /// slab allocations instead of one per touched bucket.
+    buckets: Vec<(u32, u32)>,
+    /// The slab. Vacant slots are chained on `free_head`.
+    slots: Vec<Slot>,
+    /// Head of the vacant-slot free list, or [`NIL`].
+    free_head: u32,
     /// log₂ of the bucket width in seconds. A power-of-two width turns
     /// the day computation `at / width` — on every push, pop, and day
     /// scanned — into a shift; the u64 division it replaces was the
@@ -79,17 +102,14 @@ pub struct EventQueue {
     /// Rebuild scratch, reused across rebuilds so draining the calendar
     /// into time order costs no allocation after the first rebuild.
     scratch: Vec<Entry>,
-    /// Buckets parked by a shrink rebuild, buffers intact. A grow rebuild
-    /// takes from here first, so bucket capacity survives resizes instead
-    /// of being freed and re-malloc'd one push at a time — the dominant
-    /// cost of the naive rebuild.
-    spare: Vec<VecDeque<Entry>>,
 }
 
 impl Default for EventQueue {
     fn default() -> Self {
         EventQueue {
-            buckets: (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect(),
+            buckets: vec![EMPTY; MIN_BUCKETS],
+            slots: Vec::new(),
+            free_head: NIL,
             shift: 0,
             day: 0,
             len: 0,
@@ -97,7 +117,6 @@ impl Default for EventQueue {
             pops: 0,
             peak_len: 0,
             scratch: Vec::new(),
-            spare: Vec::new(),
         }
     }
 }
@@ -118,6 +137,32 @@ impl EventQueue {
         ((at.0 >> self.shift) & self.mask()) as usize
     }
 
+    /// Take a slot from the free list, or grow the slab.
+    #[inline]
+    fn alloc_slot(&mut self, at: SimTime, event: Event, next: u32) -> u32 {
+        if self.free_head != NIL {
+            let i = self.free_head;
+            let slot = &mut self.slots[i as usize];
+            self.free_head = slot.next;
+            slot.at = at;
+            slot.event = event;
+            slot.next = next;
+            i
+        } else {
+            let i = self.slots.len() as u32;
+            self.slots.push(Slot { at, event, next });
+            i
+        }
+    }
+
+    /// Return a slot to the free list. The stale payload stays in place;
+    /// [`Event`] owns no heap, so nothing leaks.
+    #[inline]
+    fn free_slot(&mut self, i: u32) {
+        self.slots[i as usize].next = self.free_head;
+        self.free_head = i;
+    }
+
     /// Schedule `event` at time `at`.
     pub fn push(&mut self, at: SimTime, event: Event) {
         self.pushes += 1;
@@ -129,12 +174,35 @@ impl EventQueue {
             self.day = at_day;
         }
         let idx = self.bucket_of(at);
-        let bucket = &mut self.buckets[idx];
-        // After every equal-or-earlier event: time order within the
-        // bucket, FIFO within an instant. In-order pushes (the common
-        // case) hit the back, so this is an O(1) append.
-        let pos = bucket.partition_point(|e| e.at <= at);
-        bucket.insert(pos, Entry { at, event });
+        // Insert after every equal-or-earlier event: time order within
+        // the bucket, FIFO within an instant. In-order pushes (the
+        // common case) hit the tail, so this is an O(1) append.
+        let (head, tail) = self.buckets[idx];
+        if head == NIL {
+            let s = self.alloc_slot(at, event, NIL);
+            self.buckets[idx] = (s, s);
+        } else if self.slots[tail as usize].at <= at {
+            let s = self.alloc_slot(at, event, NIL);
+            self.slots[tail as usize].next = s;
+            self.buckets[idx].1 = s;
+        } else if self.slots[head as usize].at > at {
+            let s = self.alloc_slot(at, event, head);
+            self.buckets[idx].0 = s;
+        } else {
+            // Interior insert: walk to the last equal-or-earlier slot.
+            // Buckets hold ~2 events at the calendar's design density,
+            // so the walk is short.
+            let mut prev = head;
+            loop {
+                let nxt = self.slots[prev as usize].next;
+                if nxt == NIL || self.slots[nxt as usize].at > at {
+                    break;
+                }
+                prev = nxt;
+            }
+            let s = self.alloc_slot(at, event, self.slots[prev as usize].next);
+            self.slots[prev as usize].next = s;
+        }
         self.len += 1;
         self.peak_len = self.peak_len.max(self.len);
         if self.len > 2 * self.buckets.len() {
@@ -154,9 +222,10 @@ impl EventQueue {
         let mask = self.mask();
         let mut d = self.day;
         for _ in 0..nb {
-            if let Some(front) = self.buckets[(d & mask) as usize].front() {
-                if front.at.0 >> self.shift == d {
-                    let at = front.at;
+            let (head, _) = self.buckets[(d & mask) as usize];
+            if head != NIL {
+                let at = self.slots[head as usize].at;
+                if at.0 >> self.shift == d {
                     self.day = d;
                     return Some(at);
                 }
@@ -164,43 +233,57 @@ impl EventQueue {
             d = d.saturating_add(1);
         }
         // Sparse year: no event within one calendar revolution. Each
-        // bucket front is that bucket's minimum, so the global minimum is
-        // the least front.
+        // bucket head is that bucket's minimum, so the global minimum is
+        // the least head.
         let at = self
             .buckets
             .iter()
-            .filter_map(|b| b.front().map(|e| e.at))
+            .filter(|&&(head, _)| head != NIL)
+            .map(|&(head, _)| self.slots[head as usize].at)
             .min()
-            .expect("len > 0 but no bucket front");
+            .expect("len > 0 but no bucket head");
         self.day = at.0 >> self.shift;
         Some(at)
+    }
+
+    /// Unlink and free the head slot of bucket `idx`, returning its event.
+    #[inline]
+    fn pop_head(&mut self, idx: usize) -> Event {
+        let (head, tail) = self.buckets[idx];
+        debug_assert_ne!(head, NIL, "located bucket empty");
+        let next = self.slots[head as usize].next;
+        let event = std::mem::replace(&mut self.slots[head as usize].event, Event::Wakeup);
+        self.buckets[idx] = if next == NIL { EMPTY } else { (next, tail) };
+        self.free_slot(head);
+        self.len -= 1;
+        self.pops += 1;
+        event
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
         let at = self.locate_next()?;
         let idx = self.bucket_of(at);
-        let entry = self.buckets[idx].pop_front().expect("located bucket empty");
-        debug_assert_eq!(entry.at, at);
-        self.len -= 1;
-        self.pops += 1;
+        debug_assert_eq!(self.slots[self.buckets[idx].0 as usize].at, at);
+        let event = self.pop_head(idx);
         self.maybe_shrink();
-        Some((entry.at, entry.event))
+        Some((at, event))
     }
 
     /// Remove every event at the earliest pending instant, appending them
     /// to `out` in insertion order, and return that instant. This is the
     /// engine's cycle-coalescing primitive: all same-instant events share
     /// a bucket and sit contiguously at its front, so the drain is a
-    /// straight run of `pop_front`s with no re-peeking.
+    /// straight run of head pops with no re-peeking.
     pub fn drain_next_instant(&mut self, out: &mut Vec<Event>) -> Option<SimTime> {
         let at = self.locate_next()?;
         let idx = self.bucket_of(at);
-        let bucket = &mut self.buckets[idx];
-        while bucket.front().is_some_and(|e| e.at == at) {
-            out.push(bucket.pop_front().expect("front checked").event);
-            self.len -= 1;
-            self.pops += 1;
+        loop {
+            let (head, _) = self.buckets[idx];
+            if head == NIL || self.slots[head as usize].at != at {
+                break;
+            }
+            out.push(self.pop_head(idx));
         }
         self.maybe_shrink();
         Some(at)
@@ -245,26 +328,33 @@ impl EventQueue {
         let mut entries = std::mem::take(&mut self.scratch);
         entries.clear();
         entries.reserve(self.len);
-        for bucket in &mut self.buckets {
-            entries.extend(bucket.drain(..));
+        for bi in 0..self.buckets.len() {
+            let (mut cur, _) = self.buckets[bi];
+            while cur != NIL {
+                let slot = &mut self.slots[cur as usize];
+                entries.push(Entry {
+                    at: slot.at,
+                    event: std::mem::replace(&mut slot.event, Event::Wakeup),
+                });
+                cur = slot.next;
+            }
+            self.buckets[bi] = EMPTY;
         }
+        // The whole slab is vacant now; drop the free list and refill
+        // from the bottom so redistribution is a straight append.
+        self.slots.clear();
+        self.free_head = NIL;
         // Stable: equal instants always share a bucket in FIFO order, so
         // the sort preserves per-instant insertion order globally.
         entries.sort_by_key(|e| e.at);
         // Size for 2× the current population: overshooting halves the
         // number of grow rebuilds on a filling queue (each rebuild is a
         // full drain + sort), and the 8× shrink trigger gives a draining
-        // queue the same hysteresis on the way down.
+        // queue the same hysteresis on the way down. Buckets are bare
+        // index pairs, so a resize moves no per-bucket buffers.
         let nb = (self.len * 2).next_power_of_two().clamp(MIN_BUCKETS, 1 << 22);
-        if nb < self.buckets.len() {
-            // Park the tail buckets (now empty, buffers intact) for the
-            // next grow instead of dropping their allocations.
-            self.spare.extend(self.buckets.drain(nb..));
-        } else {
-            while self.buckets.len() < nb {
-                self.buckets.push(self.spare.pop().unwrap_or_default());
-            }
-        }
+        self.buckets.clear();
+        self.buckets.resize(nb, EMPTY);
         if let (Some(first), Some(last)) = (entries.first(), entries.last()) {
             let span = last.at.0 - first.at.0;
             // Mean gap, rounded up to a power of two so the day math is a
@@ -278,9 +368,21 @@ impl EventQueue {
         }
         for entry in entries.drain(..) {
             let idx = self.bucket_of(entry.at);
-            // Entries arrive in global time order, so appending keeps
-            // every bucket sorted.
-            self.buckets[idx].push_back(entry);
+            // Entries arrive in global time order, so appending at each
+            // bucket's tail keeps every bucket sorted.
+            let s = self.slots.len() as u32;
+            self.slots.push(Slot {
+                at: entry.at,
+                event: entry.event,
+                next: NIL,
+            });
+            let (head, tail) = self.buckets[idx];
+            if head == NIL {
+                self.buckets[idx] = (s, s);
+            } else {
+                self.slots[tail as usize].next = s;
+                self.buckets[idx].1 = s;
+            }
         }
         self.scratch = entries;
     }

@@ -99,6 +99,13 @@ pub struct SchedStats {
     /// sampled 1-in-[`DP_NANOS_SAMPLE_EVERY`] and extrapolated, so this
     /// is statistically accurate over a run but not an exact sum.
     pub dp_nanos: u64,
+    /// Cache misses answered by extending/replaying the solver's
+    /// retained cross-cycle reachability table (at least one stored
+    /// row reused).
+    pub dp_incremental_hits: u64,
+    /// Cache misses where the retained table was rebuilt from row zero
+    /// (first solve, capacity/unit re-layout, or head-of-queue change).
+    pub dp_incremental_rebuilds: u64,
     /// Head-of-queue jobs force-started (LOS family).
     pub head_force_starts: u64,
     /// Head-of-queue skip decisions (delayed-LOS waiting choice).

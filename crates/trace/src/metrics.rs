@@ -568,6 +568,10 @@ pub mod keys {
     pub const POINT_MILLIS: MetricId = MetricId(27);
     /// Per-job wait times (simulated time units), merged across runs.
     pub const JOB_WAIT_TIME: MetricId = MetricId(28);
+    /// DP cache misses answered by the cross-cycle incremental table.
+    pub const DP_INCREMENTAL_HITS_TOTAL: MetricId = MetricId(29);
+    /// DP cache misses that rebuilt the incremental table from row zero.
+    pub const DP_INCREMENTAL_REBUILDS_TOTAL: MetricId = MetricId(30);
 }
 
 /// Spec list behind [`MetricsRegistry::standard`], in [`keys`] order.
@@ -717,6 +721,16 @@ pub const STANDARD_SPECS: &[MetricSpec] = &[
         help: "Per-job wait times in simulated time units, merged across runs.",
         kind: MetricKind::Histogram,
     },
+    MetricSpec {
+        name: "elastisched_dp_incremental_hits_total",
+        help: "DP cache misses answered by the cross-cycle incremental table.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_dp_incremental_rebuilds_total",
+        help: "DP cache misses that rebuilt the incremental table from row zero.",
+        kind: MetricKind::Counter,
+    },
 ];
 
 #[cfg(test)]
@@ -782,6 +796,14 @@ mod tests {
             (keys::EVENTS_PER_SEC, "elastisched_events_per_sec"),
             (keys::POINT_MILLIS, "elastisched_sweep_point_millis"),
             (keys::JOB_WAIT_TIME, "elastisched_job_wait_time"),
+            (
+                keys::DP_INCREMENTAL_HITS_TOTAL,
+                "elastisched_dp_incremental_hits_total",
+            ),
+            (
+                keys::DP_INCREMENTAL_REBUILDS_TOTAL,
+                "elastisched_dp_incremental_rebuilds_total",
+            ),
         ];
         assert_eq!(ids.len(), STANDARD_SPECS.len(), "key list out of date");
         for (id, name) in ids {

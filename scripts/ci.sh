@@ -7,7 +7,7 @@
 # of a silent download.
 #
 # Usage: scripts/ci.sh [--no-bench]
-#   --no-bench   skip the bench-engine throughput check (useful on
+#   --no-bench   skip the bench-engine / bench-dp perf checks (useful on
 #                loaded/shared machines where timing is unreliable)
 
 set -euo pipefail
@@ -55,10 +55,15 @@ echo "== clippy (deny warnings) =="
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 
 if [ "$run_bench_check" = 1 ]; then
-    echo "== bench-engine regression check (2% budget) =="
+    # Both checks normalize by the snapshot's calibration score, so a
+    # slow shared host is separated from a genuine code regression. The
+    # engine check also prints a per-case ev/s delta table.
+    echo "== bench-engine regression check (2% budget, calibration-normalized) =="
     ./target/release/repro bench-engine --check
+    echo "== bench-dp kernel regression check (25% budget, calibration-normalized) =="
+    ./target/release/repro bench-dp --check
 else
-    echo "== bench-engine regression check skipped (--no-bench) =="
+    echo "== bench perf regression checks skipped (--no-bench) =="
 fi
 
 echo "CI gate passed."
