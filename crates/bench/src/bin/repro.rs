@@ -40,6 +40,7 @@ struct Opts {
     quick: bool,
     force: bool,
     check: bool,
+    smoke: bool,
     out: PathBuf,
 }
 
@@ -181,6 +182,42 @@ fn run(target: &str, cfg: &ReproConfig, opts: &Opts) -> Result<(), String> {
                 eprintln!("wrote {path}");
             }
         }
+        "soak" => {
+            // Archive-scale streamed replay: run with `--release`. The
+            // full soak replays 10^5 then 10^6 streamed Lublin jobs and
+            // snapshots sustained events/s + peak-RSS flatness into
+            // BENCH_soak.json (committed; --force to overwrite). With
+            // --check, the longest committed run is re-measured under a
+            // 10% calibration-normalized throughput budget and a fixed
+            // peak-RSS-growth budget. With --smoke, a 50k-job bounded
+            // run asserts peak-RSS growth stays under 64 MiB — the CI
+            // step.
+            let path = "BENCH_soak.json";
+            if opts.smoke {
+                let verdict = elastisched_bench::soakbench::smoke(50_000, 64 * 1024)?;
+                println!("{verdict}");
+                return Ok(());
+            }
+            if opts.check {
+                let verdict = elastisched_bench::soakbench::check(path, 0.10)?;
+                println!("soak check OK: {verdict}");
+                return Ok(());
+            }
+            if std::path::Path::new(path).exists() && !opts.force {
+                return Err(format!(
+                    "{path} already exists (it is a committed perf-trajectory point); \
+                     pass --force to overwrite it"
+                ));
+            }
+            let report = elastisched_bench::soakbench::run();
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            println!("{json}");
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
         "all" => {
             table3();
             emit_figure(&figures::fig1(cfg), opts);
@@ -223,7 +260,7 @@ fn run(target: &str, cfg: &ReproConfig, opts: &Opts) -> Result<(), String> {
         other => {
             return Err(format!(
                 "unknown target {other:?}; try: all, fig1, fig5-fig11, table3-table7, \
-                 ablation-lookahead, ablation-overestimate, bench-dp, bench-engine"
+                 ablation-lookahead, ablation-overestimate, bench-dp, bench-engine, soak"
             ))
         }
     }
@@ -238,7 +275,8 @@ fn main() -> ExitCode {
              targets: all, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11,\n\
              \x20        table3, table4, table5, table6, table7,\n\
              \x20        baselines, ablation-lookahead, ablation-overestimate, ablation-contiguity,\n\
-             \x20        bench-dp [--force|--check], bench-engine [--force|--check]"
+             \x20        bench-dp [--force|--check], bench-engine [--force|--check],\n\
+             \x20        soak [--force|--check|--smoke]"
         );
         return ExitCode::from(2);
     }
@@ -246,6 +284,7 @@ fn main() -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
     let force = args.iter().any(|a| a == "--force");
     let check = args.iter().any(|a| a == "--check");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let progress = args.iter().any(|a| a == "--progress");
     let serve_metrics = args
         .iter()
@@ -275,6 +314,7 @@ fn main() -> ExitCode {
         quick,
         force,
         check,
+        smoke,
         out,
     };
     if opts.quick {

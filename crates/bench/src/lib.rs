@@ -2,3 +2,4 @@
 
 pub mod dpbench;
 pub mod enginebench;
+pub mod soakbench;

@@ -1,8 +1,8 @@
 //! Running one scheduling experiment end to end.
 
-use elastisched_metrics::RunMetrics;
+use elastisched_metrics::{RunAccumulator, RunMetrics};
 use elastisched_sched::{Algorithm, SchedParams, StackSpec};
-use elastisched_sim::{Engine, Machine, SimError, SimResult, TraceSink};
+use elastisched_sim::{Engine, JobSource, Machine, SimError, SimResult, TraceSink};
 use elastisched_workload::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +102,42 @@ impl Experiment {
         crate::telemetry::record_run(&metrics);
         Ok(metrics)
     }
+
+    /// Run over a streaming [`JobSource`], returning the raw result with
+    /// outcomes retained. Arrivals are admitted lazily and per-job engine
+    /// state is reclaimed at completion, so peak engine memory tracks
+    /// live jobs; the outcome vector still grows with the trace — use
+    /// [`Experiment::run_streamed`] to bound that too.
+    pub fn run_streamed_raw(&self, source: impl JobSource) -> Result<SimResult, SimError> {
+        let scheduler = self.algorithm.build(self.params);
+        let engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
+        engine.run_streaming(source)
+    }
+
+    /// Run over a streaming [`JobSource`] end to end in memory bounded
+    /// by *live* jobs: outcomes are folded into `acc` as they complete
+    /// and never retained. With [`RunAccumulator::exact`] the metrics
+    /// are bit-identical to the materialized [`Experiment::run`]; with
+    /// [`RunAccumulator::bounded`] even the per-job wait series is
+    /// grouped (`wait_summary.std_dev` exact only to ulp level).
+    pub fn run_streamed_with(
+        &self,
+        source: impl JobSource,
+        mut acc: RunAccumulator,
+    ) -> Result<RunMetrics, SimError> {
+        let scheduler = self.algorithm.build(self.params);
+        let engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
+        let result = engine.run_streaming_folded(source, &mut |o| acc.record(o))?;
+        let metrics = acc.finish(&result);
+        crate::telemetry::record_run(&metrics);
+        Ok(metrics)
+    }
+
+    /// [`Experiment::run_streamed_with`] on the exact accumulator: the
+    /// streamed, fold-as-you-go equivalent of [`Experiment::run`].
+    pub fn run_streamed(&self, source: impl JobSource) -> Result<RunMetrics, SimError> {
+        self.run_streamed_with(source, RunAccumulator::exact())
+    }
 }
 
 /// One experiment over an arbitrary policy stack: where [`Experiment`]
@@ -156,6 +192,27 @@ impl StackExperiment {
         let metrics = RunMetrics::from_result(&self.run_raw(workload)?);
         crate::telemetry::record_run(&metrics);
         Ok(metrics)
+    }
+
+    /// Run over a streaming [`JobSource`] with outcomes folded into
+    /// `acc` — the stack-spec counterpart of
+    /// [`Experiment::run_streamed_with`].
+    pub fn run_streamed_with(
+        &self,
+        source: impl JobSource,
+        mut acc: RunAccumulator,
+    ) -> Result<RunMetrics, SimError> {
+        let scheduler = self.spec.build(self.params);
+        let engine = Engine::new(self.machine.build(), scheduler, self.spec.ecc_policy());
+        let result = engine.run_streaming_folded(source, &mut |o| acc.record(o))?;
+        let metrics = acc.finish(&result);
+        crate::telemetry::record_run(&metrics);
+        Ok(metrics)
+    }
+
+    /// [`StackExperiment::run_streamed_with`] on the exact accumulator.
+    pub fn run_streamed(&self, source: impl JobSource) -> Result<RunMetrics, SimError> {
+        self.run_streamed_with(source, RunAccumulator::exact())
     }
 }
 

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod accum;
 pub mod breakdown;
 pub mod ks;
 pub mod report;
@@ -17,6 +18,7 @@ pub mod stats;
 pub mod timeline;
 pub mod validate;
 
+pub use accum::RunAccumulator;
 pub use breakdown::{breakdown, Breakdown, ClassMetrics};
 pub use ks::{ks_test_cdf, ks_test_two_sample, KsResult};
 pub use report::RunMetrics;

@@ -6,7 +6,7 @@
 //! derives them (plus extra diagnostics) from a [`SimResult`].
 
 use crate::stats::Summary;
-use elastisched_sim::{profile, LogHistogram, Phase, PhaseProfile, SimResult};
+use elastisched_sim::{LogHistogram, PhaseProfile, SimResult};
 use serde::{Deserialize, Serialize};
 
 /// The paper's metrics for one simulation run.
@@ -144,88 +144,16 @@ impl RunMetrics {
     /// [`profile::PhaseTimer`] recordings are **drained and absorbed**
     /// into the profile (`profile::take_pending`).
     pub fn from_result(result: &SimResult) -> RunMetrics {
-        let derive_started = std::time::Instant::now();
-        // One pass over the outcomes: only the wait series is
-        // materialized (the summary needs the whole distribution); every
-        // mean is reduced in place, in the same left-to-right order the
-        // collected-vector version used, so the numbers are bit-identical.
-        let n = result.outcomes.len();
-        let mut waits: Vec<f64> = Vec::with_capacity(n);
-        let mut wait_sum = 0.0f64;
-        let mut runtime_sum = 0.0f64;
-        let mut bounded_sum = 0.0f64;
-        let mut ded_count = 0usize;
-        let mut ded_wait_sum = 0.0f64;
-        let mut on_time = 0usize;
-        let mut wait_hist = LogHistogram::new();
-        let mut slowdown_hist = LogHistogram::new();
+        // One fold pass over the outcomes, in completion order, on the
+        // exact accumulator — the same path a streamed run drives one
+        // completion at a time (see [`crate::accum::RunAccumulator`]),
+        // so materialized and folded derivations are bit-identical by
+        // construction.
+        let mut acc = crate::accum::RunAccumulator::exact_with_capacity(result.outcomes.len());
         for o in &result.outcomes {
-            let wait = o.wait.as_secs_f64();
-            let runtime = o.runtime.as_secs_f64();
-            waits.push(wait);
-            wait_sum += wait;
-            runtime_sum += runtime;
-            let bounded = ((wait + runtime) / runtime.max(10.0)).max(1.0);
-            bounded_sum += bounded;
-            wait_hist.record(o.wait.as_secs());
-            slowdown_hist.record((bounded * 1000.0) as u64);
-            if o.requested_start.is_some() {
-                ded_count += 1;
-                ded_wait_sum += wait;
-                if o.wait.as_secs() == 0 {
-                    on_time += 1;
-                }
-            }
+            acc.record(o);
         }
-        let mean_of = |sum: f64, count: usize| if count == 0 { 0.0 } else { sum / count as f64 };
-        let mean_wait = mean_of(wait_sum, n);
-        let mean_runtime = mean_of(runtime_sum, n);
-        let slowdown = if mean_runtime > 0.0 {
-            (mean_wait + mean_runtime) / mean_runtime
-        } else {
-            1.0
-        };
-        let mut phase_profile = profile::take_pending();
-        phase_profile.record(Phase::DpSolve, result.sched_stats.dp_nanos);
-        phase_profile.record(Phase::EngineLoop, result.engine.engine_nanos);
-        phase_profile.record(
-            Phase::MetricsDerivation,
-            derive_started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-        );
-        RunMetrics {
-            scheduler: result.scheduler.to_string(),
-            jobs: result.outcomes.len(),
-            utilization: result.mean_utilization(),
-            mean_wait,
-            slowdown,
-            mean_bounded_slowdown: mean_of(bounded_sum, n),
-            mean_runtime,
-            wait_summary: Summary::of(&waits),
-            mean_dedicated_delay: mean_of(ded_wait_sum, ded_count),
-            dedicated_jobs: ded_count,
-            dedicated_on_time: on_time,
-            makespan: result.makespan.as_secs() as f64,
-            eccs_applied: result.ecc.applied(),
-            dp_cache_hits: result.sched_stats.dp_cache_hits,
-            dp_cache_misses: result.sched_stats.dp_cache_misses,
-            dp_nanos: result.sched_stats.dp_nanos,
-            dp_incremental_hits: result.sched_stats.dp_incremental_hits,
-            dp_incremental_rebuilds: result.sched_stats.dp_incremental_rebuilds,
-            engine_events: result.engine.events,
-            engine_cycles: result.engine.cycles,
-            events_coalesced: result.engine.events_coalesced,
-            queue_ops: result.engine.queue_ops,
-            peak_queue_len: result.engine.peak_queue_len,
-            engine_nanos: result.engine.engine_nanos,
-            wait_hist,
-            slowdown_hist,
-            cycle_hist: result
-                .trace
-                .as_deref()
-                .map(|t| t.cycle_hist)
-                .unwrap_or_default(),
-            phase_profile,
-        }
+        acc.finish(result)
     }
 }
 
@@ -233,7 +161,7 @@ impl RunMetrics {
 mod tests {
     use super::*;
     use elastisched_sim::{
-        Duration, EccStats, JobId, JobOutcome, SchedStats, SimResult, SimTime,
+        profile, Duration, EccStats, JobId, JobOutcome, Phase, SchedStats, SimResult, SimTime,
     };
 
     fn outcome(id: u64, submit: u64, started: u64, finished: u64, num: u32) -> JobOutcome {

@@ -34,7 +34,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
 }
 
 /// [`quantile`] over data the caller has already sorted ascending.
-fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -85,22 +85,35 @@ impl Summary {
                 max: 0.0,
             };
         }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        Summary::of_unsorted_in_place(&mut sorted)
+    }
+
+    /// [`Summary::of`], but sorting the caller's buffer in place instead
+    /// of taking a copy — the hot path for per-run metric derivation,
+    /// which owns its wait series and never needs the original order
+    /// again. Bit-identical to [`Summary::of`]: the moments are computed
+    /// *before* the sort, reading the series in its given order.
+    pub fn of_unsorted_in_place(xs: &mut [f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary::of(&[]);
+        }
         // Moments read the series in its given order (so they are
         // bit-identical to a direct mean/std_dev call); the order
-        // statistics share one sorted copy instead of re-sorting per
+        // statistics share one in-place sort instead of re-sorting per
         // quantile.
         // Unstable sort: no merge buffer, and equal f64 values are
         // indistinguishable so the order statistics are unchanged.
-        let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in metric series"));
+        let (mean, std_dev) = (mean(xs), std_dev(xs));
+        xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in metric series"));
         Summary {
             n: xs.len(),
-            mean: mean(xs),
-            std_dev: std_dev(xs),
-            min: sorted[0],
-            median: quantile_of_sorted(&sorted, 0.5),
-            p95: quantile_of_sorted(&sorted, 0.95),
-            max: sorted[sorted.len() - 1],
+            mean,
+            std_dev,
+            min: xs[0],
+            median: quantile_of_sorted(xs, 0.5),
+            p95: quantile_of_sorted(xs, 0.95),
+            max: xs[xs.len() - 1],
         }
     }
 }

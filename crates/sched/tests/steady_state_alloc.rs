@@ -139,3 +139,55 @@ fn steady_state_solves_do_not_allocate() {
     );
     assert_eq!(solver.stats().cache_hits, 0);
 }
+
+/// The whole-experiment allocation floor: one 500-job headline run —
+/// scheduler build, engine setup, workload clone-in, event loop, and
+/// metrics derivation — against the budgets the arena work established
+/// (PR 7: selection-cache keys share one arena, the calendar queue's
+/// slab is sized at load, metrics fold through a pre-sized
+/// accumulator). Measured on this workload: load ≈ 10 (four reserves +
+/// id-map + one slab growth), metrics ≈ 2 (wait series + scheduler
+/// name), full run ≈ 134. The ceilings leave headroom for allocator
+/// rounding but fail loudly if a per-job or per-slot allocation creeps
+/// back in.
+#[test]
+fn full_run_allocation_floor() {
+    use elastisched_metrics::RunMetrics;
+    use elastisched_sched::{Algorithm, SchedParams};
+    use elastisched_sim::{Engine, Machine};
+    use elastisched_workload::{generate, GeneratorConfig};
+
+    let w = generate(&GeneratorConfig::paper_batch(0.5).with_jobs(500).with_seed(1));
+    // Warm-up: first run pays lazy one-time global setup.
+    {
+        let scheduler = Algorithm::DelayedLos.build(SchedParams::default());
+        let mut engine = Engine::new(
+            Machine::new(320, 32),
+            scheduler,
+            Algorithm::DelayedLos.ecc_policy(),
+        );
+        engine.load(&w.jobs, &w.eccs).unwrap();
+        RunMetrics::from_result(&engine.run().unwrap());
+    }
+
+    let total0 = allocations();
+    let scheduler = Algorithm::DelayedLos.build(SchedParams::default());
+    let mut engine = Engine::new(
+        Machine::new(320, 32),
+        scheduler,
+        Algorithm::DelayedLos.ecc_policy(),
+    );
+    let load0 = allocations();
+    engine.load(&w.jobs, &w.eccs).unwrap();
+    let load = allocations() - load0;
+    let result = engine.run().unwrap();
+    let metrics0 = allocations();
+    let m = RunMetrics::from_result(&result);
+    let metrics = allocations() - metrics0;
+    let total = allocations() - total0;
+
+    assert_eq!(m.jobs, 500);
+    assert!(load <= 14, "load allocated {load} times (floor 14)");
+    assert!(metrics <= 4, "metrics derivation allocated {metrics} times (floor 4)");
+    assert!(total <= 170, "full run allocated {total} times (floor 170)");
+}

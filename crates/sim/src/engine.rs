@@ -13,9 +13,11 @@ use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, JobState};
 use crate::machine::Machine;
 use crate::running::{RunningJob, RunningSet};
 use crate::sched_api::{JobView, SchedContext, SchedStats, Scheduler, StartError};
+use crate::source::{JobSource, SourceItem};
 use crate::time::{Duration, SimTime};
 use elastisched_trace::{trace_event, EccTag, TraceEvent, TraceSink};
 use std::collections::HashMap;
+
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -61,6 +63,11 @@ impl Hasher for JobIdHasher {
 
 type JobIdMap = HashMap<JobId, usize, BuildHasherDefault<JobIdHasher>>;
 
+/// Optional per-completion outcome sink. `Some` on the streaming-folded
+/// path, where outcomes are consumed instead of retained; `None`
+/// everywhere else.
+type OutcomeFold<'a> = Option<&'a mut dyn FnMut(&JobOutcome)>;
+
 /// Simulation-level failures.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // field names are self-describing
@@ -76,6 +83,10 @@ pub enum SimError {
     /// A scheduler start request failed in a way that indicates an engine
     /// or scheduler bug (oversubscription attempts are bugs, not events).
     Start(String),
+    /// A streamed [`JobSource`] yielded an item whose time precedes the
+    /// virtual clock — the stream violated its non-decreasing-time
+    /// contract (see [`crate::source`]).
+    UnorderedSource { at: SimTime, clock: SimTime },
 }
 
 impl fmt::Display for SimError {
@@ -89,6 +100,12 @@ impl fmt::Display for SimError {
                 write!(f, "simulation ended with {waiting} jobs starved in queue")
             }
             SimError::Start(msg) => write!(f, "start failure: {msg}"),
+            SimError::UnorderedSource { at, clock } => write!(
+                f,
+                "job source yielded an item at {}s behind the clock at {}s",
+                at.as_secs(),
+                clock.as_secs()
+            ),
         }
     }
 }
@@ -138,6 +155,21 @@ pub struct EngineStats {
     pub peak_queue_len: u64,
     /// Wall-clock nanoseconds spent inside [`Engine::run`].
     pub engine_nanos: u64,
+    /// High-water mark of the job-record slab. On the materialized path
+    /// this is the trace length (every job is loaded up front); on the
+    /// streaming paths completed slots are recycled, so it is the peak
+    /// number of simultaneously *live* (admitted, not yet completed)
+    /// jobs — the quantity a soak run's memory is proportional to.
+    #[serde(default)]
+    pub peak_live_jobs: u64,
+    /// High-water mark of the waiting-jobs snapshot buffer, dead views
+    /// included. Bounded by ~2× the peak waiting count regardless of
+    /// whether the policy ever borrows the snapshot: the start-time
+    /// compaction keeps dead views from outnumbering live ones, so a
+    /// value near the trace length flags a compaction regression (on a
+    /// streamed soak this buffer would otherwise grow with the trace).
+    #[serde(default)]
+    pub peak_wait_views: u64,
 }
 
 /// A periodic snapshot of system state (sampling must be enabled on the
@@ -223,8 +255,23 @@ struct EngineState {
     /// one pass. Queued ECCs edit their view in place, so a clean snapshot
     /// is never rebuilt.
     wait_views: Vec<JobView>,
+    /// Record-slab slot of each view in `wait_views` (same indexing,
+    /// mutated in lockstep). Compaction reads liveness straight from the
+    /// record — no id hashing — and writes the surviving views' new
+    /// positions back into their records (`JobRecord::wait_pos`).
+    wait_recs: Vec<u32>,
     wait_head: usize,
     wait_stale: usize,
+    /// High-water mark of `wait_views.len()` (see
+    /// [`EngineStats::peak_wait_views`]).
+    peak_wait_views: usize,
+    /// Free record-slab slots (streaming runs only). A completed job's
+    /// slot is recycled for a later arrival, so the slab tracks peak
+    /// *live* jobs, not trace length.
+    free_slots: Vec<usize>,
+    /// Reclaim job state at completion (set by the streaming run paths;
+    /// the materialized path keeps every record for post-run inspection).
+    reclaim: bool,
     /// Trace sink, present only when tracing was enabled for this run.
     /// Boxed so the disabled path carries one pointer, not the sink's
     /// inline histogram. `None` means every `trace_event!` call site in
@@ -250,14 +297,37 @@ impl EngineState {
     /// reclaimed so the buffer does not grow without bound.
     fn sync_wait_views(&mut self) {
         if self.wait_stale > 0 {
-            let records = &self.records;
-            let id_map = &self.id_map;
-            self.wait_views
-                .retain(|v| records[id_map[&v.id]].state == JobState::Waiting);
+            // One in-place pass: each view carries its record slot, so
+            // liveness is a state load (no id hashing), and every
+            // surviving view writes its new position back into its
+            // record for the O(1) queued-ECC edit. The id check guards
+            // the streaming case where a dead view's slot was already
+            // recycled by a later arrival.
+            let mut w = 0;
+            for r in 0..self.wait_views.len() {
+                let slot = self.wait_recs[r] as usize;
+                let rec = &mut self.records[slot];
+                if rec.state == JobState::Waiting && rec.spec.id == self.wait_views[r].id {
+                    rec.wait_pos = w as u32;
+                    self.wait_views[w] = self.wait_views[r];
+                    self.wait_recs[w] = slot as u32;
+                    w += 1;
+                }
+            }
+            self.wait_views.truncate(w);
+            self.wait_recs.truncate(w);
             self.wait_head = 0;
             self.wait_stale = 0;
         } else if self.wait_head > 32 && self.wait_head * 2 > self.wait_views.len() {
-            self.wait_views.drain(..self.wait_head);
+            let head = self.wait_head;
+            // With no stale entries every view past the cursor is live;
+            // they all shift left by `head`, and so do their recorded
+            // positions.
+            for r in head..self.wait_views.len() {
+                self.records[self.wait_recs[r] as usize].wait_pos -= head as u32;
+            }
+            self.wait_views.drain(..head);
+            self.wait_recs.drain(..head);
             self.wait_head = 0;
         }
     }
@@ -316,6 +386,19 @@ impl SchedContext for EngineState {
         } else {
             self.wait_stale += 1;
         }
+        // A policy that drives starts from its own queue may never borrow
+        // the snapshot, so the borrow-time compaction alone would let
+        // dead views pile up for the whole run — O(trace) memory on a
+        // streamed soak. Compact here too once dead entries outnumber
+        // live ones: each pass at least halves the buffer, so the cost
+        // stays amortized O(1) per start. The floor is high enough that
+        // a bench-scale run (hundreds of starts between borrows) never
+        // pays for a pass it does not need — the buffer is only ever
+        // large on archive-scale runs.
+        let dead = self.wait_head + self.wait_stale;
+        if dead > 1024 && dead * 2 > self.wait_views.len() {
+            self.sync_wait_views();
+        }
         trace_event!(
             self.trace.as_deref_mut(),
             TraceEvent::Start {
@@ -356,6 +439,9 @@ pub struct Engine<S: Scheduler> {
     state: EngineState,
     first_arrival: SimTime,
     last_arrival: SimTime,
+    /// Jobs completed so far — `outcomes.len()` when outcomes are
+    /// retained, but still counted when a streaming run folds them away.
+    completed: u64,
     sample_every: Option<Duration>,
     last_sample: Option<SimTime>,
     samples: Vec<StateSample>,
@@ -378,12 +464,17 @@ impl<S: Scheduler> Engine<S> {
                 ecc_stats: EccStats::default(),
                 makespan: SimTime::ZERO,
                 wait_views: Vec::new(),
+                wait_recs: Vec::new(),
                 wait_head: 0,
                 wait_stale: 0,
+                peak_wait_views: 0,
+                free_slots: Vec::new(),
+                reclaim: false,
                 trace: None,
             },
             first_arrival: SimTime::MAX,
             last_arrival: SimTime::ZERO,
+            completed: 0,
             sample_every: None,
             last_sample: None,
             samples: Vec::new(),
@@ -412,6 +503,10 @@ impl<S: Scheduler> Engine<S> {
         // Worst case every job waits at once; one up-front reservation
         // spares the snapshot repeated mid-run regrowth.
         self.state.wait_views.reserve(jobs.len());
+        self.state.wait_recs.reserve(jobs.len());
+        // Every spec becomes one pending event; sizing the calendar's
+        // slab once spares a dozen push-by-push regrowths.
+        self.state.queue.reserve(jobs.len() + eccs.len());
         for spec in jobs {
             self.state
                 .machine
@@ -474,7 +569,7 @@ impl<S: Scheduler> Engine<S> {
             loop {
                 for ev in batch.drain(..) {
                     dispatched += 1;
-                    self.dispatch(ev)?;
+                    self.dispatch(ev, &mut None)?;
                 }
                 if self.state.queue.peek_time() != Some(t) {
                     break;
@@ -484,57 +579,229 @@ impl<S: Scheduler> Engine<S> {
             engine_stats.events += dispatched;
             engine_stats.events_coalesced += dispatched - 1;
             engine_stats.cycles += 1;
-            // Cycle span timing happens only when a sink is attached
-            // *and* its timing knob is on — the untraced hot path never
-            // reads the wall clock here.
-            let cycle_t0 = match &self.state.trace {
-                Some(tr) if tr.timing() => Some(std::time::Instant::now()),
-                _ => None,
+            self.end_cycle(t, dispatched);
+        }
+        self.finish(engine_stats, wall)
+    }
+
+    /// Run to completion while pulling the workload lazily from a
+    /// [`JobSource`].
+    ///
+    /// Semantics are identical to [`Engine::load`] + [`Engine::run`] on
+    /// the materialized equivalent of the stream — the differential
+    /// suite in `crates/core/tests` pins `RunMetrics` identity — but
+    /// arrivals are admitted only when the virtual clock reaches them
+    /// and each job's record, id-map entry, and wait-view are reclaimed
+    /// at completion, so peak memory tracks *live* jobs rather than
+    /// trace length. Outcomes are still retained in
+    /// [`SimResult::outcomes`]; use [`Engine::run_streaming_folded`] to
+    /// bound that too.
+    ///
+    /// Two contract differences from the materialized path, both
+    /// consequences of not holding the whole trace (see
+    /// [`crate::source`]): duplicate job ids are only detected while the
+    /// first holder is live, and an ECC issued for a reclaimed job
+    /// counts as `dropped_stale` even when the materialized path would
+    /// have classified it `dropped_policy`.
+    pub fn run_streaming<Src: JobSource>(self, source: Src) -> Result<SimResult, SimError> {
+        self.run_streaming_inner(source, None)
+    }
+
+    /// [`Engine::run_streaming`], but each [`JobOutcome`] is handed to
+    /// `fold` at completion instead of being retained —
+    /// [`SimResult::outcomes`] comes back empty, so a multi-million-job
+    /// soak holds no per-job state at all past completion. Aggregate
+    /// fields of the result (busy area, makespan, ECC stats, counters)
+    /// are unaffected.
+    pub fn run_streaming_folded<Src: JobSource>(
+        self,
+        source: Src,
+        fold: &mut dyn FnMut(&JobOutcome),
+    ) -> Result<SimResult, SimError> {
+        self.run_streaming_inner(source, Some(fold))
+    }
+
+    fn run_streaming_inner<Src: JobSource>(
+        mut self,
+        mut source: Src,
+        mut fold: OutcomeFold<'_>,
+    ) -> Result<SimResult, SimError> {
+        let wall = std::time::Instant::now();
+        let mut engine_stats = EngineStats::default();
+        self.state.reclaim = true;
+        // Streaming preamble: just the run shape. Submit events are
+        // emitted per job at admission, when the spec is first seen.
+        if let Some(tr) = self.state.trace.as_deref_mut() {
+            tr.record(TraceEvent::RunMeta {
+                total: self.state.machine.total(),
+                unit: self.state.machine.unit(),
+                scheduler: self.scheduler.name().to_string(),
+            });
+        }
+        let mut batch: Vec<Event> = Vec::new();
+        // Exactly one item is held ahead of the clock so the next
+        // instant is always known without draining the source.
+        let mut pending = source.next_item();
+        loop {
+            let queue_t = self.state.queue.peek_time();
+            let source_t = pending.as_ref().map(|i| i.time());
+            let t = match (queue_t, source_t) {
+                (None, None) => break,
+                (Some(q), None) => q,
+                (None, Some(s)) => s,
+                (Some(q), Some(s)) => q.min(s),
             };
-            self.scheduler.cycle(&mut self.state);
-            if self.state.trace.is_some() {
-                let nanos = cycle_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
-                let queue_depth = self.state.queue.len() as u32;
-                let free = self.state.machine.free();
-                let tr = self.state.trace.as_deref_mut().expect("checked above");
-                if tr.timing() {
-                    tr.cycle_hist.record(nanos);
+            if t < self.state.now {
+                // Only a source item can sit behind the clock (queue
+                // pushes are clamped to the present), so this is the
+                // stream violating its ordering contract.
+                return Err(SimError::UnorderedSource {
+                    at: t,
+                    clock: self.state.now,
+                });
+            }
+            self.state.now = t;
+            self.state.machine.advance_to(t);
+            let mut dispatched = 0u64;
+            // Admit every source item at this instant before draining
+            // the queue: the materialized loader pushed all of them at
+            // load time, ahead of any event the run itself scheduled, so
+            // dispatching them first reproduces the bucket-FIFO order
+            // (and therefore the whole run) exactly.
+            while pending.as_ref().is_some_and(|i| i.time() == t) {
+                let item = pending.take().expect("checked above");
+                dispatched += 1;
+                self.admit(item)?;
+                pending = source.next_item();
+            }
+            loop {
+                if self.state.queue.peek_time() != Some(t) {
+                    break;
                 }
-                if tr.cycle_due() {
-                    tr.record(TraceEvent::Cycle {
-                        at: t.as_secs(),
-                        events: dispatched.min(u64::from(u32::MAX)) as u32,
-                        queue_depth,
-                        free,
-                        nanos,
-                    });
+                self.state.queue.drain_next_instant(&mut batch);
+                for ev in batch.drain(..) {
+                    dispatched += 1;
+                    self.dispatch(ev, &mut fold)?;
                 }
             }
-            if let Some(every) = self.sample_every {
-                let due = match self.last_sample {
-                    None => true,
-                    Some(prev) => t.saturating_since(prev) >= every,
+            engine_stats.events += dispatched;
+            engine_stats.events_coalesced += dispatched - 1;
+            engine_stats.cycles += 1;
+            self.end_cycle(t, dispatched);
+        }
+        self.finish(engine_stats, wall)
+    }
+
+    /// Admit one streamed item at its own instant: validate and enrol a
+    /// job exactly like [`Engine::load`] then dispatch its arrival, or
+    /// dispatch an ECC directly.
+    fn admit(&mut self, item: SourceItem) -> Result<(), SimError> {
+        match item {
+            SourceItem::Job(spec) => {
+                self.state
+                    .machine
+                    .is_valid_request(spec.num)
+                    .map_err(|_| SimError::ImpossibleJob {
+                        id: spec.id,
+                        num: spec.num,
+                    })?;
+                // Recycle a completed job's slot when one is free — the
+                // slab's high-water mark is the peak live-job count.
+                let idx = match self.state.free_slots.pop() {
+                    Some(idx) => {
+                        self.state.records[idx] = JobRecord::new(spec);
+                        idx
+                    }
+                    None => {
+                        self.state.records.push(JobRecord::new(spec));
+                        self.state.records.len() - 1
+                    }
                 };
-                if due {
-                    self.last_sample = Some(t);
-                    self.samples.push(StateSample {
-                        at: t,
-                        free: self.state.machine.free(),
-                        waiting: self.scheduler.waiting_len(),
-                        running: self.state.running.len(),
-                    });
+                if self.state.id_map.insert(spec.id, idx).is_some() {
+                    return Err(SimError::DuplicateJobId(spec.id));
                 }
-            }
-            #[cfg(debug_assertions)]
-            {
-                self.state.running.check_invariants();
-                debug_assert_eq!(
-                    self.state.running.used(),
-                    self.state.machine.used(),
-                    "running set and machine disagree on allocation"
+                self.first_arrival = self.first_arrival.min(spec.submit);
+                self.last_arrival = self.last_arrival.max(spec.submit);
+                trace_event!(
+                    self.state.trace.as_deref_mut(),
+                    TraceEvent::Submit {
+                        job: spec.id.0,
+                        at: spec.submit.as_secs(),
+                        num: spec.num,
+                        dur: spec.dur.as_secs(),
+                        dedicated: spec.class.requested_start().is_some(),
+                    }
                 );
+                self.handle_arrival(spec.id)
+            }
+            SourceItem::Ecc(ecc) => self.handle_ecc(ecc),
+        }
+    }
+
+    /// Everything that happens once per distinct event timestamp after
+    /// dispatch: the scheduling cycle, cycle tracing, state sampling,
+    /// and debug invariants. Shared verbatim between the materialized
+    /// and streaming loops.
+    fn end_cycle(&mut self, t: SimTime, dispatched: u64) {
+        // Cycle span timing happens only when a sink is attached
+        // *and* its timing knob is on — the untraced hot path never
+        // reads the wall clock here.
+        let cycle_t0 = match &self.state.trace {
+            Some(tr) if tr.timing() => Some(std::time::Instant::now()),
+            _ => None,
+        };
+        self.scheduler.cycle(&mut self.state);
+        if self.state.trace.is_some() {
+            let nanos = cycle_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+            let queue_depth = self.state.queue.len() as u32;
+            let free = self.state.machine.free();
+            let tr = self.state.trace.as_deref_mut().expect("checked above");
+            if tr.timing() {
+                tr.cycle_hist.record(nanos);
+            }
+            if tr.cycle_due() {
+                tr.record(TraceEvent::Cycle {
+                    at: t.as_secs(),
+                    events: dispatched.min(u64::from(u32::MAX)) as u32,
+                    queue_depth,
+                    free,
+                    nanos,
+                });
             }
         }
+        if let Some(every) = self.sample_every {
+            let due = match self.last_sample {
+                None => true,
+                Some(prev) => t.saturating_since(prev) >= every,
+            };
+            if due {
+                self.last_sample = Some(t);
+                self.samples.push(StateSample {
+                    at: t,
+                    free: self.state.machine.free(),
+                    waiting: self.scheduler.waiting_len(),
+                    running: self.state.running.len(),
+                });
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            self.state.running.check_invariants();
+            debug_assert_eq!(
+                self.state.running.used(),
+                self.state.machine.used(),
+                "running set and machine disagree on allocation"
+            );
+        }
+    }
+
+    /// Post-loop epilogue shared by both run paths: starvation check,
+    /// queue counters, metrics flush, and the [`SimResult`] itself.
+    fn finish(
+        self,
+        mut engine_stats: EngineStats,
+        wall: std::time::Instant,
+    ) -> Result<SimResult, SimError> {
         if self.scheduler.waiting_len() > 0 {
             return Err(SimError::Starvation {
                 waiting: self.scheduler.waiting_len(),
@@ -542,6 +809,8 @@ impl<S: Scheduler> Engine<S> {
         }
         engine_stats.queue_ops = self.state.queue.ops();
         engine_stats.peak_queue_len = self.state.queue.peak_len() as u64;
+        engine_stats.peak_live_jobs = self.state.records.len() as u64;
+        engine_stats.peak_wait_views = self.state.peak_wait_views as u64;
         engine_stats.engine_nanos = wall.elapsed().as_nanos() as u64;
         let sched_stats = self.scheduler.stats();
         // Flush run totals into the live metrics registry, once per run
@@ -552,7 +821,7 @@ impl<S: Scheduler> Engine<S> {
         elastisched_trace::metric!(|reg| {
             use elastisched_trace::metrics::keys;
             reg.counter_add(keys::RUNS_TOTAL, 1);
-            reg.counter_add(keys::JOBS_TOTAL, self.state.outcomes.len() as u64);
+            reg.counter_add(keys::JOBS_TOTAL, self.completed);
             reg.counter_add(keys::ENGINE_EVENTS_TOTAL, engine_stats.events);
             reg.counter_add(keys::ENGINE_CYCLES_TOTAL, engine_stats.cycles);
             reg.counter_add(keys::EVENTS_COALESCED_TOTAL, engine_stats.events_coalesced);
@@ -599,10 +868,10 @@ impl<S: Scheduler> Engine<S> {
         })
     }
 
-    fn dispatch(&mut self, ev: Event) -> Result<(), SimError> {
+    fn dispatch(&mut self, ev: Event, fold: &mut OutcomeFold<'_>) -> Result<(), SimError> {
         match ev {
             Event::Arrival(id) => self.handle_arrival(id),
-            Event::Completion { job, epoch } => self.handle_completion(job, epoch),
+            Event::Completion { job, epoch } => self.handle_completion(job, epoch, fold),
             Event::Ecc(ecc) => self.handle_ecc(ecc),
             Event::Wakeup => Ok(()),
         }
@@ -610,12 +879,16 @@ impl<S: Scheduler> Engine<S> {
 
     fn handle_arrival(&mut self, id: JobId) -> Result<(), SimError> {
         let now = self.state.now;
-        let rec = self
+        let &idx = self
             .state
-            .record_mut(id)
+            .id_map
+            .get(&id)
             .expect("arrival for unknown job");
+        let wait_pos = self.state.wait_views.len() as u32;
+        let rec = &mut self.state.records[idx];
         debug_assert_eq!(rec.state, JobState::Future, "double arrival");
         rec.state = JobState::Waiting;
+        rec.wait_pos = wait_pos;
         let view = JobView {
             id,
             num: rec.alloc,
@@ -633,6 +906,8 @@ impl<S: Scheduler> Engine<S> {
         // Appending a genuinely-waiting view keeps the snapshot exact, so
         // no dirty flag: arrival bursts stay O(1) per job.
         self.state.wait_views.push(view);
+        self.state.wait_recs.push(idx as u32);
+        self.state.peak_wait_views = self.state.peak_wait_views.max(self.state.wait_views.len());
         trace_event!(
             self.state.trace.as_deref_mut(),
             TraceEvent::Queued {
@@ -644,7 +919,12 @@ impl<S: Scheduler> Engine<S> {
         Ok(())
     }
 
-    fn handle_completion(&mut self, id: JobId, epoch: u64) -> Result<(), SimError> {
+    fn handle_completion(
+        &mut self,
+        id: JobId,
+        epoch: u64,
+        fold: &mut OutcomeFold<'_>,
+    ) -> Result<(), SimError> {
         let now = self.state.now;
         let Some(&idx) = self.state.id_map.get(&id) else {
             return Ok(());
@@ -671,12 +951,29 @@ impl<S: Scheduler> Engine<S> {
             .release(alloc, now)
             .map_err(|e| SimError::Start(e.to_string()))?;
         self.state.running.remove(id);
-        self.push_outcome(idx, id, started, now, alloc);
+        self.push_outcome(idx, id, started, now, alloc, fold);
         self.scheduler.on_completion(id);
+        if self.state.reclaim {
+            // The job is fully accounted for; free its id and slot so a
+            // streaming run's footprint tracks live jobs only. Any
+            // not-yet-dispatched event naming this id (a stale
+            // completion, a late ECC) already falls through the
+            // unknown-id paths above and in `handle_ecc`.
+            self.state.id_map.remove(&id);
+            self.state.free_slots.push(idx);
+        }
         Ok(())
     }
 
-    fn push_outcome(&mut self, idx: usize, id: JobId, started: SimTime, finished: SimTime, num: u32) {
+    fn push_outcome(
+        &mut self,
+        idx: usize,
+        id: JobId,
+        started: SimTime,
+        finished: SimTime,
+        num: u32,
+        fold: &mut OutcomeFold<'_>,
+    ) {
         let rec = &self.state.records[idx];
         let spec = &rec.spec;
         let eligible = spec.eligible_at();
@@ -701,7 +998,11 @@ impl<S: Scheduler> Engine<S> {
             }
         );
         self.state.makespan = self.state.makespan.max(finished);
-        self.state.outcomes.push(outcome);
+        self.completed += 1;
+        match fold {
+            Some(f) => f(&outcome),
+            None => self.state.outcomes.push(outcome),
+        }
     }
 
     fn handle_ecc(&mut self, ecc: EccSpec) -> Result<(), SimError> {
@@ -768,6 +1069,7 @@ impl<S: Scheduler> Engine<S> {
                 }
                 rec.ecc_count += 1;
                 let (id, num, dur) = (ecc.job, rec.alloc, rec.est_dur);
+                let pos = rec.wait_pos as usize;
                 self.state.ecc_stats.applied_queued += 1;
                 trace_event!(
                     self.state.trace.as_deref_mut(),
@@ -781,15 +1083,16 @@ impl<S: Scheduler> Engine<S> {
                     }
                 );
                 if was_waiting {
-                    // Waiting views live at or after the cursor; edit the
-                    // one touched in place so the snapshot stays exact.
-                    let head = self.state.wait_head;
-                    if let Some(v) = self.state.wait_views[head..]
-                        .iter_mut()
-                        .find(|v| v.id == id)
-                    {
-                        v.num = num;
-                        v.dur = dur;
+                    // The record knows its view's position (maintained by
+                    // every compaction), so the in-place edit is O(1)
+                    // instead of a scan of the snapshot buffer — the scan
+                    // was quadratic over a long trace whose jobs mostly
+                    // wait.
+                    if let Some(v) = self.state.wait_views.get_mut(pos) {
+                        if v.id == id {
+                            v.num = num;
+                            v.dur = dur;
+                        }
                     }
                     self.scheduler.on_queued_ecc(id, num, dur);
                 }
@@ -1249,6 +1552,247 @@ mod tests {
         assert!(!tr.cycle_hist.is_empty());
     }
 
+    mod streaming {
+        use super::*;
+        use crate::source::{JobSource, SliceSource, SourceItem};
+
+        fn mixed_workload() -> (Vec<JobSpec>, Vec<EccSpec>) {
+            // Overlapping jobs, a dedicated job, and ECCs that land while
+            // their targets are queued, running, and completed — every
+            // admission path the streaming loop has to reproduce.
+            let mut j3 = JobSpec::batch(3, 40, 320, 200);
+            j3.actual = Duration::from_secs(120);
+            let jobs = vec![
+                JobSpec::batch(1, 0, 160, 100),
+                JobSpec::batch(2, 0, 160, 80),
+                j3,
+                JobSpec::dedicated(4, 50, 32, 30, 400),
+                JobSpec::batch(5, 50, 64, 60),
+                JobSpec::batch(6, 300, 320, 10),
+            ];
+            let eccs = vec![
+                EccSpec::extend_time(JobId(2), SimTime::from_secs(40), 20),
+                EccSpec::reduce_time(JobId(3), SimTime::from_secs(50), 30),
+                EccSpec::extend_time(JobId(5), SimTime::from_secs(60), 25),
+                EccSpec::extend_time(JobId(1), SimTime::from_secs(150), 10), // stale
+            ];
+            (jobs, eccs)
+        }
+
+        fn materialized(jobs: &[JobSpec], eccs: &[EccSpec]) -> SimResult {
+            simulate(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::time_only(),
+                jobs,
+                eccs,
+            )
+            .unwrap()
+        }
+
+        #[test]
+        fn streaming_reproduces_the_materialized_run() {
+            let (jobs, eccs) = mixed_workload();
+            let mat = materialized(&jobs, &eccs);
+            let engine = Engine::new(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::time_only(),
+            );
+            let st = engine
+                .run_streaming(SliceSource::new(&jobs, &eccs))
+                .unwrap();
+            assert_eq!(st.outcomes, mat.outcomes);
+            assert_eq!(st.makespan, mat.makespan);
+            assert_eq!(st.busy_area, mat.busy_area);
+            assert_eq!(st.ecc, mat.ecc);
+            assert_eq!(st.first_arrival, mat.first_arrival);
+            assert_eq!(st.last_arrival, mat.last_arrival);
+            assert_eq!(st.engine.events, mat.engine.events);
+            assert_eq!(st.engine.cycles, mat.engine.cycles);
+        }
+
+        #[test]
+        fn folded_run_yields_the_same_outcomes_without_retaining_them() {
+            let (jobs, eccs) = mixed_workload();
+            let mat = materialized(&jobs, &eccs);
+            let engine = Engine::new(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::time_only(),
+            );
+            let mut folded = Vec::new();
+            let st = engine
+                .run_streaming_folded(SliceSource::new(&jobs, &eccs), &mut |o| {
+                    folded.push(o.clone())
+                })
+                .unwrap();
+            assert!(st.outcomes.is_empty(), "folded run must not retain outcomes");
+            assert_eq!(folded, mat.outcomes);
+            assert_eq!(st.makespan, mat.makespan);
+            assert_eq!(st.busy_area, mat.busy_area);
+        }
+
+        #[test]
+        fn streaming_reclaims_job_state() {
+            // 1000 strictly sequential full-machine jobs: only one is
+            // ever live, so the record slab must stay tiny while the
+            // materialized path holds all 1000.
+            let jobs: Vec<JobSpec> = (0..1000)
+                .map(|i| JobSpec::batch(i + 1, i * 100, 320, 50))
+                .collect();
+            let mat = materialized(&jobs, &[]);
+            assert_eq!(mat.engine.peak_live_jobs, 1000);
+            let engine = Engine::new(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::disabled(),
+            );
+            let st = engine.run_streaming(SliceSource::new(&jobs, &[])).unwrap();
+            assert_eq!(st.outcomes, mat.outcomes);
+            assert!(
+                st.engine.peak_live_jobs <= 2,
+                "streaming slab grew to {} for sequential jobs",
+                st.engine.peak_live_jobs
+            );
+        }
+
+        #[test]
+        fn wait_view_buffer_stays_bounded_without_snapshot_borrows() {
+            // A policy that runs starts off its own queue — LIFO here, so
+            // almost every start is out of order — and never calls
+            // `waiting_jobs()`. The borrow-time compaction alone would
+            // then never fire and the snapshot buffer would hold one dead
+            // view per job for the whole run; the start-time pass must
+            // keep it proportional to the live backlog instead.
+            struct TestLifo {
+                queue: Vec<JobView>,
+            }
+            impl Scheduler for TestLifo {
+                fn on_arrival(&mut self, job: JobView) {
+                    self.queue.push(job);
+                }
+                fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+                    while let Some(last) = self.queue.last() {
+                        if last.num <= ctx.free() {
+                            ctx.start(last.id).expect("fit was checked");
+                            self.queue.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                fn waiting_len(&self) -> usize {
+                    self.queue.len()
+                }
+                fn name(&self) -> &'static str {
+                    "TestLifo"
+                }
+            }
+            // 1667 bursts of three full-machine jobs: the backlog never
+            // exceeds three, but a dead view accrues per start — enough
+            // of them to cross the start-time compaction floor several
+            // times over.
+            let jobs: Vec<JobSpec> = (0..5001)
+                .map(|i| JobSpec::batch(i + 1, (i / 3) * 6, 320, 2))
+                .collect();
+            let r = simulate(
+                Machine::bluegene_p(),
+                TestLifo { queue: Vec::new() },
+                EccPolicy::disabled(),
+                &jobs,
+                &[],
+            )
+            .unwrap();
+            assert_eq!(r.outcomes.len(), 5001);
+            // The pass fires once dead views pass the 1024 floor and
+            // outnumber live ones, so the buffer tops out near the floor
+            // — not near the 5001-view trace.
+            assert!(
+                r.engine.peak_wait_views < 2200,
+                "wait-view buffer grew to {} for a backlog of 3",
+                r.engine.peak_wait_views
+            );
+        }
+
+        #[test]
+        fn unordered_source_is_rejected() {
+            struct Backwards(u32);
+            impl JobSource for Backwards {
+                fn next_item(&mut self) -> Option<SourceItem> {
+                    self.0 += 1;
+                    match self.0 {
+                        1 => Some(SourceItem::Job(JobSpec::batch(1, 100, 32, 10))),
+                        2 => Some(SourceItem::Job(JobSpec::batch(2, 50, 32, 10))),
+                        _ => None,
+                    }
+                }
+            }
+            let engine = Engine::new(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::disabled(),
+            );
+            let err = engine.run_streaming(Backwards(0)).unwrap_err();
+            assert!(matches!(err, SimError::UnorderedSource { .. }), "{err}");
+        }
+
+        #[test]
+        fn duplicate_live_id_is_rejected_mid_stream() {
+            let jobs = vec![
+                JobSpec::batch(1, 0, 32, 1000),
+                JobSpec::batch(1, 10, 32, 10),
+            ];
+            let engine = Engine::new(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::disabled(),
+            );
+            let err = engine.run_streaming(SliceSource::new(&jobs, &[])).unwrap_err();
+            assert_eq!(err, SimError::DuplicateJobId(JobId(1)));
+        }
+
+        #[test]
+        fn reused_id_after_completion_is_admitted() {
+            // Part of the documented streaming contract: uniqueness is
+            // only enforced among live jobs, so an id recycled after its
+            // first holder completed is a fresh job.
+            let jobs = vec![JobSpec::batch(1, 0, 320, 10), JobSpec::batch(1, 100, 320, 10)];
+            let engine = Engine::new(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::disabled(),
+            );
+            let st = engine.run_streaming(SliceSource::new(&jobs, &[])).unwrap();
+            assert_eq!(st.outcomes.len(), 2);
+            assert_eq!(st.makespan, SimTime::from_secs(110));
+        }
+
+        #[test]
+        fn impossible_job_rejected_at_admission() {
+            let jobs = vec![JobSpec::batch(1, 0, 352, 100)];
+            let engine = Engine::new(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::disabled(),
+            );
+            let err = engine.run_streaming(SliceSource::new(&jobs, &[])).unwrap_err();
+            assert!(matches!(err, SimError::ImpossibleJob { .. }));
+        }
+
+        #[test]
+        fn empty_source_finishes_clean() {
+            let engine = Engine::new(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::disabled(),
+            );
+            let st = engine.run_streaming(SliceSource::new(&[], &[])).unwrap();
+            assert!(st.outcomes.is_empty());
+            assert_eq!(st.engine.events, 0);
+        }
+    }
+
     #[test]
     fn engine_stats_serde_round_trips() {
         let s = EngineStats {
@@ -1258,6 +1802,8 @@ mod tests {
             queue_ops: 4,
             peak_queue_len: 5,
             engine_nanos: 6,
+            peak_live_jobs: 7,
+            peak_wait_views: 7,
         };
         let text = serde_json::to_string(&s).unwrap();
         let back: EngineStats = serde_json::from_str(&text).unwrap();

@@ -127,6 +127,12 @@ impl EventQueue {
         Self::default()
     }
 
+    /// Pre-size the slot slab for `additional` more pending events, so
+    /// a bulk load costs one slab growth instead of one per doubling.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+    }
+
     #[inline]
     fn mask(&self) -> u64 {
         (self.buckets.len() - 1) as u64

@@ -149,6 +149,11 @@ pub struct JobRecord {
     /// Epoch counter used to invalidate stale completion events after an
     /// ECC reschedules the kill-by time.
     pub completion_epoch: u64,
+    /// Position of this job's entry in the engine's waiting-jobs snapshot
+    /// buffer, maintained by every snapshot compaction. Meaningful only
+    /// while `state` is [`JobState::Waiting`]; lets a queued ECC edit its
+    /// view in O(1) instead of scanning the buffer.
+    pub(crate) wait_pos: u32,
 }
 
 impl JobRecord {
@@ -165,6 +170,7 @@ impl JobRecord {
             alloc,
             ecc_count: 0,
             completion_epoch: 0,
+            wait_pos: u32::MAX,
         }
     }
 

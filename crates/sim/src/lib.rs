@@ -34,6 +34,7 @@ pub mod job;
 pub mod machine;
 pub mod running;
 pub mod sched_api;
+pub mod source;
 pub mod time;
 
 pub use contiguous::{ContigError, ContiguousMachine, Extent, ReplayEvent, ReplayStats};
@@ -46,6 +47,7 @@ pub use running::{RunningJob, RunningSet};
 pub use sched_api::{
     JobView, SchedContext, SchedStats, Scheduler, StartError, DP_NANOS_SAMPLE_EVERY,
 };
+pub use source::{JobSource, SliceSource, SourceItem};
 pub use time::{Duration, SimTime};
 
 // Tracing / telemetry re-exports, so downstream crates that only need

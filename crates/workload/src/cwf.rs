@@ -184,6 +184,49 @@ pub struct CwfFile {
     pub records: Vec<CwfRecord>,
 }
 
+/// Parse one non-comment CWF line (18 SWF fields or 21 CWF fields).
+/// Shared by [`CwfFile::parse`] and the streaming `CwfSource`.
+pub(crate) fn record_from_line(line: &str, lineno: usize) -> Result<CwfRecord, ParseError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    match tokens.len() {
+        18 => {
+            let fields = parse_int_fields(line, lineno)?;
+            let swf = record_from_fields(&fields, lineno)?;
+            Ok(CwfRecord {
+                swf,
+                requested_start: -1,
+                request_type: RequestType::Submit,
+                amount: -1,
+            })
+        }
+        21 => {
+            // Fields 1-19 and 21 are integers; field 20 is a code.
+            let head = tokens[..19].join(" ");
+            let ints = parse_int_fields(&head, lineno)?;
+            let swf = record_from_fields(&ints[..18], lineno)?;
+            let requested_start = ints[18];
+            let request_type = RequestType::from_code(tokens[19]).ok_or_else(|| ParseError {
+                line: lineno,
+                message: format!("unknown request type {:?}", tokens[19]),
+            })?;
+            let amount = tokens[20].parse::<i64>().map_err(|_| ParseError {
+                line: lineno,
+                message: format!("invalid amount {:?}", tokens[20]),
+            })?;
+            Ok(CwfRecord {
+                swf,
+                requested_start,
+                request_type,
+                amount,
+            })
+        }
+        n => Err(ParseError {
+            line: lineno,
+            message: format!("expected 18 (SWF) or 21 (CWF) fields, found {n}"),
+        }),
+    }
+}
+
 impl CwfFile {
     /// Parse CWF text. Plain 18-field SWF lines are accepted as batch
     /// submissions.
@@ -199,49 +242,19 @@ impl CwfFile {
                 out.comments.push(comment.trim().to_string());
                 continue;
             }
-            let tokens: Vec<&str> = line.split_whitespace().collect();
-            match tokens.len() {
-                18 => {
-                    let fields = parse_int_fields(line, lineno)?;
-                    let swf = record_from_fields(&fields, lineno)?;
-                    out.records.push(CwfRecord {
-                        swf,
-                        requested_start: -1,
-                        request_type: RequestType::Submit,
-                        amount: -1,
-                    });
-                }
-                21 => {
-                    // Fields 1-19 and 21 are integers; field 20 is a code.
-                    let head = tokens[..19].join(" ");
-                    let ints = parse_int_fields(&head, lineno)?;
-                    let swf = record_from_fields(&ints[..18], lineno)?;
-                    let requested_start = ints[18];
-                    let request_type =
-                        RequestType::from_code(tokens[19]).ok_or_else(|| ParseError {
-                            line: lineno,
-                            message: format!("unknown request type {:?}", tokens[19]),
-                        })?;
-                    let amount = tokens[20].parse::<i64>().map_err(|_| ParseError {
-                        line: lineno,
-                        message: format!("invalid amount {:?}", tokens[20]),
-                    })?;
-                    out.records.push(CwfRecord {
-                        swf,
-                        requested_start,
-                        request_type,
-                        amount,
-                    });
-                }
-                n => {
-                    return Err(ParseError {
-                        line: lineno,
-                        message: format!("expected 18 (SWF) or 21 (CWF) fields, found {n}"),
-                    });
-                }
-            }
+            out.records.push(record_from_line(line, lineno)?);
         }
         Ok(out)
+    }
+
+    /// Stable-sort the rows into streaming order: by event time (submit
+    /// for submissions, issue time for ECCs), submissions before ECCs at
+    /// one instant. [`CwfFile::from_workload`] lays the file out as all
+    /// submissions followed by all ECCs; a file must be time-sorted
+    /// before it can feed the engine through the streaming `CwfSource`
+    /// (the engine rejects a time running backwards).
+    pub fn sort_by_time(&mut self) {
+        self.records.sort_by_key(|r| (r.swf.submit, !r.is_submit()));
     }
 
     /// Serialize to CWF text.

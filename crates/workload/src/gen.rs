@@ -127,27 +127,66 @@ impl GeneratorConfig {
     }
 }
 
-/// Generate a workload from a configuration. Deterministic in the seed.
-pub fn generate(config: &GeneratorConfig) -> Workload {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let runtime_model = RuntimeModel::new(config.runtime);
-    let mut arrival_model = ArrivalModel::new(config.arrival);
-    let advance = Exponential::new(config.dedicated_advance_mean.max(1.0));
-    let ecc_amount = Exponential::new(config.ecc_amount_mean.max(1.0));
+/// One job drawn from the generator models, along with the ECCs injected
+/// for it (ET drawn before RT, matching the materialized push order).
+pub(crate) struct DrawnJob {
+    pub spec: JobSpec,
+    pub extend: Option<EccSpec>,
+    pub reduce: Option<EccSpec>,
+}
 
-    let mut jobs = Vec::with_capacity(config.n_jobs);
-    let mut eccs = Vec::new();
+/// The generator's entire random state: models plus the one RNG that
+/// feeds them, advanced in a fixed per-job draw order. Both [`generate`]
+/// and the streaming `LublinSource` pull jobs from here, so the two
+/// paths cannot drift — same seed, same draw sequence, same workload.
+pub(crate) struct JobStream {
+    rng: StdRng,
+    size_model: SizeModel,
+    runtime_model: RuntimeModel,
+    arrival_model: ArrivalModel,
+    advance: Exponential,
+    ecc_amount: Exponential,
+    machine_procs: u32,
+    p_dedicated: f64,
+    p_extend: f64,
+    p_reduce: f64,
+    overestimate_factor: f64,
+    next_id: u64,
+}
 
-    for i in 0..config.n_jobs {
-        let id = JobId(i as u64 + 1);
-        let submit = SimTime::from_secs(arrival_model.next_arrival(&mut rng));
-        let num = config.size_model.sample(&mut rng).min(config.machine_procs);
-        let actual_secs = runtime_model.sample_runtime(num, &mut rng);
-        let est_secs = ((actual_secs as f64) * config.overestimate_factor.max(1.0)).ceil() as u64;
+impl JobStream {
+    pub(crate) fn new(config: &GeneratorConfig) -> Self {
+        JobStream {
+            rng: StdRng::seed_from_u64(config.seed),
+            size_model: config.size_model,
+            runtime_model: RuntimeModel::new(config.runtime),
+            arrival_model: ArrivalModel::new(config.arrival),
+            advance: Exponential::new(config.dedicated_advance_mean.max(1.0)),
+            ecc_amount: Exponential::new(config.ecc_amount_mean.max(1.0)),
+            machine_procs: config.machine_procs,
+            p_dedicated: config.p_dedicated,
+            p_extend: config.p_extend,
+            p_reduce: config.p_reduce,
+            overestimate_factor: config.overestimate_factor,
+            next_id: 1,
+        }
+    }
 
-        let class = if rng.gen::<f64>() < config.p_dedicated {
+    /// Draw the next job. The draw order per job is load-bearing (submit,
+    /// size, runtime, dedicated roll, ET roll, RT roll): changing it
+    /// changes every seeded workload.
+    pub(crate) fn draw(&mut self) -> DrawnJob {
+        let rng = &mut self.rng;
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let submit = SimTime::from_secs(self.arrival_model.next_arrival(rng));
+        let num = self.size_model.sample(rng).min(self.machine_procs);
+        let actual_secs = self.runtime_model.sample_runtime(num, rng);
+        let est_secs = ((actual_secs as f64) * self.overestimate_factor.max(1.0)).ceil() as u64;
+
+        let class = if rng.gen::<f64>() < self.p_dedicated {
             // Invariant from the paper's notation box: start ≥ t + 1.
-            let offset = advance.sample(&mut rng).max(1.0).round() as u64;
+            let offset = self.advance.sample(rng).max(1.0).round() as u64;
             JobClass::Dedicated {
                 requested_start: submit + Duration::from_secs(offset),
             }
@@ -155,30 +194,52 @@ pub fn generate(config: &GeneratorConfig) -> Workload {
             JobClass::Batch
         };
 
-        jobs.push(JobSpec {
+        let spec = JobSpec {
             id,
             submit,
             num,
             dur: Duration::from_secs(est_secs),
             actual: Duration::from_secs(actual_secs),
             class,
-        });
+        };
 
         // ECC injection: issue somewhere in the job's nominal lifetime
         // (it may land while the job queues or while it runs; both are
         // legal per §III-C).
-        if rng.gen::<f64>() < config.p_extend {
-            let frac: f64 = rng.gen_range(0.1..0.9);
-            let issue = submit + Duration::from_secs((est_secs as f64 * frac) as u64);
-            let amount = ecc_amount.sample(&mut rng).max(1.0).round() as u64;
-            eccs.push(EccSpec::extend_time(id, issue, amount));
+        let roll_ecc = |p: f64, rng: &mut StdRng, amount_dist: &Exponential| {
+            if rng.gen::<f64>() < p {
+                let frac: f64 = rng.gen_range(0.1..0.9);
+                let issue = submit + Duration::from_secs((est_secs as f64 * frac) as u64);
+                let amount = amount_dist.sample(rng).max(1.0).round() as u64;
+                Some((issue, amount))
+            } else {
+                None
+            }
+        };
+        let extend = roll_ecc(self.p_extend, rng, &self.ecc_amount)
+            .map(|(issue, amount)| EccSpec::extend_time(id, issue, amount));
+        let reduce = roll_ecc(self.p_reduce, rng, &self.ecc_amount)
+            .map(|(issue, amount)| EccSpec::reduce_time(id, issue, amount));
+
+        DrawnJob {
+            spec,
+            extend,
+            reduce,
         }
-        if rng.gen::<f64>() < config.p_reduce {
-            let frac: f64 = rng.gen_range(0.1..0.9);
-            let issue = submit + Duration::from_secs((est_secs as f64 * frac) as u64);
-            let amount = ecc_amount.sample(&mut rng).max(1.0).round() as u64;
-            eccs.push(EccSpec::reduce_time(id, issue, amount));
-        }
+    }
+}
+
+/// Generate a workload from a configuration. Deterministic in the seed.
+pub fn generate(config: &GeneratorConfig) -> Workload {
+    let mut stream = JobStream::new(config);
+    let mut jobs = Vec::with_capacity(config.n_jobs);
+    let mut eccs = Vec::new();
+
+    for _ in 0..config.n_jobs {
+        let drawn = stream.draw();
+        jobs.push(drawn.spec);
+        eccs.extend(drawn.extend);
+        eccs.extend(drawn.reduce);
     }
 
     eccs.sort_by_key(|e| (e.issue_at, e.job));

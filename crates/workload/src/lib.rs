@@ -12,7 +12,10 @@
 //!   Workload Format extension with Elastic Control Commands ([`cwf`]);
 //! * the CWF workload generator ([`gen`]) with the paper's §IV-D knobs:
 //!   `P_S`, `P_D`, `P_E`, `P_R`, `β_arr`;
-//! * offered-load computation and load rescaling ([`load`], [`set`]).
+//! * offered-load computation and load rescaling ([`load`], [`set`]);
+//! * streaming job sources ([`source`]): lazy SWF/CWF readers, the
+//!   generator as an unbounded stream, and the arrival-scaling adapter,
+//!   all feeding `Engine::run_streaming` in bounded memory.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +28,7 @@ pub mod load;
 pub mod lublin;
 pub mod set;
 pub mod sizes;
+pub mod source;
 pub mod swf;
 
 pub use charac::{characterization_to_text, characterize, Characterization, Histogram};
@@ -33,4 +37,5 @@ pub use gen::{generate, GeneratorConfig};
 pub use lublin::{ArrivalModel, ArrivalParams, RuntimeModel, RuntimeParams};
 pub use set::Workload;
 pub use sizes::SizeModel;
+pub use source::{CwfSource, LublinSource, ScaleArrivals, SwfSource, TakeJobs};
 pub use swf::{ParseError, SwfFile, SwfHeader, SwfRecord};

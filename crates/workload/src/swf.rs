@@ -224,14 +224,27 @@ pub struct SwfFile {
 }
 
 pub(crate) fn parse_int_fields(line: &str, lineno: usize) -> Result<Vec<i64>, ParseError> {
-    line.split_whitespace()
-        .map(|tok| {
-            i64::from_str(tok).map_err(|_| ParseError {
-                line: lineno,
-                message: format!("invalid integer field {tok:?}"),
-            })
-        })
-        .collect()
+    let mut fields = Vec::new();
+    parse_int_fields_into(line, lineno, &mut fields)?;
+    Ok(fields)
+}
+
+/// Like [`parse_int_fields`], but reusing the caller's buffer — the
+/// streaming reader parses millions of lines and must not allocate one
+/// `Vec` per line.
+pub(crate) fn parse_int_fields_into(
+    line: &str,
+    lineno: usize,
+    out: &mut Vec<i64>,
+) -> Result<(), ParseError> {
+    out.clear();
+    for tok in line.split_whitespace() {
+        out.push(i64::from_str(tok).map_err(|_| ParseError {
+            line: lineno,
+            message: format!("invalid integer field {tok:?}"),
+        })?);
+    }
+    Ok(())
 }
 
 pub(crate) fn record_from_fields(f: &[i64], lineno: usize) -> Result<SwfRecord, ParseError> {

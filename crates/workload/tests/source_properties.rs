@@ -1,0 +1,131 @@
+//! Property-based tests of the streaming source adapters.
+//!
+//! The arrival-scaling adapter is the §III load knob for streamed
+//! traces; these properties pin what makes it safe to compose with the
+//! engine: relative order is preserved (the engine rejects a clock
+//! running backwards), every timestamp follows the same documented
+//! rounding as `Workload::scale_arrivals`, and inter-arrival gaps scale
+//! by the factor up to rounding slop.
+
+use elastisched_sim::{EccSpec, JobId, JobSource, JobSpec, SimTime, SliceSource, SourceItem};
+use elastisched_workload::{ScaleArrivals, TakeJobs};
+use proptest::prelude::*;
+
+fn arb_times() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1_000_000, 1..50).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+fn drain(mut src: impl JobSource) -> Vec<SourceItem> {
+    std::iter::from_fn(move || src.next_item()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Scaling preserves the job sequence (ids, sizes, durations), maps
+    /// every submit through the documented rounding, keeps the stream
+    /// time-ordered, and scales inter-arrival gaps by the factor within
+    /// the ±1 s two-sided rounding slop.
+    #[test]
+    fn scaling_preserves_order_and_scales_gaps(
+        times in arb_times(),
+        factor in 0.05f64..20.0,
+    ) {
+        let jobs: Vec<JobSpec> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| JobSpec::batch(i as u64 + 1, t, 32, 10))
+            .collect();
+        let out: Vec<JobSpec> =
+            drain(ScaleArrivals::new(SliceSource::new(&jobs, &[]), factor))
+                .into_iter()
+                .map(|item| match item {
+                    SourceItem::Job(j) => j,
+                    SourceItem::Ecc(_) => unreachable!("no ECCs fed in"),
+                })
+                .collect();
+        prop_assert_eq!(out.len(), jobs.len());
+        for (o, j) in out.iter().zip(&jobs) {
+            // Everything but the clock is untouched.
+            prop_assert_eq!(o.id, j.id);
+            prop_assert_eq!(o.num, j.num);
+            prop_assert_eq!(o.dur, j.dur);
+            prop_assert_eq!(o.actual, j.actual);
+            // The clock follows Workload::scale_arrivals' rounding.
+            prop_assert_eq!(
+                o.submit.as_secs(),
+                (j.submit.as_secs() as f64 * factor).round() as u64
+            );
+        }
+        for pair in out.windows(2) {
+            prop_assert!(pair[0].submit <= pair[1].submit, "order broken");
+        }
+        for (po, pj) in out.windows(2).zip(jobs.windows(2)) {
+            let got = (po[1].submit.as_secs() - po[0].submit.as_secs()) as f64;
+            let want = (pj[1].submit.as_secs() - pj[0].submit.as_secs()) as f64 * factor;
+            prop_assert!(
+                (got - want).abs() <= 1.0,
+                "gap {} scaled to {}, expected {} ± 1",
+                pj[1].submit.as_secs() - pj[0].submit.as_secs(),
+                got,
+                want
+            );
+        }
+    }
+
+    /// ECC issue times and dedicated requested-start offsets go through
+    /// the same mapping as submissions.
+    #[test]
+    fn scaling_covers_eccs_and_dedicated_starts(
+        times in arb_times(),
+        factor in 0.05f64..20.0,
+    ) {
+        let jobs: Vec<JobSpec> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| JobSpec::dedicated(i as u64 + 1, t, 32, 10, t + 100))
+            .collect();
+        let eccs: Vec<EccSpec> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| EccSpec::extend_time(JobId(i as u64 + 1), SimTime::from_secs(t), 60))
+            .collect();
+        let round = |t: u64| (t as f64 * factor).round() as u64;
+        for item in drain(ScaleArrivals::new(SliceSource::new(&jobs, &eccs), factor)) {
+            match item {
+                SourceItem::Job(j) => {
+                    let orig = &jobs[(j.id.0 - 1) as usize];
+                    prop_assert_eq!(j.submit.as_secs(), round(orig.submit.as_secs()));
+                    prop_assert_eq!(
+                        j.class.requested_start().map(|t| t.as_secs()),
+                        orig.class.requested_start().map(|t| round(t.as_secs()))
+                    );
+                }
+                SourceItem::Ecc(e) => {
+                    let orig = &eccs[(e.job.0 - 1) as usize];
+                    prop_assert_eq!(e.issue_at.as_secs(), round(orig.issue_at.as_secs()));
+                    prop_assert_eq!(e.amount, orig.amount);
+                }
+            }
+        }
+    }
+
+    /// TakeJobs yields exactly `min(cap, available)` jobs and never
+    /// reorders what it passes through.
+    #[test]
+    fn take_jobs_caps_without_reordering(times in arb_times(), cap in 0usize..60) {
+        let jobs: Vec<JobSpec> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| JobSpec::batch(i as u64 + 1, t, 32, 10))
+            .collect();
+        let out = drain(TakeJobs::new(SliceSource::new(&jobs, &[]), cap));
+        prop_assert_eq!(out.len(), cap.min(jobs.len()));
+        for (o, j) in out.iter().zip(&jobs) {
+            prop_assert_eq!(*o, SourceItem::Job(*j));
+        }
+    }
+}

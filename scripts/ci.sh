@@ -54,14 +54,23 @@ cargo test --offline --locked --quiet -p elastisched-sched --test dp_properties
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 
+echo "== soak smoke (50k-job streamed Lublin replay, bounded RSS) =="
+# A bounded end-to-end pass through the streaming pipeline: source ->
+# lazy admission -> reclaim -> folded metrics. Fails if throughput
+# collapses or the run's peak-RSS growth exceeds a fixed budget, so a
+# wait-view/slab leak shows up here long before the full soak would.
+./target/release/repro soak --smoke
+
 if [ "$run_bench_check" = 1 ]; then
-    # Both checks normalize by the snapshot's calibration score, so a
+    # All checks normalize by the snapshot's calibration score, so a
     # slow shared host is separated from a genuine code regression. The
     # engine check also prints a per-case ev/s delta table.
     echo "== bench-engine regression check (2% budget, calibration-normalized) =="
     ./target/release/repro bench-engine --check
     echo "== bench-dp kernel regression check (25% budget, calibration-normalized) =="
     ./target/release/repro bench-dp --check
+    echo "== soak regression check (10% budget, calibration-normalized) =="
+    ./target/release/repro soak --check
 else
     echo "== bench perf regression checks skipped (--no-bench) =="
 fi
