@@ -48,6 +48,7 @@ fn bench_lookahead_cost(c: &mut Criterion) {
                         lookahead: look,
                     },
                     machine: MachineSpec::BLUEGENE_P,
+                    timeline: None,
                 };
                 exp.run(black_box(w)).unwrap()
             })

@@ -20,7 +20,7 @@
 use crate::dpbench::MachineInfo;
 use elastisched_metrics::{RunAccumulator, RunMetrics};
 use elastisched_sched::{Algorithm, SchedParams};
-use elastisched_sim::{Engine, JobSource, Machine, SimResult};
+use elastisched_sim::{Engine, JobSource, Machine, SimResult, TimelineConfig};
 use elastisched_workload::{generate, GeneratorConfig, LublinSource, ScaleArrivals, TakeJobs};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -52,6 +52,11 @@ pub struct SoakRun {
     pub peak_rss_growth_kb: u64,
     /// Where the wall time went (DP solves / engine loop / metrics).
     pub phases: String,
+    /// Points in the run's telemetry timeline — the sampler is on for
+    /// every soak (that is its production posture), and decimation must
+    /// hold this at or under [`elastisched_sim::DEFAULT_TIMELINE_BUDGET`]
+    /// no matter the trace length.
+    pub timeline_samples: u64,
 }
 
 /// Materialized vs streamed events/s on the 500-job headline workload.
@@ -136,6 +141,7 @@ fn soak_run(jobs: usize, factor: f64) -> SoakRun {
         peak_rss_kb: peak,
         peak_rss_growth_kb: peak.saturating_sub(hwm_before),
         phases: metrics.phase_profile.to_line(),
+        timeline_samples: metrics.timeline.samples.len() as u64,
     }
 }
 
@@ -144,7 +150,11 @@ fn soak_run(jobs: usize, factor: f64) -> SoakRun {
 /// the wall-clock seconds of the whole pull-admit-reclaim-fold loop.
 fn stream_once(source: impl JobSource) -> (RunMetrics, SimResult, f64) {
     let scheduler = SOAK_ALGO.build(SchedParams::default());
-    let engine = Engine::new(Machine::new(TOTAL, UNIT), scheduler, SOAK_ALGO.ecc_policy());
+    let mut engine = Engine::new(Machine::new(TOTAL, UNIT), scheduler, SOAK_ALGO.ecc_policy());
+    // Soaks run with the sampler on: it is the observability plane's
+    // production posture, and a week of virtual time must still land in
+    // the default point budget.
+    engine.enable_timeline(TimelineConfig::default());
     let mut acc = RunAccumulator::bounded();
     let t0 = Instant::now();
     let result = engine
@@ -228,16 +238,28 @@ pub fn run() -> SoakReport {
 pub fn smoke(jobs: usize, rss_budget_kb: u64) -> Result<String, String> {
     let factor = fit_scale_factor();
     let run = soak_run(jobs, factor);
+    let tl_budget = elastisched_sim::DEFAULT_TIMELINE_BUDGET as u64;
     let line = format!(
         "soak smoke: {} jobs, {:.0} ev/s, peak live {} jobs, peak-RSS growth {} KiB \
-         (budget {} KiB)",
-        run.jobs, run.events_per_sec, run.peak_live_jobs, run.peak_rss_growth_kb, rss_budget_kb
+         (budget {} KiB), timeline {} samples (budget {})",
+        run.jobs,
+        run.events_per_sec,
+        run.peak_live_jobs,
+        run.peak_rss_growth_kb,
+        rss_budget_kb,
+        run.timeline_samples,
+        tl_budget,
     );
     if run.peak_rss_growth_kb > rss_budget_kb {
-        Err(format!("soak smoke blew the memory budget: {line}"))
-    } else {
-        Ok(line)
+        return Err(format!("soak smoke blew the memory budget: {line}"));
     }
+    if run.timeline_samples == 0 {
+        return Err(format!("soak smoke ran without a populated timeline: {line}"));
+    }
+    if run.timeline_samples > tl_budget {
+        return Err(format!("sampler decimation failed to hold its budget: {line}"));
+    }
+    Ok(line)
 }
 
 /// The fields of a committed `BENCH_soak.json` that `check` compares
@@ -334,6 +356,12 @@ mod tests {
             run.peak_live_jobs < 2_000,
             "streamed replay retained {} live jobs of 2000",
             run.peak_live_jobs
+        );
+        assert!(
+            run.timeline_samples > 0
+                && run.timeline_samples <= elastisched_sim::DEFAULT_TIMELINE_BUDGET as u64,
+            "soak timeline must be populated and budget-bounded, got {}",
+            run.timeline_samples
         );
     }
 

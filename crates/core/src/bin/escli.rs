@@ -7,8 +7,12 @@
 //!   paper's metrics;
 //! * `compare` — run several algorithms over the same trace;
 //! * `gantt` — render a schedule as a text Gantt chart + sparkline;
+//! * `timeline` — simulate with the virtual-time telemetry sampler on
+//!   and render the run's load shape as sparkline tracks, with optional
+//!   JSONL / CSV export;
 //! * `explain` — replay one job's trace: lifecycle plus every scheduler
-//!   decision that touched it, with optional JSONL / Chrome-trace export;
+//!   decision that touched it, with optional JSONL / Chrome-trace
+//!   export — or `--postmortem <file>` to replay a flight-recorder dump;
 //! * `tune` — empirically tune the maximum skip count `C_s` (§V-A);
 //! * `info` — trace statistics and workload characterization;
 //! * `top` — one-shot live view of another invocation's `--serve-metrics`
@@ -35,8 +39,11 @@ USAGE:
   escli compare --trace <file.cwf> [--algos a,b,c] [--cs N] [--machine M:unit]
   escli gantt --trace <file.cwf> --algo <name> [--cs N] [--machine M:unit]
               [--width W] [--rows R]
+  escli timeline --trace <file.cwf> --algo <name> [--cs N] [--machine M:unit]
+                 [--stride SECS] [--budget N] [--jsonl <out.jsonl>] [--csv <out.csv>]
   escli explain --trace <file.cwf> --algo <name> --job <id> [--cs N]
                 [--machine M:unit] [--jsonl <out.jsonl>] [--chrome <out.json>]
+  escli explain --postmortem <dump.jsonl>
   escli tune --ps P [--load L] [--jobs N] [--reps R] [--cs 1,3,7,...]
   escli info --trace <file.cwf>
   escli top --addr <host:port>
@@ -185,6 +192,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             algorithm: algo,
             params,
             machine,
+            timeline: None,
         }
         .run(&w),
         Err(algo_err) => {
@@ -195,6 +203,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 spec,
                 params,
                 machine,
+                timeline: None,
             }
             .run(&w)
         }
@@ -234,6 +243,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             algorithm: algo,
             params: SchedParams::with_cs(cs),
             machine,
+            timeline: None,
         };
         exp.run(&w).map_err(|e| e.to_string())
     });
@@ -259,6 +269,7 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
         algorithm: algo,
         params: SchedParams::with_cs(cs),
         machine,
+        timeline: None,
     };
     let r = exp.run_raw(&w).map_err(|e| e.to_string())?;
     println!("{}", elastisched_metrics::gantt(&r.outcomes, width, rows));
@@ -276,7 +287,70 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_timeline(args: &Args) -> Result<(), String> {
+    let trace = args.get("trace").ok_or("--trace is required")?;
+    let name = args.get("algo").ok_or("--algo is required")?;
+    let cs: u32 = args.get_parsed("cs", 7)?;
+    let stride: u64 = args.get_parsed("stride", 1)?;
+    let budget: u32 = args.get_parsed("budget", elastisched_sim::DEFAULT_TIMELINE_BUDGET)?;
+    if stride == 0 {
+        return Err("--stride must be at least 1 second".to_string());
+    }
+    let machine = parse_machine(args)?;
+    let w = load_trace(trace)?;
+    let cfg = elastisched_sim::TimelineConfig {
+        stride: Duration::from_secs(stride),
+        budget,
+    };
+    let params = SchedParams::with_cs(cs);
+    let r = match name.parse::<Algorithm>() {
+        Ok(algo) => Experiment {
+            algorithm: algo,
+            params,
+            machine,
+            timeline: Some(cfg),
+        }
+        .run_raw(&w),
+        Err(algo_err) => {
+            let spec: StackSpec = name
+                .parse()
+                .map_err(|spec_err| format!("{algo_err}; {spec_err}"))?;
+            StackExperiment {
+                spec,
+                params,
+                machine,
+                timeline: Some(cfg),
+            }
+            .run_raw(&w)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    print!("{}", elastisched::render_timeline(&r.timeline));
+    if let Some(path) = args.get("jsonl") {
+        std::fs::write(path, r.timeline.to_jsonl())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote JSONL timeline ({} samples) to {path}",
+            r.timeline.samples.len()
+        );
+    }
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, r.timeline.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote CSV timeline ({} samples) to {path}",
+            r.timeline.samples.len()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_explain(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("postmortem") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        print!("{}", elastisched::explain_postmortem(&text)?);
+        return Ok(());
+    }
     let trace = args.get("trace").ok_or("--trace is required")?;
     let algo: Algorithm = args
         .get("algo")
@@ -295,6 +369,7 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
         algorithm: algo,
         params: SchedParams::with_cs(cs),
         machine,
+        timeline: None,
     };
     let r = exp
         .run_traced(&w, elastisched_trace::TraceSink::new())
@@ -445,6 +520,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "tune" => cmd_tune(&args),
         "gantt" => cmd_gantt(&args),
+        "timeline" => cmd_timeline(&args),
         "explain" => cmd_explain(&args),
         "top" => cmd_top(&args),
         "algorithms" => {

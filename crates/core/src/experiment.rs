@@ -2,7 +2,9 @@
 
 use elastisched_metrics::{RunAccumulator, RunMetrics};
 use elastisched_sched::{Algorithm, SchedParams, StackSpec};
-use elastisched_sim::{Engine, JobSource, Machine, SimError, SimResult, TraceSink};
+use elastisched_sim::{
+    Engine, JobSource, Machine, SimError, SimResult, TimelineConfig, TraceSink,
+};
 use elastisched_workload::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +46,9 @@ pub struct Experiment {
     pub params: SchedParams,
     /// Machine dimensions.
     pub machine: MachineSpec,
+    /// When set, every run records a budget-bounded virtual-time
+    /// telemetry timeline (`RunMetrics::timeline`).
+    pub timeline: Option<TimelineConfig>,
 }
 
 impl Experiment {
@@ -53,6 +58,7 @@ impl Experiment {
             algorithm,
             params: SchedParams::default(),
             machine: MachineSpec::BLUEGENE_P,
+            timeline: None,
         }
     }
 
@@ -68,12 +74,26 @@ impl Experiment {
         self
     }
 
+    /// Enable the virtual-time telemetry sampler for every run.
+    pub fn with_timeline(mut self, cfg: TimelineConfig) -> Self {
+        self.timeline = Some(cfg);
+        self
+    }
+
+    fn build_engine(&self) -> Engine<Box<dyn elastisched_sim::Scheduler + Send>> {
+        let scheduler = self.algorithm.build(self.params);
+        let mut engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
+        if let Some(cfg) = self.timeline {
+            engine.enable_timeline(cfg);
+        }
+        engine
+    }
+
     /// Run against a workload, returning the raw simulation result.
     /// The ECC policy is chosen by the algorithm (`-E` variants process
     /// ECCs; others drop them).
     pub fn run_raw(&self, workload: &Workload) -> Result<SimResult, SimError> {
-        let scheduler = self.algorithm.build(self.params);
-        let mut engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
+        let mut engine = self.build_engine();
         engine.load(&workload.jobs, &workload.eccs)?;
         engine.run()
     }
@@ -83,8 +103,7 @@ impl Experiment {
     /// `SimResult::trace`; export or query it with the `elastisched-trace`
     /// helpers.
     pub fn run_traced(&self, workload: &Workload, sink: TraceSink) -> Result<SimResult, SimError> {
-        let scheduler = self.algorithm.build(self.params);
-        let mut engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
+        let mut engine = self.build_engine();
         engine.enable_tracing(sink);
         engine.load(&workload.jobs, &workload.eccs)?;
         engine.run()
@@ -109,9 +128,7 @@ impl Experiment {
     /// live jobs; the outcome vector still grows with the trace — use
     /// [`Experiment::run_streamed`] to bound that too.
     pub fn run_streamed_raw(&self, source: impl JobSource) -> Result<SimResult, SimError> {
-        let scheduler = self.algorithm.build(self.params);
-        let engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
-        engine.run_streaming(source)
+        self.build_engine().run_streaming(source)
     }
 
     /// Run over a streaming [`JobSource`] end to end in memory bounded
@@ -125,8 +142,7 @@ impl Experiment {
         source: impl JobSource,
         mut acc: RunAccumulator,
     ) -> Result<RunMetrics, SimError> {
-        let scheduler = self.algorithm.build(self.params);
-        let engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
+        let engine = self.build_engine();
         let result = engine.run_streaming_folded(source, &mut |o| acc.record(o))?;
         let metrics = acc.finish(&result);
         crate::telemetry::record_run(&metrics);
@@ -152,6 +168,9 @@ pub struct StackExperiment {
     pub params: SchedParams,
     /// Machine dimensions.
     pub machine: MachineSpec,
+    /// When set, every run records a budget-bounded virtual-time
+    /// telemetry timeline (`RunMetrics::timeline`).
+    pub timeline: Option<TimelineConfig>,
 }
 
 impl StackExperiment {
@@ -161,6 +180,7 @@ impl StackExperiment {
             spec,
             params: SchedParams::default(),
             machine: MachineSpec::BLUEGENE_P,
+            timeline: None,
         }
     }
 
@@ -176,11 +196,25 @@ impl StackExperiment {
         self
     }
 
+    /// Enable the virtual-time telemetry sampler for every run.
+    pub fn with_timeline(mut self, cfg: TimelineConfig) -> Self {
+        self.timeline = Some(cfg);
+        self
+    }
+
+    fn build_engine(&self) -> Engine<Box<dyn elastisched_sim::Scheduler + Send>> {
+        let scheduler = self.spec.build(self.params);
+        let mut engine = Engine::new(self.machine.build(), scheduler, self.spec.ecc_policy());
+        if let Some(cfg) = self.timeline {
+            engine.enable_timeline(cfg);
+        }
+        engine
+    }
+
     /// Run against a workload, returning the raw simulation result. The
     /// ECC policy is chosen by the spec's `+e` flag.
     pub fn run_raw(&self, workload: &Workload) -> Result<SimResult, SimError> {
-        let scheduler = self.spec.build(self.params);
-        let mut engine = Engine::new(self.machine.build(), scheduler, self.spec.ecc_policy());
+        let mut engine = self.build_engine();
         engine.load(&workload.jobs, &workload.eccs)?;
         engine.run()
     }
@@ -202,8 +236,7 @@ impl StackExperiment {
         source: impl JobSource,
         mut acc: RunAccumulator,
     ) -> Result<RunMetrics, SimError> {
-        let scheduler = self.spec.build(self.params);
-        let engine = Engine::new(self.machine.build(), scheduler, self.spec.ecc_policy());
+        let engine = self.build_engine();
         let result = engine.run_streaming_folded(source, &mut |o| acc.record(o))?;
         let metrics = acc.finish(&result);
         crate::telemetry::record_run(&metrics);

@@ -26,8 +26,10 @@ fn kernel_name(kernel: DpKernel) -> &'static str {
     }
 }
 
-/// One line of the reconstructed timeline.
-fn describe(ev: &TraceEvent, job: u64) -> Option<String> {
+/// One line of the reconstructed timeline. With a focus `job`, DP
+/// selections say whether they chose that job; without one (the
+/// postmortem replay) they just report the chosen set.
+fn describe(ev: &TraceEvent, job: Option<u64>) -> Option<String> {
     let line = match ev {
         TraceEvent::Submit {
             num,
@@ -67,13 +69,13 @@ fn describe(ev: &TraceEvent, job: u64) -> Option<String> {
             cache_hit,
             ..
         } => {
-            let verdict = if chosen.contains(&job) {
-                "selected this job"
-            } else {
-                "passed over this job"
+            let verdict = match job {
+                Some(j) if chosen.contains(&j) => "selected this job ",
+                Some(_) => "passed over this job ",
+                None => "",
             };
             format!(
-                "{} over {candidates} candidates {verdict} (chose {:?}{})",
+                "{} over {candidates} candidates {verdict}(chose {:?}{})",
                 kernel_name(*kernel),
                 chosen,
                 if *cache_hit { ", cached" } else { "" }
@@ -84,6 +86,72 @@ fn describe(ev: &TraceEvent, job: u64) -> Option<String> {
         TraceEvent::RunMeta { .. } | TraceEvent::Cycle { .. } => return None,
     };
     Some(line)
+}
+
+/// Render a flight-recorder postmortem file (`escli explain
+/// --postmortem`): the frozen engine snapshot, the sampler tail, and a
+/// replay of the ring's recent events, newest last.
+pub fn explain_postmortem(text: &str) -> Result<String, String> {
+    let (snap, events) = elastisched_sim::read_postmortem(text)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "postmortem: {}", snap.reason);
+    let _ = writeln!(
+        out,
+        "  at t={}s under {} · machine {}/{} procs busy",
+        snap.at_secs, snap.scheduler, snap.machine_used, snap.machine_total
+    );
+    let _ = writeln!(
+        out,
+        "  jobs: {} running · {} waiting · {} completed · {} events pending",
+        snap.running_jobs, snap.waiting_jobs, snap.completed_jobs, snap.event_queue_len
+    );
+    if !snap.queue_heads.is_empty() {
+        let _ = writeln!(out, "  queue head:");
+        for h in &snap.queue_heads {
+            let _ = writeln!(out, "    {h}");
+        }
+    }
+    if !snap.sampler_tail.is_empty() {
+        let _ = writeln!(out, "  sampler tail ({} samples):", snap.sampler_tail.len());
+        for s in &snap.sampler_tail {
+            let _ = writeln!(out, "    {s}");
+        }
+    }
+    // Reuse the per-job describer; ring housekeeping events
+    // (RunMeta/Cycle) have no line and are dropped here.
+    let described: Vec<(&TraceEvent, String)> = events
+        .iter()
+        .filter_map(|ev| describe(ev, None).map(|line| (ev, line)))
+        .collect();
+    if described.is_empty() {
+        let _ = writeln!(out, "  (flight ring empty: recorder armed without tracing)");
+    } else {
+        if snap.dropped_events > 0 {
+            let _ = writeln!(
+                out,
+                "  flight ring: last {} events ({} older dropped):",
+                described.len(),
+                snap.dropped_events
+            );
+        } else {
+            let _ = writeln!(out, "  flight ring: {} events:", described.len());
+        }
+        for (ev, line) in &described {
+            let tag = match ev.job() {
+                Some(j) => format!("job {j}: "),
+                None => String::new(),
+            };
+            match ev.at() {
+                Some(at) => {
+                    let _ = writeln!(out, "    t={at:>8}s  {tag}{line}");
+                }
+                None => {
+                    let _ = writeln!(out, "                {tag}{line}");
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Render the timeline of every trace event mentioning `job`.
@@ -97,7 +165,7 @@ pub fn explain_job(sink: &TraceSink, job: u64) -> Option<String> {
         if !ev.mentions(job) {
             continue;
         }
-        let Some(line) = describe(ev, job) else {
+        let Some(line) = describe(ev, Some(job)) else {
             continue;
         };
         match ev.at() {
@@ -161,5 +229,41 @@ mod tests {
     fn unknown_job_yields_none() {
         let sink = figure2_trace();
         assert!(explain_job(&sink, 999).is_none());
+    }
+
+    #[test]
+    fn postmortem_renders_snapshot_and_ring_replay() {
+        use elastisched_sim::{write_postmortem, PostmortemSnapshot};
+        let sink = figure2_trace();
+        let snap = PostmortemSnapshot {
+            reason: "audit violation [capacity]: ledger ahead of running set".into(),
+            at_secs: 100,
+            scheduler: "Delayed-LOS".into(),
+            machine_used: 320,
+            machine_total: 320,
+            event_queue_len: 2,
+            running_jobs: 2,
+            waiting_jobs: 1,
+            completed_jobs: 0,
+            dropped_events: 0,
+            queue_heads: vec!["job 1: 224 procs, waited 100s".into()],
+            sampler_tail: Vec::new(),
+        };
+        let path = std::env::temp_dir().join(format!(
+            "elastisched-explain-postmortem-{}.jsonl",
+            std::process::id()
+        ));
+        write_postmortem(&path, &snap, sink.events()).expect("write postmortem");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let _ = std::fs::remove_file(&path);
+        let rendered = explain_postmortem(&text).expect("renders");
+        assert!(rendered.contains("postmortem: audit violation [capacity]"), "{rendered}");
+        assert!(rendered.contains("at t=100s under Delayed-LOS"), "{rendered}");
+        assert!(rendered.contains("queue head:"), "{rendered}");
+        // Ring replay reuses the per-job describer without a focus job.
+        assert!(rendered.contains("Basic_DP"), "{rendered}");
+        assert!(!rendered.contains("this job"), "{rendered}");
+
+        assert!(explain_postmortem("not a postmortem").is_err());
     }
 }

@@ -231,6 +231,7 @@ fn load_sweep(
                 algorithm: algo,
                 params,
                 machine,
+                timeline: None,
             };
             let m = exp
                 .run(&workloads[wi].1)
@@ -667,6 +668,7 @@ pub fn ablation_lookahead(cfg: &ReproConfig) -> Figure {
                     lookahead: look,
                 },
                 machine,
+                timeline: None,
             };
             (i, exp.run(&workloads[wi]).expect("simulation must complete"))
         },

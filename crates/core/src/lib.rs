@@ -45,12 +45,14 @@ pub mod plot;
 pub mod report;
 pub mod sweep;
 pub mod telemetry;
+pub mod timeline_view;
 pub mod tune;
 
 pub use calibrate::{calibrated_workload, search_beta_arr};
 pub use contiguity::{contiguity_study, ContiguityPoint, ContiguityStudy};
 pub use experiment::{Experiment, MachineSpec, StackExperiment};
-pub use explain::explain_job;
+pub use explain::{explain_job, explain_postmortem};
+pub use timeline_view::render_timeline;
 pub use figures::{
     default_cs_for_ps, improvement_table, Figure, ImprovementTable, ReproConfig, Series,
     SeriesPoint,
@@ -67,7 +69,8 @@ pub mod prelude {
     pub use elastisched_metrics::RunMetrics;
     pub use elastisched_sched::{Algorithm, CorePolicy, SchedParams, StackSpec};
     pub use elastisched_sim::{
-        Duration, EccKind, EccPolicy, EccSpec, JobClass, JobId, JobSpec, Machine, SimTime,
+        Duration, EccKind, EccPolicy, EccSpec, JobClass, JobId, JobSpec, Machine, RunTimeline,
+        SimTime, TimelineConfig,
     };
     pub use elastisched_workload::{
         generate, CwfFile, GeneratorConfig, SizeModel, SwfFile, Workload,

@@ -254,6 +254,22 @@ fn fmt_eta(secs: f64) -> String {
 pub fn record_run(m: &RunMetrics) {
     let Some(c) = active() else { return };
     c.registry.merge_hist(keys::JOB_WAIT_TIME, &m.wait_hist);
+    if !m.timeline.is_empty() {
+        // Publish the latest sampled timeline for the `/timeline`
+        // endpoint: the JSONL form is one JSON object per line, so the
+        // HTTP document wraps it as a JSON array of those objects.
+        let mut json = String::from("{\"scheduler\":");
+        json.push_str(&serde_json::to_string(&m.scheduler).unwrap_or_default());
+        json.push_str(",\"timeline\":[");
+        for (i, line) in m.timeline.to_jsonl().lines().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(line);
+        }
+        json.push_str("]}");
+        c.registry.publish_doc("timeline", json);
+    }
     for phase in Phase::ALL {
         let nanos = m.phase_profile.nanos_of(phase);
         if nanos > 0 {

@@ -61,6 +61,7 @@ pub fn tune_cs(
             algorithm: Algorithm::DelayedLos,
             params: SchedParams::with_cs(cs),
             machine,
+            timeline: None,
         };
         let m = exp.run(&workloads[wi]).expect("simulation must complete");
         (ci, m.mean_wait, m.utilization)

@@ -203,6 +203,45 @@ fn bounded_accumulator_matches_on_every_aggregate() {
 }
 
 #[test]
+fn streamed_timeline_matches_materialized_for_all_algorithms() {
+    // The telemetry sampler observes the run rather than steering it,
+    // so a streamed run must produce the identical RunTimeline — same
+    // decimation level, same sample instants, same utilization / queue
+    // / DP readings — except for `event_queue_len`, which legitimately
+    // differs (the streamed engine holds a one-item lookahead instead
+    // of the whole preloaded arrival set).
+    let cfg = heavy_config();
+    let w = generate(&cfg);
+    let tl_cfg = elastisched_sim::TimelineConfig {
+        stride: elastisched_sim::Duration::from_secs(500),
+        budget: 16,
+    };
+    for algo in algorithms() {
+        let exp = Experiment::new(algo).with_timeline(tl_cfg);
+        let materialized = exp.run_raw(&w).unwrap().timeline;
+        let streamed = exp.run_streamed_raw(LublinSource::new(&cfg)).unwrap().timeline;
+        assert!(
+            materialized.decimations > 0,
+            "{algo}: budget 16 must force decimation"
+        );
+        assert_eq!(
+            streamed.decimations, materialized.decimations,
+            "{algo}: decimation level diverged"
+        );
+        assert_eq!(
+            streamed.samples.len(),
+            materialized.samples.len(),
+            "{algo}: sample count diverged"
+        );
+        for (a, b) in materialized.samples.iter().zip(&streamed.samples) {
+            let mut b = *b;
+            b.event_queue_len = a.event_queue_len;
+            assert_eq!(*a, b, "{algo}: timeline sample diverged");
+        }
+    }
+}
+
+#[test]
 fn stack_experiment_streams_arbitrary_specs() {
     let cfg = heavy_config();
     let w = generate(&cfg);

@@ -181,6 +181,7 @@ impl RunAccumulator {
                 .map(|t| t.cycle_hist)
                 .unwrap_or_default(),
             phase_profile,
+            timeline: result.timeline.clone(),
         }
     }
 }
@@ -284,6 +285,7 @@ mod tests {
             sched_stats: SchedStats::default(),
             engine: elastisched_sim::EngineStats::default(),
             trace: None,
+            timeline: Default::default(),
         }
     }
 

@@ -6,7 +6,7 @@
 //! derives them (plus extra diagnostics) from a [`SimResult`].
 
 use crate::stats::Summary;
-use elastisched_sim::{LogHistogram, PhaseProfile, SimResult};
+use elastisched_sim::{LogHistogram, PhaseProfile, RunTimeline, SimResult};
 use serde::{Deserialize, Serialize};
 
 /// The paper's metrics for one simulation run.
@@ -100,6 +100,12 @@ pub struct RunMetrics {
     /// excluded from equality like `engine_nanos`.
     #[serde(default)]
     pub phase_profile: PhaseProfile,
+    /// Budget-bounded time series of periodic engine samples, populated
+    /// when the run had its telemetry sampler enabled (empty
+    /// otherwise). Observability detail, excluded from equality like
+    /// `phase_profile`.
+    #[serde(default)]
+    pub timeline: RunTimeline,
 }
 
 /// Equality ignores `dp_nanos`, `engine_nanos`, the engine-loop
@@ -196,6 +202,7 @@ mod tests {
             sched_stats: SchedStats::default(),
             engine: elastisched_sim::EngineStats::default(),
             trace: None,
+            timeline: Default::default(),
         }
     }
 

@@ -144,6 +144,39 @@ mod tests {
     }
 
     #[test]
+    fn non_multiple_makespan_integral_identity() {
+        // Makespan 137 s with 10 s buckets: the tail bucket covers only
+        // 7 s and must be weighted by that width, not the full 10 s —
+        // otherwise the width-weighted integral under-counts and the
+        // profile's mean under-reports utilization.
+        let os = vec![
+            outcome(1, 0, 137, 160),
+            outcome(2, 30, 137, 96),
+            outcome(3, 60, 110, 64),
+        ];
+        let busy: f64 = os
+            .iter()
+            .map(|o| o.num as f64 * o.runtime.as_secs_f64())
+            .sum();
+        let makespan = 137u64;
+        let bucket = 10u64;
+        let profile = utilization_profile(&os, 320, bucket);
+        assert_eq!(profile.len(), 14);
+        // Width-weighted integral over covered widths == busy area.
+        let area: f64 = profile
+            .iter()
+            .map(|&(start, u)| {
+                let width = bucket.min(makespan - start) as f64;
+                u * width * 320.0
+            })
+            .sum();
+        assert!((area - busy).abs() < 1e-6, "area {area} != busy {busy}");
+        // The tail bucket is full-rate for job 1+2 (256/320), and would
+        // read 0.56 if wrongly divided by the full 10 s width.
+        assert!((profile[13].1 - 0.8).abs() < 1e-12, "{:?}", profile[13]);
+    }
+
+    #[test]
     fn empty_outcomes_empty_profile() {
         assert!(utilization_profile(&[], 320, 10).is_empty());
     }

@@ -12,10 +12,11 @@ use crate::event::{Event, EventQueue};
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, JobState};
 use crate::machine::Machine;
 use crate::running::{RunningJob, RunningSet};
+use crate::sampler::{RunTimeline, TimelineConfig, TimelineSample, TimelineSampler};
 use crate::sched_api::{JobView, SchedContext, SchedStats, Scheduler, StartError};
 use crate::source::{JobSource, SourceItem};
 use crate::time::{Duration, SimTime};
-use elastisched_trace::{trace_event, EccTag, TraceEvent, TraceSink};
+use elastisched_trace::{trace_event, EccTag, PostmortemSnapshot, TraceEvent, TraceSink};
 use std::collections::HashMap;
 
 use std::fmt;
@@ -87,6 +88,19 @@ pub enum SimError {
     /// virtual clock — the stream violated its non-decreasing-time
     /// contract (see [`crate::source`]).
     UnorderedSource { at: SimTime, clock: SimTime },
+    /// An always-on audit check (the `audit` cargo feature) caught an
+    /// engine-state inconsistency: capacity conservation, clock
+    /// monotonicity, ECC/running-set accounting, reclamation-slab
+    /// consistency, or bucket-FIFO order. Never produced without the
+    /// feature; when a flight recorder is armed the violation also
+    /// dumps a postmortem (see [`Engine::enable_flight_recorder`]).
+    AuditViolation {
+        /// Which check family tripped: `capacity`, `clock`, `ecc`,
+        /// `slab`, or `fifo`.
+        check: &'static str,
+        /// Human-readable specifics.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -106,6 +120,9 @@ impl fmt::Display for SimError {
                 at.as_secs(),
                 clock.as_secs()
             ),
+            SimError::AuditViolation { check, detail } => {
+                write!(f, "audit violation [{check}]: {detail}")
+            }
         }
     }
 }
@@ -170,6 +187,11 @@ pub struct EngineStats {
     /// streamed soak this buffer would otherwise grow with the trace).
     #[serde(default)]
     pub peak_wait_views: u64,
+    /// Completed jobs whose record-slab slot, id-map entry, and
+    /// wait-view were recycled (streaming runs only; always zero on the
+    /// materialized path, which keeps every record for inspection).
+    #[serde(default)]
+    pub jobs_reclaimed: u64,
 }
 
 /// A periodic snapshot of system state (sampling must be enabled on the
@@ -214,6 +236,9 @@ pub struct SimResult {
     /// The trace recorded during the run (`None` unless tracing was
     /// enabled via [`Engine::enable_tracing`]).
     pub trace: Option<Box<TraceSink>>,
+    /// The sampled virtual-time timeline (empty unless sampling was
+    /// enabled via [`Engine::enable_timeline`]).
+    pub timeline: RunTimeline,
 }
 
 impl SimResult {
@@ -433,6 +458,18 @@ impl SchedContext for EngineState {
     }
 }
 
+/// Ring capacity of the flight recorder's implicit trace sink: enough
+/// recent transitions to reconstruct the window around a failure
+/// without the full-trace memory cost.
+const FLIGHT_RING_CAPACITY: usize = 512;
+
+/// The armed black-box recorder: where to dump, and whether it already
+/// fired (one postmortem per run, first failure wins).
+struct FlightRecorder {
+    path: std::path::PathBuf,
+    dumped: bool,
+}
+
 /// The simulation driver, generic over the scheduling policy.
 pub struct Engine<S: Scheduler> {
     scheduler: S,
@@ -445,6 +482,17 @@ pub struct Engine<S: Scheduler> {
     sample_every: Option<Duration>,
     last_sample: Option<SimTime>,
     samples: Vec<StateSample>,
+    /// Virtual-time telemetry sampler, `None` (one branch per cycle)
+    /// unless enabled. Boxed so the disabled engine carries a pointer,
+    /// not the sample buffer.
+    timeline: Option<Box<TimelineSampler>>,
+    /// Armed flight recorder, `None` unless enabled.
+    postmortem: Option<FlightRecorder>,
+    /// Completed jobs whose state was recycled (streaming paths).
+    reclaimed: u64,
+    /// Previous cycle's timestamp, for the audit layer's clock check.
+    #[cfg(feature = "audit")]
+    last_cycle_at: SimTime,
 }
 
 impl<S: Scheduler> Engine<S> {
@@ -478,6 +526,11 @@ impl<S: Scheduler> Engine<S> {
             sample_every: None,
             last_sample: None,
             samples: Vec::new(),
+            timeline: None,
+            postmortem: None,
+            reclaimed: 0,
+            #[cfg(feature = "audit")]
+            last_cycle_at: SimTime::ZERO,
         }
     }
 
@@ -493,6 +546,37 @@ impl<S: Scheduler> Engine<S> {
     /// Without this call tracing costs one branch per call site.
     pub fn enable_tracing(&mut self, sink: TraceSink) {
         self.state.trace = Some(Box::new(sink));
+    }
+
+    /// Record a [`RunTimeline`]: one [`TimelineSample`] per virtual-time
+    /// stride at cycle boundaries, decimating (drop every other point,
+    /// double the stride) whenever the point budget fills — so any run,
+    /// 500 jobs or 10⁶, ends with at most `cfg.budget` samples. Works
+    /// identically on [`Engine::run`] and the streaming paths. Without
+    /// this call the sampler costs one branch per scheduling cycle.
+    pub fn enable_timeline(&mut self, cfg: TimelineConfig) {
+        self.timeline = Some(Box::new(TimelineSampler::new(cfg)));
+    }
+
+    /// Arm the black-box flight recorder: if the run panics or aborts
+    /// with an error (audit violations included), the recent-transition
+    /// ring plus an engine-state snapshot is dumped as postmortem JSONL
+    /// to `path` before the failure propagates (`escli explain
+    /// --postmortem` replays it). When tracing is not otherwise enabled
+    /// this installs a small fixed ring ([`FLIGHT_RING_CAPACITY`]
+    /// events, timing off) that retains only the most recent
+    /// transitions — always-cheap, per the ring-sink discipline — and
+    /// hands it back in [`SimResult::trace`] like any other sink.
+    pub fn enable_flight_recorder(&mut self, path: impl Into<std::path::PathBuf>) {
+        if self.state.trace.is_none() {
+            let mut sink = TraceSink::with_capacity(FLIGHT_RING_CAPACITY);
+            sink.disable_timing();
+            self.state.trace = Some(Box::new(sink));
+        }
+        self.postmortem = Some(FlightRecorder {
+            path: path.into(),
+            dumped: false,
+        });
     }
 
     /// Load jobs and ECCs, validating feasibility.
@@ -552,6 +636,14 @@ impl<S: Scheduler> Engine<S> {
                 });
             }
         }
+        self.guarded(|eng| eng.run_loop(&mut engine_stats))?;
+        self.finish(engine_stats, wall)
+    }
+
+    /// The materialized event loop, separated from [`Engine::run`] so the
+    /// flight recorder can wrap it in a panic guard without consuming the
+    /// engine (the dump needs the post-unwind state).
+    fn run_loop(&mut self, engine_stats: &mut EngineStats) -> Result<(), SimError> {
         // Reused across instants: one batch drain per cycle, no per-event
         // peeking and no allocation once it reaches the burst high-water
         // mark.
@@ -579,9 +671,33 @@ impl<S: Scheduler> Engine<S> {
             engine_stats.events += dispatched;
             engine_stats.events_coalesced += dispatched - 1;
             engine_stats.cycles += 1;
-            self.end_cycle(t, dispatched);
+            self.end_cycle(t, dispatched)?;
         }
-        self.finish(engine_stats, wall)
+        Ok(())
+    }
+
+    /// Run `body` under the flight recorder's failure guard when one is
+    /// armed: a panic or an error inside the loop dumps the postmortem
+    /// before propagating. Unarmed (the default), this is a plain call —
+    /// no `catch_unwind` frame and no branch inside the loop.
+    fn guarded(
+        &mut self,
+        body: impl FnOnce(&mut Self) -> Result<(), SimError>,
+    ) -> Result<(), SimError> {
+        if self.postmortem.is_none() {
+            return body(self);
+        }
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(self))) {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => {
+                self.dump_postmortem(&format!("run aborted: {e}"));
+                Err(e)
+            }
+            Err(payload) => {
+                self.dump_postmortem("panic in run loop");
+                std::panic::resume_unwind(payload);
+            }
+        }
     }
 
     /// Run to completion while pulling the workload lazily from a
@@ -638,6 +754,19 @@ impl<S: Scheduler> Engine<S> {
                 scheduler: self.scheduler.name().to_string(),
             });
         }
+        self.guarded(|eng| eng.streaming_loop(&mut source, &mut fold, &mut engine_stats))?;
+        self.finish(engine_stats, wall)
+    }
+
+    /// The streaming event loop, separated from
+    /// [`Engine::run_streaming_inner`] for the same reason as
+    /// [`Engine::run_loop`].
+    fn streaming_loop<Src: JobSource>(
+        &mut self,
+        source: &mut Src,
+        fold: &mut OutcomeFold<'_>,
+        engine_stats: &mut EngineStats,
+    ) -> Result<(), SimError> {
         let mut batch: Vec<Event> = Vec::new();
         // Exactly one item is held ahead of the clock so the next
         // instant is always known without draining the source.
@@ -681,15 +810,15 @@ impl<S: Scheduler> Engine<S> {
                 self.state.queue.drain_next_instant(&mut batch);
                 for ev in batch.drain(..) {
                     dispatched += 1;
-                    self.dispatch(ev, &mut fold)?;
+                    self.dispatch(ev, fold)?;
                 }
             }
             engine_stats.events += dispatched;
             engine_stats.events_coalesced += dispatched - 1;
             engine_stats.cycles += 1;
-            self.end_cycle(t, dispatched);
+            self.end_cycle(t, dispatched)?;
         }
-        self.finish(engine_stats, wall)
+        Ok(())
     }
 
     /// Admit one streamed item at its own instant: validate and enrol a
@@ -739,10 +868,11 @@ impl<S: Scheduler> Engine<S> {
     }
 
     /// Everything that happens once per distinct event timestamp after
-    /// dispatch: the scheduling cycle, cycle tracing, state sampling,
-    /// and debug invariants. Shared verbatim between the materialized
-    /// and streaming loops.
-    fn end_cycle(&mut self, t: SimTime, dispatched: u64) {
+    /// dispatch: the scheduling cycle, cycle tracing, state and timeline
+    /// sampling, and invariants (debug asserts, or hard audit checks
+    /// under the `audit` feature). Shared verbatim between the
+    /// materialized and streaming loops.
+    fn end_cycle(&mut self, t: SimTime, dispatched: u64) -> Result<(), SimError> {
         // Cycle span timing happens only when a sink is attached
         // *and* its timing knob is on — the untraced hot path never
         // reads the wall clock here.
@@ -784,6 +914,19 @@ impl<S: Scheduler> Engine<S> {
                 });
             }
         }
+        // Timeline sampling: one branch per cycle when disabled, one
+        // time comparison when enabled but not yet due.
+        if let Some(sampler) = self.timeline.as_deref_mut() {
+            if sampler.due(t) {
+                sampler.push(Self::take_sample(&self.state, &self.scheduler, t));
+            }
+        }
+        // Audit checks run *before* the debug asserts so an injected or
+        // genuine inconsistency surfaces as a recoverable
+        // [`SimError::AuditViolation`] (with postmortem) rather than an
+        // assert panic in debug builds.
+        #[cfg(feature = "audit")]
+        self.audit_cycle(t)?;
         #[cfg(debug_assertions)]
         {
             self.state.running.check_invariants();
@@ -793,12 +936,267 @@ impl<S: Scheduler> Engine<S> {
                 "running set and machine disagree on allocation"
             );
         }
+        Ok(())
+    }
+
+    /// Capture one timeline point from post-cycle engine state. An
+    /// associated function over disjoint borrows so the sampler itself
+    /// can be held mutably by the caller.
+    fn take_sample(state: &EngineState, scheduler: &S, at: SimTime) -> TimelineSample {
+        let total = state.machine.total();
+        let used = state.machine.used();
+        let mut dedicated_procs = 0u32;
+        let mut ecc_procs = 0u32;
+        for rj in state.running.iter() {
+            if let Some(rec) = state.record(rj.id) {
+                if rec.spec.class.is_dedicated() {
+                    dedicated_procs += rj.num;
+                }
+                if rec.ecc_count > 0 {
+                    ecc_procs += rj.num;
+                }
+            }
+        }
+        // Views are arrival-ordered, so the first *live* one past the
+        // cursor is the oldest waiting job. Dead (already-started) views
+        // are skipped the same way compaction classifies them.
+        let head = state.wait_head;
+        let mut oldest_wait_secs = 0u64;
+        for (v, &slot) in state.wait_views[head..]
+            .iter()
+            .zip(&state.wait_recs[head..])
+        {
+            let rec = &state.records[slot as usize];
+            if rec.state == JobState::Waiting && rec.spec.id == v.id {
+                oldest_wait_secs = at.saturating_since(v.submit).as_secs();
+                break;
+            }
+        }
+        let st = scheduler.stats();
+        TimelineSample {
+            at,
+            util: if total == 0 {
+                0.0
+            } else {
+                f64::from(used) / f64::from(total)
+            },
+            free: state.machine.free(),
+            dedicated_procs,
+            ecc_procs,
+            queue_depth: scheduler.waiting_len() as u32,
+            oldest_wait_secs,
+            running: state.running.len() as u32,
+            live_wait_views: (state.wait_views.len() - head) as u32,
+            event_queue_len: state.queue.len() as u32,
+            eccs_applied: state.ecc_stats.applied(),
+            dp_cache_hits: st.dp_cache_hits,
+            dp_cache_misses: st.dp_cache_misses,
+            dp_incremental_hits: st.dp_incremental_hits,
+            dp_incremental_rebuilds: st.dp_incremental_rebuilds,
+        }
+    }
+
+    /// Dump the flight recorder's ring plus an engine-state snapshot to
+    /// the armed postmortem path. No-op when unarmed or already dumped
+    /// (first failure wins); write errors are swallowed — the original
+    /// failure must stay the one that propagates.
+    fn dump_postmortem(&mut self, reason: &str) {
+        let Some(rec) = self.postmortem.as_mut() else {
+            return;
+        };
+        if rec.dumped {
+            return;
+        }
+        rec.dumped = true;
+        let path = rec.path.clone();
+        let head = self.state.wait_head;
+        let queue_heads: Vec<String> = self.state.wait_views[head..]
+            .iter()
+            .take(8)
+            .map(|v| {
+                format!(
+                    "job {} ({} procs, {}s est, submitted t={}s)",
+                    v.id.0,
+                    v.num,
+                    v.dur.as_secs(),
+                    v.submit.as_secs()
+                )
+            })
+            .collect();
+        let sampler_tail: Vec<String> = self
+            .timeline
+            .as_deref()
+            .map(|s| {
+                let tail = s.samples();
+                tail[tail.len().saturating_sub(8)..]
+                    .iter()
+                    .map(|p| serde_json::to_string(p).unwrap_or_default())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let snapshot = PostmortemSnapshot {
+            reason: reason.to_string(),
+            at_secs: self.state.now.as_secs(),
+            scheduler: self.scheduler.name().to_string(),
+            machine_used: self.state.machine.used(),
+            machine_total: self.state.machine.total(),
+            event_queue_len: self.state.queue.len() as u64,
+            running_jobs: self.state.running.len() as u64,
+            waiting_jobs: self.scheduler.waiting_len() as u64,
+            completed_jobs: self.completed,
+            dropped_events: self.state.trace.as_deref().map_or(0, |t| t.dropped()),
+            queue_heads,
+            sampler_tail,
+        };
+        let events = self
+            .state
+            .trace
+            .as_deref()
+            .map(|t| t.events().cloned().collect::<Vec<_>>())
+            .unwrap_or_default();
+        let _ = elastisched_trace::write_postmortem(&path, &snapshot, &events);
+        elastisched_trace::metric!(|reg| {
+            reg.counter_add(elastisched_trace::metrics::keys::POSTMORTEM_DUMPS_TOTAL, 1);
+        });
+    }
+
+    /// Count a named audit violation and build its error. The metric
+    /// fires even when no flight recorder is armed, so a long campaign
+    /// surfaces violations on `/metrics` without any other plumbing.
+    #[cfg(feature = "audit")]
+    fn audit_fail(check: &'static str, detail: String) -> SimError {
+        elastisched_trace::metric!(|reg| {
+            use elastisched_trace::metrics::keys;
+            let key = match check {
+                "capacity" => keys::AUDIT_CAPACITY_VIOLATIONS_TOTAL,
+                "clock" => keys::AUDIT_CLOCK_VIOLATIONS_TOTAL,
+                "ecc" => keys::AUDIT_ECC_VIOLATIONS_TOTAL,
+                "slab" => keys::AUDIT_SLAB_VIOLATIONS_TOTAL,
+                _ => keys::AUDIT_FIFO_VIOLATIONS_TOTAL,
+            };
+            reg.counter_add(key, 1);
+        });
+        SimError::AuditViolation { check, detail }
+    }
+
+    /// The always-on schedule audit: the invariants release builds used
+    /// to compile out as `debug_assert!`s, promoted to hard per-cycle
+    /// checks. Each failure is a named metric plus a recoverable
+    /// [`SimError::AuditViolation`] (which the armed flight recorder
+    /// turns into a postmortem dump). Cost is O(running + waiting) per
+    /// cycle — the feature exists to be left on in soaks and services,
+    /// not on the benchmark hot path.
+    #[cfg(feature = "audit")]
+    fn audit_cycle(&mut self, t: SimTime) -> Result<(), SimError> {
+        // Virtual-clock monotonicity across cycles.
+        if t < self.last_cycle_at {
+            return Err(Self::audit_fail(
+                "clock",
+                format!(
+                    "cycle at {}s after cycle at {}s",
+                    t.as_secs(),
+                    self.last_cycle_at.as_secs()
+                ),
+            ));
+        }
+        self.last_cycle_at = t;
+        // Capacity conservation per node group: the machine's ledger,
+        // the running set's ledger, and unit granularity must agree.
+        let used = self.state.machine.used();
+        let total = self.state.machine.total();
+        let unit = self.state.machine.unit();
+        if used > total || (unit > 0 && used % unit != 0) {
+            return Err(Self::audit_fail(
+                "capacity",
+                format!("machine reports {used}/{total} used at unit {unit}"),
+            ));
+        }
+        if self.state.running.used() != used {
+            return Err(Self::audit_fail(
+                "capacity",
+                format!(
+                    "running set holds {} procs but machine reports {used}",
+                    self.state.running.used()
+                ),
+            ));
+        }
+        // ECC accounting: every running job's record must exist, be in
+        // the Running state, and agree with the set on its (possibly
+        // ECC-adjusted) allocation.
+        for rj in self.state.running.iter() {
+            let ok = self
+                .state
+                .record(rj.id)
+                .is_some_and(|rec| rec.is_running() && rec.alloc == rj.num);
+            if !ok {
+                return Err(Self::audit_fail(
+                    "ecc",
+                    format!(
+                        "running job {} ({} procs) disagrees with its record",
+                        rj.id.0, rj.num
+                    ),
+                ));
+            }
+        }
+        // Streamed-reclamation slab: every record slot is either live
+        // (id-mapped) or free, never both, never neither.
+        if self.state.id_map.len() + self.state.free_slots.len() != self.state.records.len() {
+            return Err(Self::audit_fail(
+                "slab",
+                format!(
+                    "{} live + {} free != {} slots",
+                    self.state.id_map.len(),
+                    self.state.free_slots.len(),
+                    self.state.records.len()
+                ),
+            ));
+        }
+        // Bucket-FIFO dispatch order: live wait views are appended at
+        // arrival and compaction preserves order, so their submit times
+        // must be non-decreasing.
+        let head = self.state.wait_head;
+        let mut prev = SimTime::ZERO;
+        for (v, &slot) in self.state.wait_views[head..]
+            .iter()
+            .zip(&self.state.wait_recs[head..])
+        {
+            let rec = &self.state.records[slot as usize];
+            if rec.state != JobState::Waiting || rec.spec.id != v.id {
+                continue; // dead view awaiting compaction
+            }
+            if v.submit < prev {
+                return Err(Self::audit_fail(
+                    "fifo",
+                    format!(
+                        "waiting job {} submitted at {}s ordered after {}s",
+                        v.id.0,
+                        v.submit.as_secs(),
+                        prev.as_secs()
+                    ),
+                ));
+            }
+            prev = v.submit;
+        }
+        Ok(())
+    }
+
+    /// Test-only: skew the machine's allocation ledger away from the
+    /// running set so the next cycle's capacity audit trips. Exists so
+    /// the audit→postmortem path can be proven end to end without
+    /// planting a real engine bug.
+    #[cfg(feature = "audit")]
+    #[doc(hidden)]
+    pub fn inject_capacity_skew_for_test(&mut self) {
+        let unit = self.state.machine.unit().max(1);
+        let now = self.state.now;
+        let _ = self.state.machine.allocate(unit, now);
     }
 
     /// Post-loop epilogue shared by both run paths: starvation check,
-    /// queue counters, metrics flush, and the [`SimResult`] itself.
+    /// queue counters, the timeline's forced final sample, metrics
+    /// flush, and the [`SimResult`] itself.
     fn finish(
-        self,
+        mut self,
         mut engine_stats: EngineStats,
         wall: std::time::Instant,
     ) -> Result<SimResult, SimError> {
@@ -811,7 +1209,19 @@ impl<S: Scheduler> Engine<S> {
         engine_stats.peak_queue_len = self.state.queue.peak_len() as u64;
         engine_stats.peak_live_jobs = self.state.records.len() as u64;
         engine_stats.peak_wait_views = self.state.peak_wait_views as u64;
+        engine_stats.jobs_reclaimed = self.reclaimed;
         engine_stats.engine_nanos = wall.elapsed().as_nanos() as u64;
+        // Close the timeline with a forced end-of-run sample (replacing
+        // the last one if the final cycle already sampled this instant),
+        // so the makespan point is always present whatever the stride.
+        let timeline = match self.timeline.take() {
+            Some(mut sampler) => {
+                let at = self.state.makespan.max(self.state.now);
+                sampler.push(Self::take_sample(&self.state, &self.scheduler, at));
+                sampler.into_timeline()
+            }
+            None => RunTimeline::default(),
+        };
         let sched_stats = self.scheduler.stats();
         // Flush run totals into the live metrics registry, once per run
         // — never per event, so the hot loop above stays registry-free.
@@ -846,6 +1256,16 @@ impl<S: Scheduler> Engine<S> {
                 keys::DEDICATED_PROMOTIONS_TOTAL,
                 sched_stats.dedicated_promotions,
             );
+            reg.counter_add(keys::JOBS_RECLAIMED_TOTAL, engine_stats.jobs_reclaimed);
+            reg.gauge_set(
+                keys::ENGINE_PEAK_WAIT_VIEWS,
+                engine_stats.peak_wait_views as f64,
+            );
+            reg.gauge_set(
+                keys::ENGINE_PEAK_LIVE_JOBS,
+                engine_stats.peak_live_jobs as f64,
+            );
+            reg.gauge_set(keys::TIMELINE_SAMPLES, timeline.samples.len() as f64);
         });
         let state = self.state;
         Ok(SimResult {
@@ -865,6 +1285,7 @@ impl<S: Scheduler> Engine<S> {
             samples: self.samples,
             engine: engine_stats,
             trace: state.trace,
+            timeline,
         })
     }
 
@@ -961,6 +1382,7 @@ impl<S: Scheduler> Engine<S> {
             // unknown-id paths above and in `handle_ecc`.
             self.state.id_map.remove(&id);
             self.state.free_slots.push(idx);
+            self.reclaimed += 1;
         }
         Ok(())
     }
@@ -1538,6 +1960,49 @@ mod tests {
     }
 
     #[test]
+    fn timeline_disabled_leaves_result_empty() {
+        let r = run_jobs(&[JobSpec::batch(1, 0, 32, 10)], &[], EccPolicy::disabled());
+        assert!(r.timeline.is_empty());
+    }
+
+    #[test]
+    fn timeline_sampling_is_budget_bounded_and_covers_the_run() {
+        // 200 sequential full-machine jobs: plenty of distinct cycle
+        // timestamps, so a 32-point budget must decimate repeatedly.
+        let jobs: Vec<JobSpec> = (0..200)
+            .map(|i| JobSpec::batch(i + 1, i * 10, 320, 50))
+            .collect();
+        let mut engine = Engine::new(
+            Machine::bluegene_p(),
+            TestFifo::new(),
+            EccPolicy::disabled(),
+        );
+        engine.enable_timeline(crate::sampler::TimelineConfig {
+            stride: Duration::from_secs(1),
+            budget: 32,
+        });
+        engine.load(&jobs, &[]).unwrap();
+        let r = engine.run().unwrap();
+        let tl = &r.timeline;
+        assert!(!tl.is_empty());
+        assert!(tl.samples.len() <= 32, "budget exceeded: {}", tl.samples.len());
+        assert!(tl.decimations > 0, "a dense run must have decimated");
+        assert_eq!(tl.samples[0].at, SimTime::ZERO, "first cycle retained");
+        assert_eq!(
+            tl.samples.last().unwrap().at,
+            r.makespan,
+            "forced end-of-run sample sits at the makespan"
+        );
+        // The final sample sees a drained system.
+        let last = tl.samples.last().unwrap();
+        assert_eq!(last.running, 0);
+        assert_eq!(last.queue_depth, 0);
+        assert_eq!(last.free, 320);
+        // Mid-run samples saw the machine fully busy.
+        assert!(tl.samples.iter().any(|s| s.util == 1.0));
+    }
+
+    #[test]
     fn traced_run_with_timing_populates_cycle_hist() {
         let jobs = vec![JobSpec::batch(1, 0, 32, 10)];
         let mut engine = Engine::new(
@@ -1716,6 +2181,84 @@ mod tests {
         }
 
         #[test]
+        fn streaming_timeline_matches_materialized_except_queue_len() {
+            let (jobs, eccs) = mixed_workload();
+            let cfg = crate::sampler::TimelineConfig {
+                stride: Duration::from_secs(1),
+                budget: 16,
+            };
+            let mut m = Engine::new(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::time_only(),
+            );
+            m.enable_timeline(cfg);
+            m.load(&jobs, &eccs).unwrap();
+            let mat = m.run().unwrap();
+            let mut s = Engine::new(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::time_only(),
+            );
+            s.enable_timeline(cfg);
+            let st = s.run_streaming(SliceSource::new(&jobs, &eccs)).unwrap();
+            assert!(!mat.timeline.is_empty());
+            assert_eq!(mat.timeline.decimations, st.timeline.decimations);
+            assert_eq!(mat.timeline.samples.len(), st.timeline.samples.len());
+            for (a, b) in mat.timeline.samples.iter().zip(&st.timeline.samples) {
+                // `event_queue_len` legitimately differs: the loader
+                // pre-queues every arrival, the streaming loop holds one
+                // item of lookahead instead (see the sampler module docs).
+                let mut b = *b;
+                b.event_queue_len = a.event_queue_len;
+                assert_eq!(*a, b);
+            }
+        }
+
+        #[test]
+        fn flight_recorder_dumps_a_parseable_postmortem_on_loop_error() {
+            // A backwards source fails inside the guarded loop with
+            // UnorderedSource; the armed recorder must leave a readable
+            // dump behind before the error propagates.
+            struct Backwards(u32);
+            impl JobSource for Backwards {
+                fn next_item(&mut self) -> Option<SourceItem> {
+                    self.0 += 1;
+                    match self.0 {
+                        1 => Some(SourceItem::Job(JobSpec::batch(1, 100, 32, 10))),
+                        2 => Some(SourceItem::Job(JobSpec::batch(2, 50, 32, 10))),
+                        _ => None,
+                    }
+                }
+            }
+            let path = std::env::temp_dir().join(format!(
+                "elastisched-postmortem-unordered-{}.jsonl",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            let mut engine = Engine::new(
+                Machine::bluegene_p(),
+                TestFifo::new(),
+                EccPolicy::disabled(),
+            );
+            engine.enable_flight_recorder(&path);
+            let err = engine.run_streaming(Backwards(0)).unwrap_err();
+            assert!(matches!(err, SimError::UnorderedSource { .. }), "{err}");
+            let text = std::fs::read_to_string(&path).expect("postmortem file written");
+            let (snap, events) = elastisched_trace::read_postmortem(&text).unwrap();
+            assert!(snap.reason.contains("behind the clock"), "{}", snap.reason);
+            assert_eq!(snap.scheduler, "TestFifo");
+            assert_eq!(snap.machine_total, 320);
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::Submit { job: 1, .. })),
+                "ring retained the admission preceding the failure"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
         fn unordered_source_is_rejected() {
             struct Backwards(u32);
             impl JobSource for Backwards {
@@ -1804,6 +2347,7 @@ mod tests {
             engine_nanos: 6,
             peak_live_jobs: 7,
             peak_wait_views: 7,
+            jobs_reclaimed: 8,
         };
         let text = serde_json::to_string(&s).unwrap();
         let back: EngineStats = serde_json::from_str(&text).unwrap();

@@ -33,6 +33,7 @@ pub mod event;
 pub mod job;
 pub mod machine;
 pub mod running;
+pub mod sampler;
 pub mod sched_api;
 pub mod source;
 pub mod time;
@@ -40,6 +41,10 @@ pub mod time;
 pub use contiguous::{ContigError, ContiguousMachine, Extent, ReplayEvent, ReplayStats};
 pub use ecc::{EccKind, EccPolicy, EccSpec};
 pub use engine::{simulate, EccStats, Engine, EngineStats, SimError, SimResult, StateSample};
+pub use sampler::{
+    RunTimeline, TimelineConfig, TimelineSample, TimelineSampler, DEFAULT_TIMELINE_BUDGET,
+    DEFAULT_TIMELINE_STRIDE,
+};
 pub use event::{Event, EventQueue};
 pub use job::{JobClass, JobId, JobOutcome, JobRecord, JobSpec, JobState};
 pub use machine::{Machine, MachineError};
@@ -54,7 +59,7 @@ pub use time::{Duration, SimTime};
 // to *read* a trace or touch the metrics plane (metrics, the CLI) can
 // stay off the trace crate directly.
 pub use elastisched_trace::{
-    metric, metrics, profile, serve, trace_event, DpKernel, EccTag, LogHistogram,
-    MetricsRegistry, MetricsSnapshot, MetricsServer, Phase, PhaseProfile, PhaseTimer, StatusDoc,
-    TraceEvent, TraceSink,
+    metric, metrics, profile, read_postmortem, serve, trace_event, write_postmortem, DpKernel,
+    EccTag, LogHistogram, MetricsRegistry, MetricsSnapshot, MetricsServer, Phase, PhaseProfile,
+    PhaseTimer, PostmortemSnapshot, StatusDoc, TraceEvent, TraceSink,
 };

@@ -1,0 +1,96 @@
+//! Always-on audit layer, end to end (`--features audit`).
+//!
+//! An injected capacity-ledger skew must surface as a recoverable
+//! [`SimError::AuditViolation`] — not a panic — and, with the flight
+//! recorder armed, leave behind a postmortem JSONL file that parses
+//! back into the engine snapshot plus the recent-transition ring.
+
+#![cfg(feature = "audit")]
+
+use elastisched_sim::{
+    read_postmortem, Duration, EccPolicy, Engine, JobId, JobSpec, JobView, Machine, SchedContext,
+    Scheduler, SimError,
+};
+use std::collections::VecDeque;
+
+/// Minimal FIFO policy: starts the head whenever it fits.
+#[derive(Default)]
+struct Fifo {
+    queue: VecDeque<JobView>,
+}
+
+impl Scheduler for Fifo {
+    fn on_arrival(&mut self, job: JobView) {
+        self.queue.push_back(job);
+    }
+
+    fn on_queued_ecc(&mut self, id: JobId, num: u32, dur: Duration) {
+        if let Some(j) = self.queue.iter_mut().find(|j| j.id == id) {
+            j.num = num;
+            j.dur = dur;
+        }
+    }
+
+    fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+        while let Some(h) = self.queue.front() {
+            if h.num <= ctx.free() {
+                ctx.start(h.id).expect("fit checked");
+                self.queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "AuditFifo"
+    }
+}
+
+fn jobs() -> Vec<JobSpec> {
+    (0..8).map(|i| JobSpec::batch(i + 1, i * 10, 256, 300)).collect()
+}
+
+#[test]
+fn clean_run_passes_every_audit_check() {
+    let mut engine = Engine::new(Machine::bluegene_p(), Fifo::default(), EccPolicy::disabled());
+    engine.load(&jobs(), &[]).unwrap();
+    let r = engine.run().expect("a clean run must not trip the audit");
+    assert_eq!(r.outcomes.len(), 8);
+}
+
+#[test]
+fn injected_capacity_skew_trips_the_audit_and_dumps_a_postmortem() {
+    let path = std::env::temp_dir().join(format!(
+        "elastisched-audit-postmortem-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let mut engine = Engine::new(Machine::bluegene_p(), Fifo::default(), EccPolicy::disabled());
+    engine.load(&jobs(), &[]).unwrap();
+    engine.enable_flight_recorder(&path);
+    engine.inject_capacity_skew_for_test();
+    let err = engine.run().expect_err("skewed ledger must trip the audit");
+    let SimError::AuditViolation { check, detail } = &err else {
+        panic!("expected AuditViolation, got {err}");
+    };
+    assert_eq!(*check, "capacity");
+    assert!(detail.contains("procs"), "detail names the skew: {detail}");
+
+    // The armed flight recorder dumped a parseable postmortem.
+    let text = std::fs::read_to_string(&path).expect("postmortem file written");
+    let (snap, events) = read_postmortem(&text).expect("postmortem parses");
+    assert!(snap.reason.contains("capacity"), "{}", snap.reason);
+    assert_eq!(snap.scheduler, "AuditFifo");
+    assert_eq!(snap.machine_total, Machine::bluegene_p().total());
+    assert!(
+        !events.is_empty(),
+        "the flight ring held the transitions leading up to the violation"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -33,6 +33,7 @@ pub mod event;
 pub mod export;
 pub mod hist;
 pub mod metrics;
+pub mod postmortem;
 pub mod profile;
 pub mod serve;
 pub mod sink;
@@ -41,6 +42,7 @@ pub use event::{DpKernel, EccTag, TraceEvent};
 pub use export::{from_jsonl, to_chrome_trace, to_jsonl};
 pub use hist::{LogHistogram, HIST_BUCKETS};
 pub use metrics::{MetricId, MetricKind, MetricSpec, MetricsRegistry, MetricsSnapshot};
+pub use postmortem::{read_postmortem, write_postmortem, PostmortemSnapshot};
 pub use profile::{Phase, PhaseProfile, PhaseTimer};
 pub use serve::{MetricsServer, StatusDoc};
 pub use sink::{TraceSink, DEFAULT_CAPACITY};

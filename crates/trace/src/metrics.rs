@@ -133,6 +133,9 @@ pub struct MetricsRegistry {
     shard_mask: usize,
     gauges: Vec<AtomicU64>, // f64 bits
     labels: Mutex<Vec<(String, String)>>,
+    /// Published JSON documents served verbatim by the HTTP endpoint
+    /// (e.g. the last run's timeline under the key `"timeline"`).
+    docs: Mutex<Vec<(String, String)>>,
 }
 
 /// Round-robin source of thread ids for shard selection.
@@ -191,6 +194,7 @@ impl MetricsRegistry {
             shard_mask: shard_count - 1,
             gauges: (0..n_gauges).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
             labels: Mutex::new(Vec::new()),
+            docs: Mutex::new(Vec::new()),
         }
     }
 
@@ -272,6 +276,24 @@ impl MetricsRegistry {
         } else {
             labels.push((key.to_string(), value.to_string()));
         }
+    }
+
+    /// Publish (or replace) a JSON document under `key`, served
+    /// verbatim by the HTTP endpoint (e.g. `/timeline` serves the
+    /// `"timeline"` document). The value must already be valid JSON.
+    pub fn publish_doc(&self, key: &str, json: String) {
+        let mut docs = self.docs.lock().expect("metrics doc lock poisoned");
+        if let Some(entry) = docs.iter_mut().find(|(k, _)| k == key) {
+            entry.1 = json;
+        } else {
+            docs.push((key.to_string(), json));
+        }
+    }
+
+    /// The last JSON document published under `key`, if any.
+    pub fn doc(&self, key: &str) -> Option<String> {
+        let docs = self.docs.lock().expect("metrics doc lock poisoned");
+        docs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
     }
 
     /// Merge every shard into a plain, serializable snapshot.
@@ -572,6 +594,27 @@ pub mod keys {
     pub const DP_INCREMENTAL_HITS_TOTAL: MetricId = MetricId(29);
     /// DP cache misses that rebuilt the incremental table from row zero.
     pub const DP_INCREMENTAL_REBUILDS_TOTAL: MetricId = MetricId(30);
+    /// Last run's wait-view buffer high-water mark.
+    pub const ENGINE_PEAK_WAIT_VIEWS: MetricId = MetricId(31);
+    /// Last run's job-record slab high-water mark (peak live jobs on
+    /// the streaming paths).
+    pub const ENGINE_PEAK_LIVE_JOBS: MetricId = MetricId(32);
+    /// Completed jobs whose state was reclaimed by a streaming run.
+    pub const JOBS_RECLAIMED_TOTAL: MetricId = MetricId(33);
+    /// Audit failures: capacity conservation.
+    pub const AUDIT_CAPACITY_VIOLATIONS_TOTAL: MetricId = MetricId(34);
+    /// Audit failures: virtual-clock monotonicity.
+    pub const AUDIT_CLOCK_VIOLATIONS_TOTAL: MetricId = MetricId(35);
+    /// Audit failures: ECC / running-set accounting.
+    pub const AUDIT_ECC_VIOLATIONS_TOTAL: MetricId = MetricId(36);
+    /// Audit failures: streamed-reclamation slab consistency.
+    pub const AUDIT_SLAB_VIOLATIONS_TOTAL: MetricId = MetricId(37);
+    /// Audit failures: bucket-FIFO dispatch order.
+    pub const AUDIT_FIFO_VIOLATIONS_TOTAL: MetricId = MetricId(38);
+    /// Flight-recorder postmortem dumps written.
+    pub const POSTMORTEM_DUMPS_TOTAL: MetricId = MetricId(39);
+    /// Samples retained in the last run's timeline.
+    pub const TIMELINE_SAMPLES: MetricId = MetricId(40);
 }
 
 /// Spec list behind [`MetricsRegistry::standard`], in [`keys`] order.
@@ -731,6 +774,56 @@ pub const STANDARD_SPECS: &[MetricSpec] = &[
         help: "DP cache misses that rebuilt the incremental table from row zero.",
         kind: MetricKind::Counter,
     },
+    MetricSpec {
+        name: "elastisched_engine_peak_wait_views",
+        help: "Last run's wait-view buffer high-water mark.",
+        kind: MetricKind::Gauge,
+    },
+    MetricSpec {
+        name: "elastisched_engine_peak_live_jobs",
+        help: "Last run's job-record slab high-water mark (peak live jobs when streaming).",
+        kind: MetricKind::Gauge,
+    },
+    MetricSpec {
+        name: "elastisched_jobs_reclaimed_total",
+        help: "Completed jobs whose state was reclaimed by a streaming run.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_audit_capacity_violations_total",
+        help: "Audit failures: capacity conservation.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_audit_clock_violations_total",
+        help: "Audit failures: virtual-clock monotonicity.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_audit_ecc_violations_total",
+        help: "Audit failures: ECC / running-set accounting.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_audit_slab_violations_total",
+        help: "Audit failures: streamed-reclamation slab consistency.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_audit_fifo_violations_total",
+        help: "Audit failures: bucket-FIFO dispatch order.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_postmortem_dumps_total",
+        help: "Flight-recorder postmortem dumps written.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_timeline_samples",
+        help: "Samples retained in the last run's timeline.",
+        kind: MetricKind::Gauge,
+    },
 ];
 
 #[cfg(test)]
@@ -804,6 +897,40 @@ mod tests {
                 keys::DP_INCREMENTAL_REBUILDS_TOTAL,
                 "elastisched_dp_incremental_rebuilds_total",
             ),
+            (
+                keys::ENGINE_PEAK_WAIT_VIEWS,
+                "elastisched_engine_peak_wait_views",
+            ),
+            (
+                keys::ENGINE_PEAK_LIVE_JOBS,
+                "elastisched_engine_peak_live_jobs",
+            ),
+            (keys::JOBS_RECLAIMED_TOTAL, "elastisched_jobs_reclaimed_total"),
+            (
+                keys::AUDIT_CAPACITY_VIOLATIONS_TOTAL,
+                "elastisched_audit_capacity_violations_total",
+            ),
+            (
+                keys::AUDIT_CLOCK_VIOLATIONS_TOTAL,
+                "elastisched_audit_clock_violations_total",
+            ),
+            (
+                keys::AUDIT_ECC_VIOLATIONS_TOTAL,
+                "elastisched_audit_ecc_violations_total",
+            ),
+            (
+                keys::AUDIT_SLAB_VIOLATIONS_TOTAL,
+                "elastisched_audit_slab_violations_total",
+            ),
+            (
+                keys::AUDIT_FIFO_VIOLATIONS_TOTAL,
+                "elastisched_audit_fifo_violations_total",
+            ),
+            (
+                keys::POSTMORTEM_DUMPS_TOTAL,
+                "elastisched_postmortem_dumps_total",
+            ),
+            (keys::TIMELINE_SAMPLES, "elastisched_timeline_samples"),
         ];
         assert_eq!(ids.len(), STANDARD_SPECS.len(), "key list out of date");
         for (id, name) in ids {

@@ -9,7 +9,9 @@
 //!   ([`MetricsSnapshot::to_prometheus`]);
 //! * `GET /status` — a JSON [`StatusDoc`] (uptime + the full snapshot),
 //!   the payload behind `escli top`;
-//! * `GET /` — a one-line index pointing at the other two.
+//! * `GET /timeline` — the last published run timeline as JSON (`{}`
+//!   until a run with sampling enabled publishes one);
+//! * `GET /` — a one-line index pointing at the others.
 //!
 //! Serial accept is a feature, not a shortcut: the consumers are a
 //! scrape loop and a human running `escli top`, both of which issue one
@@ -146,16 +148,23 @@ fn handle_conn(
                     .unwrap_or_else(|e| format!("{{\"error\":\"serialize: {e:?}\"}}"));
                 ("200 OK", "application/json; charset=utf-8", body)
             }
+            "/timeline" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                registry
+                    .doc("timeline")
+                    .unwrap_or_else(|| "{}".to_string()),
+            ),
             "/" => (
                 "200 OK",
                 "text/plain; charset=utf-8",
-                "elastisched metrics endpoint: GET /metrics (Prometheus) or /status (JSON)\n"
+                "elastisched metrics endpoint: GET /metrics (Prometheus), /status (JSON) or /timeline (JSON)\n"
                     .to_string(),
             ),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                format!("no such route {path}; try /metrics or /status\n"),
+                format!("no such route {path}; try /metrics, /status or /timeline\n"),
             ),
         }
     };
@@ -251,6 +260,26 @@ mod tests {
             .labels
             .iter()
             .any(|l| l.key == "campaign" && l.value == "serve-test"));
+    }
+
+    #[test]
+    fn timeline_route_serves_published_doc_or_empty_object() {
+        let registry = Arc::new(MetricsRegistry::standard(2));
+        let server =
+            MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).expect("bind ephemeral");
+        let addr = server.addr().to_string();
+
+        // Before any publication the route answers with an empty object.
+        let (code, body) = http_get(&addr, "/timeline", Duration::from_secs(2)).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "{}");
+
+        // A published doc is served verbatim; re-publication replaces it.
+        registry.publish_doc("timeline", "{\"samples\":1}".to_string());
+        registry.publish_doc("timeline", "{\"samples\":2}".to_string());
+        let (code, body) = http_get(&addr, "/timeline", Duration::from_secs(2)).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "{\"samples\":2}");
     }
 
     #[test]

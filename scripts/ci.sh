@@ -37,8 +37,24 @@ if ! cargo test --offline --locked --quiet -p elastisched --test golden_trace; t
     exit 1
 fi
 
-echo "== metrics endpoint smoke (scrape /metrics + /status over TCP) =="
+echo "== golden timeline fixture =="
+# Same discipline for the telemetry sampler's JSONL export (decimation
+# arithmetic included); re-bless with \`ELASTISCHED_BLESS=1 cargo test
+# -p elastisched --test golden_timeline\` after an intentional change.
+if ! cargo test --offline --locked --quiet -p elastisched --test golden_timeline; then
+    echo "golden timeline fixture drifted; rerun with \`ELASTISCHED_BLESS=1\` to re-bless (see above)" >&2
+    exit 1
+fi
+
+echo "== metrics endpoint smoke (scrape /metrics + /status + /timeline over TCP) =="
 cargo test --offline --locked --quiet -p elastisched --test metrics_endpoint
+
+echo "== audit layer (always-on schedule checks + postmortem dump) =="
+# The audit feature promotes the engine's debug_asserts to hard
+# per-cycle checks; this step proves a clean run stays clean and an
+# injected capacity skew yields a recoverable violation plus a
+# parseable flight-recorder postmortem.
+cargo test --offline --locked --quiet -p elastisched-sim --features audit
 
 echo "== differential oracles (reference DP kernels + legacy schedulers) =="
 # The policy stack must be metric-identical to the pre-stack scheduler

@@ -25,6 +25,7 @@ fn run(algo: Algorithm, cs: u32, w: &Workload) -> RunMetrics {
         algorithm: algo,
         params: SchedParams::with_cs(cs),
         machine: MachineSpec::BLUEGENE_P,
+        timeline: None,
     }
     .run(w)
     .expect("simulation completes")

@@ -84,6 +84,7 @@ proptest! {
             algorithm: algo,
             params: SchedParams::with_cs(3),
             machine: MachineSpec::BLUEGENE_P,
+            timeline: None,
         };
         let r = exp.run_raw(&w).expect("simulation completes");
         prop_assert_eq!(r.outcomes.len(), jobs.len());
