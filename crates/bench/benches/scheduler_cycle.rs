@@ -49,6 +49,7 @@ fn bench_lookahead_cost(c: &mut Criterion) {
                     },
                     machine: MachineSpec::BLUEGENE_P,
                     timeline: None,
+                    attribution: false,
                 };
                 exp.run(black_box(w)).unwrap()
             })

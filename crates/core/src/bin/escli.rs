@@ -12,7 +12,12 @@
 //!   JSONL / CSV export;
 //! * `explain` — replay one job's trace: lifecycle plus every scheduler
 //!   decision that touched it, with optional JSONL / Chrome-trace
-//!   export — or `--postmortem <file>` to replay a flight-recorder dump;
+//!   export — or `--postmortem <file>` to replay a flight-recorder
+//!   dump, or `--why-wait <job>` for the job's wait-cause breakdown;
+//! * `diff` — run two algorithms over the same workload with wait-time
+//!   attribution and tracing on, and report the metric deltas, the
+//!   per-cause attribution shift, and the first divergent scheduler
+//!   decision (lockstep trace replay);
 //! * `tune` — empirically tune the maximum skip count `C_s` (§V-A);
 //! * `info` — trace statistics and workload characterization;
 //! * `top` — one-shot live view of another invocation's `--serve-metrics`
@@ -36,6 +41,9 @@ USAGE:
   escli generate --out <file.cwf> [--jobs N] [--ps P] [--pd P] [--eccs]
                  [--load L] [--seed S]
   escli run --trace <file.cwf> --algo <name> [--cs N] [--machine M:unit]
+            [--attribution]
+  escli diff <algo-a> <algo-b> [--trace <file.cwf>] [--cs N] [--machine M:unit]
+             [--jobs N] [--ps P] [--pd P] [--eccs] [--seed S]
   escli compare --trace <file.cwf> [--algos a,b,c] [--cs N] [--machine M:unit]
   escli gantt --trace <file.cwf> --algo <name> [--cs N] [--machine M:unit]
               [--width W] [--rows R]
@@ -43,6 +51,8 @@ USAGE:
                  [--stride SECS] [--budget N] [--jsonl <out.jsonl>] [--csv <out.csv>]
   escli explain --trace <file.cwf> --algo <name> --job <id> [--cs N]
                 [--machine M:unit] [--jsonl <out.jsonl>] [--chrome <out.json>]
+  escli explain --trace <file.cwf> --algo <name> --why-wait <id> [--cs N]
+                [--machine M:unit]
   escli explain --postmortem <dump.jsonl>
   escli tune --ps P [--load L] [--jobs N] [--reps R] [--cs 1,3,7,...]
   escli info --trace <file.cwf>
@@ -64,12 +74,16 @@ Algorithms: FCFS, Conservative, EASY[-D|-E|-DE], LOS[-D|-E|-DE],
 struct Args {
     flags: std::collections::HashMap<String, String>,
     bools: std::collections::HashSet<String>,
+    /// Bare tokens that were not consumed as a flag's value, in order
+    /// (`escli diff easy delayed-los`).
+    pos: Vec<String>,
 }
 
 impl Args {
     fn parse(argv: &[String]) -> Args {
         let mut flags = std::collections::HashMap::new();
         let mut bools = std::collections::HashSet::new();
+        let mut pos = Vec::new();
         let mut i = 0;
         while i < argv.len() {
             if let Some(name) = argv[i].strip_prefix("--") {
@@ -81,10 +95,11 @@ impl Args {
                     i += 1;
                 }
             } else {
+                pos.push(argv[i].clone());
                 i += 1;
             }
         }
-        Args { flags, bools }
+        Args { flags, bools, pos }
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -187,12 +202,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     // A registry name ("Hybrid-LOS") or a stack spec ("delayed-los+d"):
     // the spec syntax also reaches compositions outside Table III, e.g.
     // "fcfs+d" or "conservative+d+e".
+    let attribution = args.has("attribution");
     let m = match name.parse::<Algorithm>() {
         Ok(algo) => Experiment {
             algorithm: algo,
             params,
             machine,
             timeline: None,
+            attribution,
         }
         .run(&w),
         Err(algo_err) => {
@@ -204,12 +221,65 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 params,
                 machine,
                 timeline: None,
+                attribution,
             }
             .run(&w)
         }
     }
     .map_err(|e| e.to_string())?;
     print_metrics(&m);
+    if attribution {
+        println!("wait attribution:");
+        print!("{}", elastisched::render_attribution(&m.attribution));
+    }
+    Ok(())
+}
+
+/// Resolve an algorithm name *or* stack spec to a [`StackSpec`] — the
+/// diff path runs everything through [`StackExperiment`].
+fn parse_spec(name: &str) -> Result<StackSpec, String> {
+    match name.parse::<Algorithm>() {
+        Ok(algo) => Ok(algo.stack_spec()),
+        Err(algo_err) => name
+            .parse::<StackSpec>()
+            .map_err(|spec_err| format!("{algo_err}; {spec_err}")),
+    }
+}
+
+fn cmd_diff(args: &Args) -> Result<(), String> {
+    let [a, b] = args.pos.as_slice() else {
+        return Err("diff needs exactly two algorithms: escli diff <algo-a> <algo-b>".to_string());
+    };
+    let cs: u32 = args.get_parsed("cs", 7)?;
+    let machine = parse_machine(args)?;
+    let params = SchedParams::with_cs(cs);
+    let w = match args.get("trace") {
+        Some(path) => load_trace(path)?,
+        None => {
+            // No trace: generate the headline workload with the same
+            // defaults as `escli generate`.
+            let jobs: usize = args.get_parsed("jobs", 500)?;
+            let ps: f64 = args.get_parsed("ps", 0.5)?;
+            let pd: f64 = args.get_parsed("pd", 0.0)?;
+            let seed: u64 = args.get_parsed("seed", 42)?;
+            let mut cfg = GeneratorConfig::paper_heterogeneous(ps, pd)
+                .with_jobs(jobs)
+                .with_seed(seed);
+            if args.has("eccs") {
+                cfg = cfg.with_paper_eccs();
+            }
+            generate(&cfg)
+        }
+    };
+    let mk = |spec: StackSpec| {
+        let mut exp = StackExperiment::new(spec);
+        exp.params = params;
+        exp.machine = machine;
+        exp
+    };
+    let d = elastisched::diff_runs(&mk(parse_spec(a)?), &mk(parse_spec(b)?), &w)
+        .map_err(|e| e.to_string())?;
+    print!("{}", elastisched::render_diff(&d));
     Ok(())
 }
 
@@ -244,6 +314,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             params: SchedParams::with_cs(cs),
             machine,
             timeline: None,
+            attribution: false,
         };
         exp.run(&w).map_err(|e| e.to_string())
     });
@@ -270,6 +341,7 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
         params: SchedParams::with_cs(cs),
         machine,
         timeline: None,
+        attribution: false,
     };
     let r = exp.run_raw(&w).map_err(|e| e.to_string())?;
     println!("{}", elastisched_metrics::gantt(&r.outcomes, width, rows));
@@ -309,6 +381,7 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
             params,
             machine,
             timeline: Some(cfg),
+            attribution: false,
         }
         .run_raw(&w),
         Err(algo_err) => {
@@ -320,6 +393,7 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
                 params,
                 machine,
                 timeline: Some(cfg),
+                attribution: false,
             }
             .run_raw(&w)
         }
@@ -357,19 +431,38 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
         .ok_or("--algo is required")?
         .parse()
         .map_err(|e: String| e)?;
+    let cs: u32 = args.get_parsed("cs", 7)?;
+    let machine = parse_machine(args)?;
+    let w = load_trace(trace)?;
+    if let Some(id) = args.get("why-wait") {
+        let job: u64 = id.parse().map_err(|_| "bad --why-wait id".to_string())?;
+        let exp = Experiment {
+            algorithm: algo,
+            params: SchedParams::with_cs(cs),
+            machine,
+            timeline: None,
+            attribution: true,
+        };
+        let r = exp.run_raw(&w).map_err(|e| e.to_string())?;
+        let o = r
+            .outcomes
+            .iter()
+            .find(|o| o.id.0 == job)
+            .ok_or_else(|| format!("job {job} did not complete in this run"))?;
+        print!("{}", elastisched::render_wait_breakdown(o));
+        return Ok(());
+    }
     let job: u64 = args
         .get("job")
         .ok_or("--job is required")?
         .parse()
         .map_err(|_| "bad --job id".to_string())?;
-    let cs: u32 = args.get_parsed("cs", 7)?;
-    let machine = parse_machine(args)?;
-    let w = load_trace(trace)?;
     let exp = Experiment {
         algorithm: algo,
         params: SchedParams::with_cs(cs),
         machine,
         timeline: None,
+        attribution: false,
     };
     let r = exp
         .run_traced(&w, elastisched_trace::TraceSink::new())
@@ -516,6 +609,7 @@ fn main() -> ExitCode {
     let result = match cmd {
         "generate" => cmd_generate(&args),
         "run" => cmd_run(&args),
+        "diff" => cmd_diff(&args),
         "compare" => cmd_compare(&args),
         "info" => cmd_info(&args),
         "tune" => cmd_tune(&args),

@@ -49,6 +49,9 @@ pub struct Experiment {
     /// When set, every run records a budget-bounded virtual-time
     /// telemetry timeline (`RunMetrics::timeline`).
     pub timeline: Option<TimelineConfig>,
+    /// When set, every run classifies each job's queue wait by cause
+    /// (`RunMetrics::attribution`, `JobOutcome::attribution`).
+    pub attribution: bool,
 }
 
 impl Experiment {
@@ -59,6 +62,7 @@ impl Experiment {
             params: SchedParams::default(),
             machine: MachineSpec::BLUEGENE_P,
             timeline: None,
+            attribution: false,
         }
     }
 
@@ -80,11 +84,20 @@ impl Experiment {
         self
     }
 
+    /// Enable per-job wait-time attribution for every run.
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = true;
+        self
+    }
+
     fn build_engine(&self) -> Engine<Box<dyn elastisched_sim::Scheduler + Send>> {
         let scheduler = self.algorithm.build(self.params);
         let mut engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
         if let Some(cfg) = self.timeline {
             engine.enable_timeline(cfg);
+        }
+        if self.attribution {
+            engine.enable_attribution();
         }
         engine
     }
@@ -171,6 +184,9 @@ pub struct StackExperiment {
     /// When set, every run records a budget-bounded virtual-time
     /// telemetry timeline (`RunMetrics::timeline`).
     pub timeline: Option<TimelineConfig>,
+    /// When set, every run classifies each job's queue wait by cause
+    /// (`RunMetrics::attribution`, `JobOutcome::attribution`).
+    pub attribution: bool,
 }
 
 impl StackExperiment {
@@ -181,6 +197,7 @@ impl StackExperiment {
             params: SchedParams::default(),
             machine: MachineSpec::BLUEGENE_P,
             timeline: None,
+            attribution: false,
         }
     }
 
@@ -202,11 +219,20 @@ impl StackExperiment {
         self
     }
 
+    /// Enable per-job wait-time attribution for every run.
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = true;
+        self
+    }
+
     fn build_engine(&self) -> Engine<Box<dyn elastisched_sim::Scheduler + Send>> {
         let scheduler = self.spec.build(self.params);
         let mut engine = Engine::new(self.machine.build(), scheduler, self.spec.ecc_policy());
         if let Some(cfg) = self.timeline {
             engine.enable_timeline(cfg);
+        }
+        if self.attribution {
+            engine.enable_attribution();
         }
         engine
     }
@@ -215,6 +241,15 @@ impl StackExperiment {
     /// ECC policy is chosen by the spec's `+e` flag.
     pub fn run_raw(&self, workload: &Workload) -> Result<SimResult, SimError> {
         let mut engine = self.build_engine();
+        engine.load(&workload.jobs, &workload.eccs)?;
+        engine.run()
+    }
+
+    /// Run against a workload with structured tracing enabled — the
+    /// stack-spec counterpart of [`Experiment::run_traced`].
+    pub fn run_traced(&self, workload: &Workload, sink: TraceSink) -> Result<SimResult, SimError> {
+        let mut engine = self.build_engine();
+        engine.enable_tracing(sink);
         engine.load(&workload.jobs, &workload.eccs)?;
         engine.run()
     }

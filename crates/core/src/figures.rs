@@ -232,6 +232,7 @@ fn load_sweep(
                 params,
                 machine,
                 timeline: None,
+                attribution: false,
             };
             let m = exp
                 .run(&workloads[wi].1)
@@ -669,6 +670,7 @@ pub fn ablation_lookahead(cfg: &ReproConfig) -> Figure {
                 },
                 machine,
                 timeline: None,
+                attribution: false,
             };
             (i, exp.run(&workloads[wi]).expect("simulation must complete"))
         },

@@ -38,6 +38,7 @@
 
 pub mod calibrate;
 pub mod contiguity;
+pub mod diff;
 pub mod experiment;
 pub mod explain;
 pub mod figures;
@@ -50,6 +51,10 @@ pub mod tune;
 
 pub use calibrate::{calibrated_workload, search_beta_arr};
 pub use contiguity::{contiguity_study, ContiguityPoint, ContiguityStudy};
+pub use diff::{
+    diff_runs, first_divergence, render_attribution, render_diff, render_wait_breakdown, Decision,
+    FirstDivergence, RunDiff,
+};
 pub use experiment::{Experiment, MachineSpec, StackExperiment};
 pub use explain::{explain_job, explain_postmortem};
 pub use timeline_view::render_timeline;

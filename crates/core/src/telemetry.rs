@@ -270,6 +270,16 @@ pub fn record_run(m: &RunMetrics) {
         json.push_str("]}");
         c.registry.publish_doc("timeline", json);
     }
+    if !m.attribution.is_empty() {
+        // Publish the latest wait-attribution profile for the
+        // `/attribution` endpoint, tagged with its scheduler.
+        let profile = serde_json::to_string(&m.attribution).unwrap_or_default();
+        let scheduler = serde_json::to_string(&m.scheduler).unwrap_or_default();
+        c.registry.publish_doc(
+            "attribution",
+            format!("{{\"scheduler\":{scheduler},\"attribution\":{profile}}}"),
+        );
+    }
     for phase in Phase::ALL {
         let nanos = m.phase_profile.nanos_of(phase);
         if nanos > 0 {

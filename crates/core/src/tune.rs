@@ -62,6 +62,7 @@ pub fn tune_cs(
             params: SchedParams::with_cs(cs),
             machine,
             timeline: None,
+            attribution: false,
         };
         let m = exp.run(&workloads[wi]).expect("simulation must complete");
         (ci, m.mean_wait, m.utilization)

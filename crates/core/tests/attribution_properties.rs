@@ -1,0 +1,88 @@
+//! Property-based tests of wait-time attribution.
+//!
+//! Two invariants, over random workloads × every registry algorithm
+//! family the streaming differential suite spans:
+//!
+//! 1. **Conservation** — every job's cause buckets sum *exactly* to its
+//!    total wait (`sum(causes) == started − eligible`), whole seconds,
+//!    no rounding slop. The attribution machinery charges intervals at
+//!    cycle boundaries; this pins that the telescoping never loses or
+//!    double-counts a span, whatever the policy decided.
+//! 2. **Path independence** — a streamed run (per-job state reclaimed
+//!    at completion, attributions folded on reclamation) produces the
+//!    identical [`AttributionProfile`] to the materialized run, top
+//!    blockers included.
+
+use elastisched::Experiment;
+use elastisched_sched::Algorithm;
+use elastisched_workload::{generate, GeneratorConfig, LublinSource};
+use proptest::prelude::*;
+
+/// The same six-family spread the streaming differential suite uses:
+/// plain FIFO, backfilling, DP-driven LOS variants, the dedicated
+/// layer, and ECC processing.
+const ALGORITHMS: [Algorithm; 6] = [
+    Algorithm::Fcfs,
+    Algorithm::Easy,
+    Algorithm::DelayedLos,
+    Algorithm::LosD,
+    Algorithm::DelayedLosE,
+    Algorithm::HybridLosE,
+];
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        0u64..1_000_000,
+        30usize..100,
+        0usize..3,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(seed, jobs, psi, dedicated, eccs)| {
+            let ps = [0.2, 0.5, 0.8][psi];
+            let pd = if dedicated { 0.3 } else { 0.0 };
+            let mut cfg = GeneratorConfig::paper_heterogeneous(ps, pd)
+                .with_jobs(jobs)
+                .with_seed(seed);
+            if eccs {
+                cfg = cfg.with_paper_eccs();
+            }
+            cfg
+        })
+}
+
+proptest! {
+    // Each case simulates the workload 12 times (6 algorithms × 2
+    // paths), so a modest case count already covers a wide space.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cause_buckets_sum_to_the_wait_and_profiles_are_path_independent(
+        cfg in arb_config(),
+    ) {
+        let w = generate(&cfg);
+        for algo in ALGORITHMS {
+            let exp = Experiment::new(algo).with_attribution();
+            let mat = exp.run_raw(&w).unwrap();
+            prop_assert_eq!(mat.outcomes.len(), w.len());
+            let mut waited = 0u64;
+            for o in &mat.outcomes {
+                let attr = o.attribution.expect("attribution was enabled");
+                prop_assert_eq!(
+                    attr.total_secs(),
+                    o.wait.as_secs(),
+                    "{}: job {} buckets {:?} != wait {}s",
+                    algo, o.id.0, attr, o.wait.as_secs()
+                );
+                waited += o.wait.as_secs();
+            }
+            // The run-level profile conserves the fleet total too.
+            prop_assert_eq!(mat.attribution.total_secs(), waited, "{}", algo);
+            prop_assert_eq!(mat.attribution.jobs, w.len() as u64, "{}", algo);
+
+            // Streamed run: identical profile, fold order and all.
+            let st = exp.run_streamed_raw(LublinSource::new(&cfg)).unwrap();
+            prop_assert_eq!(&st.attribution, &mat.attribution, "{}", algo);
+        }
+    }
+}

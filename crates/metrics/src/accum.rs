@@ -182,6 +182,7 @@ impl RunAccumulator {
                 .unwrap_or_default(),
             phase_profile,
             timeline: result.timeline.clone(),
+            attribution: result.attribution.clone(),
         }
     }
 }
@@ -263,6 +264,7 @@ mod tests {
             num,
             runtime: Duration::from_secs(finished - started),
             wait: Duration::from_secs(started - submit),
+            attribution: None,
         }
     }
 
@@ -286,6 +288,7 @@ mod tests {
             engine: elastisched_sim::EngineStats::default(),
             trace: None,
             timeline: Default::default(),
+            attribution: Default::default(),
         }
     }
 

@@ -99,6 +99,7 @@ mod tests {
             num,
             runtime: Duration::from_secs(100),
             wait: Duration::from_secs(wait),
+            attribution: None,
         }
     }
 

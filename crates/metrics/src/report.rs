@@ -6,7 +6,7 @@
 //! derives them (plus extra diagnostics) from a [`SimResult`].
 
 use crate::stats::Summary;
-use elastisched_sim::{LogHistogram, PhaseProfile, RunTimeline, SimResult};
+use elastisched_sim::{AttributionProfile, LogHistogram, PhaseProfile, RunTimeline, SimResult};
 use serde::{Deserialize, Serialize};
 
 /// The paper's metrics for one simulation run.
@@ -106,6 +106,12 @@ pub struct RunMetrics {
     /// `phase_profile`.
     #[serde(default)]
     pub timeline: RunTimeline,
+    /// Run-level wait-time attribution: where the fleet's queue wait
+    /// went, by cause, with the top capacity blockers (populated when
+    /// the run had attribution enabled; empty otherwise). Observability
+    /// detail, excluded from equality like `phase_profile`.
+    #[serde(default)]
+    pub attribution: AttributionProfile,
 }
 
 /// Equality ignores `dp_nanos`, `engine_nanos`, the engine-loop
@@ -180,6 +186,7 @@ mod tests {
             num,
             runtime: Duration::from_secs(finished - started),
             wait: Duration::from_secs(started - submit),
+            attribution: None,
         }
     }
 
@@ -203,6 +210,7 @@ mod tests {
             engine: elastisched_sim::EngineStats::default(),
             trace: None,
             timeline: Default::default(),
+            attribution: Default::default(),
         }
     }
 

@@ -118,6 +118,7 @@ mod tests {
             num,
             runtime: Duration::from_secs(finished - started),
             wait: Duration::from_secs(started),
+            attribution: None,
         }
     }
 

@@ -133,6 +133,7 @@ mod tests {
             num,
             runtime: Duration::from_secs(finished - started),
             wait: Duration::from_secs(started.saturating_sub(submit)),
+            attribution: None,
         }
     }
 

@@ -103,6 +103,9 @@ pub(crate) fn delayed_los_cycle(
             if !head_selected {
                 queue.head_mut().expect("still non-empty").scount += 1;
                 telemetry.head_skips += 1;
+                if let Some(notes) = ctx.attribution() {
+                    notes.note_skip(head_id);
+                }
                 trace_event!(
                     ctx.trace(),
                     TraceEvent::HeadSkip {
@@ -142,6 +145,9 @@ pub(crate) fn delayed_los_cycle(
         let Some(freeze) = batch_head_freeze(ctx.running(), now, ctx.total(), head_num) else {
             return; // head larger than the machine; engine validation forbids this
         };
+        if let Some(notes) = ctx.attribution() {
+            notes.note_freeze();
+        }
         work.clear_candidates();
         for (pos, w) in queue.iter().enumerate().skip(1) {
             if w.view.num > free {
@@ -269,6 +275,9 @@ impl BatchPolicy for DelayedLosCore {
         let Some(freeze) = claim.freeze(ctx) else {
             return; // dedicated bundle larger than the machine
         };
+        if let Some(notes) = ctx.attribution() {
+            notes.note_freeze();
+        }
         let head_id = queue.head().expect("batch non-empty").view.id;
         shared.work.clear_candidates();
         for (pos, w) in queue.iter().enumerate() {
@@ -303,6 +312,9 @@ impl BatchPolicy for DelayedLosCore {
             head.scount += 1;
             let scount = head.scount;
             shared.telemetry.head_skips += 1;
+            if let Some(notes) = ctx.attribution() {
+                notes.note_skip(head_id);
+            }
             trace_event!(
                 ctx.trace(),
                 TraceEvent::HeadSkip {

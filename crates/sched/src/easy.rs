@@ -43,6 +43,9 @@ pub(crate) fn easy_cycle(
     let Some(shadow) = batch_head_freeze(ctx.running(), now, ctx.total(), head.view.num) else {
         return; // head larger than the machine; engine validation forbids this
     };
+    if let Some(notes) = ctx.attribution() {
+        notes.note_freeze();
+    }
     let mut extra = shadow.frec;
     // Phase 3: aggressive backfill in FIFO order. A cursor walk starts
     // jobs in place — removal at the cursor keeps FIFO order and avoids

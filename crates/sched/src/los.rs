@@ -54,6 +54,9 @@ pub(crate) fn los_cycle(
         },
     };
     let skip_head = ded.is_none(); // plain LOS: the head holds the reservation
+    if let Some(notes) = ctx.attribution() {
+        notes.note_freeze();
+    }
     let free = ctx.free();
     work.clear_candidates();
     for w in queue

@@ -163,6 +163,9 @@ impl BatchPolicy for OrderedCore {
         let Some(shadow) = batch_head_freeze(ctx.running(), now, ctx.total(), head_num) else {
             return;
         };
+        if let Some(notes) = ctx.attribution() {
+            notes.note_freeze();
+        }
         let mut extra = shadow.frec;
         let head_i = self.min_index(queue).expect("head is still queued");
         self.scratch.clear();

@@ -168,6 +168,11 @@ pub trait BatchPolicy {
     ) {
         let _ = bump_scount;
         let ded = claim.freeze(ctx);
+        if ded.is_some() {
+            if let Some(notes) = ctx.attribution() {
+                notes.note_freeze();
+            }
+        }
         self.cycle(queue, ctx, ded, shared);
     }
 }

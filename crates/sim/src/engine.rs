@@ -7,6 +7,7 @@
 //! virtual clock, job arrival/completion events, an ECC processor, and a
 //! scheduling cycle fired once per distinct event timestamp.
 
+use crate::attribution::{AttrNotes, AttrState, AttributionProfile, JobAttr, PendingCause};
 use crate::ecc::{EccKind, EccPolicy, EccSpec};
 use crate::event::{Event, EventQueue};
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, JobState};
@@ -91,12 +92,13 @@ pub enum SimError {
     /// An always-on audit check (the `audit` cargo feature) caught an
     /// engine-state inconsistency: capacity conservation, clock
     /// monotonicity, ECC/running-set accounting, reclamation-slab
-    /// consistency, or bucket-FIFO order. Never produced without the
-    /// feature; when a flight recorder is armed the violation also
-    /// dumps a postmortem (see [`Engine::enable_flight_recorder`]).
+    /// consistency, bucket-FIFO order, or wait-attribution
+    /// conservation. Never produced without the feature; when a flight
+    /// recorder is armed the violation also dumps a postmortem (see
+    /// [`Engine::enable_flight_recorder`]).
     AuditViolation {
         /// Which check family tripped: `capacity`, `clock`, `ecc`,
-        /// `slab`, or `fifo`.
+        /// `slab`, `fifo`, or `attribution`.
         check: &'static str,
         /// Human-readable specifics.
         detail: String,
@@ -239,6 +241,9 @@ pub struct SimResult {
     /// The sampled virtual-time timeline (empty unless sampling was
     /// enabled via [`Engine::enable_timeline`]).
     pub timeline: RunTimeline,
+    /// Per-run wait-attribution roll-up (empty unless attribution was
+    /// enabled via [`Engine::enable_attribution`]).
+    pub attribution: AttributionProfile,
 }
 
 impl SimResult {
@@ -302,6 +307,17 @@ struct EngineState {
     /// inline histogram. `None` means every `trace_event!` call site in
     /// the engine and the schedulers is a single always-false branch.
     trace: Option<Box<TraceSink>>,
+    /// Wait-attribution state, present only when enabled (see
+    /// [`Engine::enable_attribution`]); same one-branch discipline as
+    /// the trace sink.
+    attr: Option<Box<AttrState>>,
+    /// Events still in the queue because [`Engine::load`] pre-queued the
+    /// whole trace (arrivals + ECCs not yet dispatched). Subtracted from
+    /// the sampled `event_queue_len` so the telemetry timeline reports
+    /// only *reactive* events (completions, wakeups) and the streamed
+    /// and materialized paths sample identically. Always zero on the
+    /// streaming paths, which admit source items without queueing them.
+    preloaded_pending: u64,
 }
 
 impl EngineState {
@@ -386,6 +402,12 @@ impl SchedContext for EngineState {
         if rec.state != JobState::Waiting {
             return Err(StartError::NotWaiting(id));
         }
+        // Final attribution charge: the job stops waiting this instant,
+        // so the interval since the last cycle goes to its pending
+        // cause and the buckets telescope to exactly the job's wait.
+        if let Some(attr) = self.attr.as_deref_mut() {
+            attr.jobs[idx].charge_until(now, rec.spec.eligible_at());
+        }
         let alloc = rec.alloc;
         let kill_by = now + rec.est_dur;
         let completes = now + rec.actual_dur.min(rec.est_dur);
@@ -456,6 +478,10 @@ impl SchedContext for EngineState {
     fn trace(&mut self) -> Option<&mut TraceSink> {
         self.trace.as_deref_mut()
     }
+
+    fn attribution(&mut self) -> Option<&mut AttrNotes> {
+        self.attr.as_deref_mut().map(|a| &mut a.notes)
+    }
 }
 
 /// Ring capacity of the flight recorder's implicit trace sink: enough
@@ -519,6 +545,8 @@ impl<S: Scheduler> Engine<S> {
                 free_slots: Vec::new(),
                 reclaim: false,
                 trace: None,
+                attr: None,
+                preloaded_pending: 0,
             },
             first_arrival: SimTime::MAX,
             last_arrival: SimTime::ZERO,
@@ -556,6 +584,21 @@ impl<S: Scheduler> Engine<S> {
     /// this call the sampler costs one branch per scheduling cycle.
     pub fn enable_timeline(&mut self, cfg: TimelineConfig) {
         self.timeline = Some(Box::new(TimelineSampler::new(cfg)));
+    }
+
+    /// Classify every second of every job's queue wait into blocking
+    /// causes (see [`crate::attribution`] for the taxonomy): each cycle
+    /// charges the elapsed interval to the cause decided at the
+    /// previous cycle, so the per-job buckets telescope to exactly the
+    /// job's wait. The per-job [`crate::WaitAttribution`] rides on its
+    /// [`JobOutcome`] and the per-run [`AttributionProfile`] on
+    /// [`SimResult::attribution`]. Works identically on [`Engine::run`]
+    /// and the streaming paths — per-job state is recycled with the
+    /// record slot and the profile folds O(1) at completion, so soaks
+    /// carry it in bounded memory. Without this call attribution costs
+    /// one branch per scheduling cycle.
+    pub fn enable_attribution(&mut self) {
+        self.state.attr = Some(Box::default());
     }
 
     /// Arm the black-box flight recorder: if the run panics or aborts
@@ -605,11 +648,13 @@ impl<S: Scheduler> Engine<S> {
             }
             self.state.records.push(JobRecord::new(*spec));
             self.state.queue.push(spec.submit, Event::Arrival(spec.id));
+            self.state.preloaded_pending += 1;
             self.first_arrival = self.first_arrival.min(spec.submit);
             self.last_arrival = self.last_arrival.max(spec.submit);
         }
         for ecc in eccs {
             self.state.queue.push(ecc.issue_at, Event::Ecc(*ecc));
+            self.state.preloaded_pending += 1;
         }
         Ok(())
     }
@@ -921,6 +966,10 @@ impl<S: Scheduler> Engine<S> {
                 sampler.push(Self::take_sample(&self.state, &self.scheduler, t));
             }
         }
+        // Wait attribution: same one-branch-per-cycle discipline.
+        if self.state.attr.is_some() {
+            self.attribute_cycle(t);
+        }
         // Audit checks run *before* the debug asserts so an injected or
         // genuine inconsistency surfaces as a recoverable
         // [`SimError::AuditViolation`] (with postmortem) rather than an
@@ -987,13 +1036,89 @@ impl<S: Scheduler> Engine<S> {
             oldest_wait_secs,
             running: state.running.len() as u32,
             live_wait_views: (state.wait_views.len() - head) as u32,
-            event_queue_len: state.queue.len() as u32,
+            event_queue_len: (state.queue.len() as u64).saturating_sub(state.preloaded_pending)
+                as u32,
             eccs_applied: state.ecc_stats.applied(),
             dp_cache_hits: st.dp_cache_hits,
             dp_cache_misses: st.dp_cache_misses,
             dp_incremental_hits: st.dp_incremental_hits,
             dp_incremental_rebuilds: st.dp_incremental_rebuilds,
         }
+    }
+
+    /// Post-cycle attribution pass: charge the interval since the last
+    /// cycle to each waiting job's pending cause, then reclassify why
+    /// each job still waits — capacity shortfall (and which running job
+    /// leads the blockade), dedicated-node contention, processors
+    /// gained by running jobs through expand-procs ECCs, a deliberate
+    /// policy skip, or a freeze window — for the interval that begins
+    /// now. O(running + waiting) per cycle, entered only when
+    /// attribution is enabled.
+    fn attribute_cycle(&mut self, t: SimTime) {
+        // Take the attribution state out so the wait views, records,
+        // and notes can be read while the per-job slab is written.
+        let Some(mut attr) = self.state.attr.take() else {
+            return;
+        };
+        let state = &self.state;
+        let free = state.machine.free();
+        // One pass over the running set: processors held by dedicated
+        // jobs, processors gained through expand-procs ECCs, and the
+        // largest single allocation (the capacity lead blocker; ties
+        // break toward the lower id so both run paths agree regardless
+        // of running-set iteration order).
+        let mut ded_procs = 0u32;
+        let mut ecc_procs = 0u32;
+        let mut blocker = JobId(u64::MAX);
+        let mut blocker_num = 0u32;
+        for rj in state.running.iter() {
+            if let Some(rec) = state.record(rj.id) {
+                if rec.spec.class.is_dedicated() {
+                    ded_procs += rj.num;
+                }
+                if rec.ecc_count > 0 {
+                    ecc_procs += rj.num.saturating_sub(rec.spec.num);
+                }
+            }
+            if rj.num > blocker_num || (rj.num == blocker_num && rj.id < blocker) {
+                blocker = rj.id;
+                blocker_num = rj.num;
+            }
+        }
+        let head = state.wait_head;
+        for (v, &slot) in state.wait_views[head..]
+            .iter()
+            .zip(&state.wait_recs[head..])
+        {
+            let idx = slot as usize;
+            let rec = &state.records[idx];
+            if rec.state != JobState::Waiting || rec.spec.id != v.id {
+                continue; // dead view awaiting compaction
+            }
+            let ja = &mut attr.jobs[idx];
+            ja.charge_until(t, rec.spec.eligible_at());
+            // Capacity-style causes outrank policy causes: a job that
+            // does not fit was not schedulable no matter what the
+            // policy decided this cycle. Among the policy causes, a
+            // deliberate skip outranks an ambient freeze window.
+            ja.pending = if v.num > free {
+                if v.num <= free + ded_procs {
+                    PendingCause::Dedicated
+                } else if v.num <= free + ded_procs + ecc_procs {
+                    PendingCause::Ecc
+                } else {
+                    PendingCause::Capacity(blocker)
+                }
+            } else if attr.notes.skipped.contains(&v.id) {
+                PendingCause::PolicySkip
+            } else if attr.notes.freeze {
+                PendingCause::Freeze
+            } else {
+                PendingCause::PolicySkip
+            };
+        }
+        attr.notes.clear();
+        self.state.attr = Some(attr);
     }
 
     /// Dump the flight recorder's ring plus an engine-state snapshot to
@@ -1072,6 +1197,7 @@ impl<S: Scheduler> Engine<S> {
                 "clock" => keys::AUDIT_CLOCK_VIOLATIONS_TOTAL,
                 "ecc" => keys::AUDIT_ECC_VIOLATIONS_TOTAL,
                 "slab" => keys::AUDIT_SLAB_VIOLATIONS_TOTAL,
+                "attribution" => keys::AUDIT_ATTRIBUTION_VIOLATIONS_TOTAL,
                 _ => keys::AUDIT_FIFO_VIOLATIONS_TOTAL,
             };
             reg.counter_add(key, 1);
@@ -1223,6 +1349,12 @@ impl<S: Scheduler> Engine<S> {
             None => RunTimeline::default(),
         };
         let sched_stats = self.scheduler.stats();
+        let attribution = self
+            .state
+            .attr
+            .take()
+            .map(|a| a.profile)
+            .unwrap_or_default();
         // Flush run totals into the live metrics registry, once per run
         // — never per event, so the hot loop above stays registry-free.
         // `metric!` compiles out with the trace crate's `off` feature
@@ -1266,6 +1398,26 @@ impl<S: Scheduler> Engine<S> {
                 engine_stats.peak_live_jobs as f64,
             );
             reg.gauge_set(keys::TIMELINE_SAMPLES, timeline.samples.len() as f64);
+            if !attribution.is_empty() {
+                reg.counter_add(keys::ATTR_JOBS_TOTAL, attribution.jobs);
+                reg.counter_add(
+                    keys::ATTR_CAPACITY_WAIT_SECONDS_TOTAL,
+                    attribution.capacity_secs,
+                );
+                reg.counter_add(
+                    keys::ATTR_DEDICATED_WAIT_SECONDS_TOTAL,
+                    attribution.dedicated_secs,
+                );
+                reg.counter_add(keys::ATTR_ECC_WAIT_SECONDS_TOTAL, attribution.ecc_secs);
+                reg.counter_add(
+                    keys::ATTR_POLICY_SKIP_WAIT_SECONDS_TOTAL,
+                    attribution.policy_skip_secs,
+                );
+                reg.counter_add(
+                    keys::ATTR_FREEZE_WAIT_SECONDS_TOTAL,
+                    attribution.freeze_secs,
+                );
+            }
         });
         let state = self.state;
         Ok(SimResult {
@@ -1286,14 +1438,21 @@ impl<S: Scheduler> Engine<S> {
             engine: engine_stats,
             trace: state.trace,
             timeline,
+            attribution,
         })
     }
 
     fn dispatch(&mut self, ev: Event, fold: &mut OutcomeFold<'_>) -> Result<(), SimError> {
         match ev {
-            Event::Arrival(id) => self.handle_arrival(id),
+            Event::Arrival(id) => {
+                self.state.preloaded_pending -= 1;
+                self.handle_arrival(id)
+            }
             Event::Completion { job, epoch } => self.handle_completion(job, epoch, fold),
-            Event::Ecc(ecc) => self.handle_ecc(ecc),
+            Event::Ecc(ecc) => {
+                self.state.preloaded_pending -= 1;
+                self.handle_ecc(ecc)
+            }
             Event::Wakeup => Ok(()),
         }
     }
@@ -1329,6 +1488,14 @@ impl<S: Scheduler> Engine<S> {
         self.state.wait_views.push(view);
         self.state.wait_recs.push(idx as u32);
         self.state.peak_wait_views = self.state.peak_wait_views.max(self.state.wait_views.len());
+        // Per-job attribution accumulator, slab-parallel to the record
+        // (and recycled with its slot on the streaming paths).
+        if let Some(attr) = self.state.attr.as_deref_mut() {
+            if attr.jobs.len() <= idx {
+                attr.jobs.resize(idx + 1, JobAttr::default());
+            }
+            attr.jobs[idx] = JobAttr::new(now);
+        }
         trace_event!(
             self.state.trace.as_deref_mut(),
             TraceEvent::Queued {
@@ -1372,7 +1539,7 @@ impl<S: Scheduler> Engine<S> {
             .release(alloc, now)
             .map_err(|e| SimError::Start(e.to_string()))?;
         self.state.running.remove(id);
-        self.push_outcome(idx, id, started, now, alloc, fold);
+        self.push_outcome(idx, id, started, now, alloc, fold)?;
         self.scheduler.on_completion(id);
         if self.state.reclaim {
             // The job is fully accounted for; free its id and slot so a
@@ -1395,10 +1562,42 @@ impl<S: Scheduler> Engine<S> {
         finished: SimTime,
         num: u32,
         fold: &mut OutcomeFold<'_>,
-    ) {
+    ) -> Result<(), SimError> {
         let rec = &self.state.records[idx];
         let spec = &rec.spec;
         let eligible = spec.eligible_at();
+        let wait = started.saturating_since(eligible);
+        // Fold the job's wait attribution into the run profile (O(1),
+        // so streamed reclamation loses nothing) and hold the engine to
+        // the conservation invariant: every charge lands at a cycle
+        // instant, so the cause buckets must telescope to exactly the
+        // wait. Under the audit feature a mismatch is a recoverable
+        // violation; otherwise a debug assert.
+        let mut attribution = None;
+        if let Some(attr) = self.state.attr.as_deref_mut() {
+            let ja = attr.jobs[idx];
+            let total = ja.attr.total_secs();
+            if total != wait.as_secs() {
+                #[cfg(feature = "audit")]
+                return Err(Self::audit_fail(
+                    "attribution",
+                    format!(
+                        "job {} cause buckets sum to {total}s but it waited {}s",
+                        id.0,
+                        wait.as_secs()
+                    ),
+                ));
+                #[cfg(not(feature = "audit"))]
+                debug_assert_eq!(
+                    total,
+                    wait.as_secs(),
+                    "attribution buckets must sum to job {}'s wait",
+                    id.0
+                );
+            }
+            attr.profile.fold(&ja.attr);
+            attribution = Some(ja.attr);
+        }
         let outcome = JobOutcome {
             id,
             submit: spec.submit,
@@ -1407,7 +1606,8 @@ impl<S: Scheduler> Engine<S> {
             finished,
             num,
             runtime: finished.saturating_since(started),
-            wait: started.saturating_since(eligible),
+            wait,
+            attribution,
         };
         trace_event!(
             self.state.trace.as_deref_mut(),
@@ -1425,6 +1625,7 @@ impl<S: Scheduler> Engine<S> {
             Some(f) => f(&outcome),
             None => self.state.outcomes.push(outcome),
         }
+        Ok(())
     }
 
     fn handle_ecc(&mut self, ecc: EccSpec) -> Result<(), SimError> {
@@ -2181,7 +2382,7 @@ mod tests {
         }
 
         #[test]
-        fn streaming_timeline_matches_materialized_except_queue_len() {
+        fn streaming_timeline_matches_materialized_exactly() {
             let (jobs, eccs) = mixed_workload();
             let cfg = crate::sampler::TimelineConfig {
                 stride: Duration::from_secs(1),
@@ -2203,16 +2404,10 @@ mod tests {
             s.enable_timeline(cfg);
             let st = s.run_streaming(SliceSource::new(&jobs, &eccs)).unwrap();
             assert!(!mat.timeline.is_empty());
-            assert_eq!(mat.timeline.decimations, st.timeline.decimations);
-            assert_eq!(mat.timeline.samples.len(), st.timeline.samples.len());
-            for (a, b) in mat.timeline.samples.iter().zip(&st.timeline.samples) {
-                // `event_queue_len` legitimately differs: the loader
-                // pre-queues every arrival, the streaming loop holds one
-                // item of lookahead instead (see the sampler module docs).
-                let mut b = *b;
-                b.event_queue_len = a.event_queue_len;
-                assert_eq!(*a, b);
-            }
+            // Field-for-field identity, `event_queue_len` included: the
+            // sampler counts only reactive events, netting out the
+            // loader's pre-queued arrivals (see the sampler module docs).
+            assert_eq!(mat.timeline, st.timeline);
         }
 
         #[test]

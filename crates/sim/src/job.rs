@@ -223,6 +223,12 @@ pub struct JobOutcome {
     /// Waiting time: `started - submit` for batch jobs, and
     /// `started - max(submit, requested_start)` for dedicated jobs.
     pub wait: Duration,
+    /// Decomposition of `wait` into blocking causes (`None` unless the
+    /// engine ran with attribution enabled — see
+    /// `Engine::enable_attribution`). The cause buckets sum to `wait`
+    /// exactly.
+    #[serde(default)]
+    pub attribution: Option<crate::attribution::WaitAttribution>,
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod attribution;
 pub mod contiguous;
 pub mod ecc;
 pub mod engine;
@@ -38,6 +39,7 @@ pub mod sched_api;
 pub mod source;
 pub mod time;
 
+pub use attribution::{AttrNotes, AttributionProfile, BlockerShare, WaitAttribution, TOP_BLOCKERS};
 pub use contiguous::{ContigError, ContiguousMachine, Extent, ReplayEvent, ReplayStats};
 pub use ecc::{EccKind, EccPolicy, EccSpec};
 pub use engine::{simulate, EccStats, Engine, EngineStats, SimError, SimResult, StateSample};

@@ -26,9 +26,14 @@
 //! Samples are a pure function of engine state at cycle boundaries and
 //! the decimation schedule is a pure function of sample count, so the
 //! streamed and materialized paths — which execute identical cycles —
-//! produce identical timelines except for [`TimelineSample::event_queue_len`]
-//! (the materialized loader pre-queues every arrival; the streamed loop
-//! holds one item of lookahead instead).
+//! produce **identical** timelines, field for field.
+//! [`TimelineSample::event_queue_len`] earns this by counting only
+//! *reactive* events (completions and wakeups): the materialized loader
+//! pre-queues every arrival while the streamed loop holds one item of
+//! source lookahead, so the raw queue population differs by load
+//! strategy even when the simulated run is the same. The engine tracks
+//! how many still-pending events came from `load` preloading and the
+//! sampler subtracts them, leaving the path-independent count.
 
 use crate::time::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -88,9 +93,10 @@ pub struct TimelineSample {
     /// plus not-yet-compacted dead ones) — the quantity
     /// [`crate::EngineStats::peak_wait_views`] tracks the peak of.
     pub live_wait_views: u32,
-    /// Pending engine events. Differs between the materialized path
-    /// (every arrival pre-queued at load) and the streaming path (one
-    /// item of source lookahead); see the module docs.
+    /// Pending *reactive* engine events: completions and scheduler
+    /// wakeups, excluding arrivals/ECCs pre-queued by a materialized
+    /// `load`. Identical between the materialized and streaming paths;
+    /// see the module docs.
     pub event_queue_len: u32,
     /// Cumulative ECCs applied so far.
     pub eccs_applied: u64,

@@ -5,6 +5,7 @@
 //! structures and decides, at each scheduling cycle, which waiting jobs to
 //! activate via [`SchedContext::start`].
 
+use crate::attribution::AttrNotes;
 use crate::job::{JobClass, JobId};
 use crate::machine::MachineError;
 use crate::running::RunningSet;
@@ -153,6 +154,14 @@ pub trait SchedContext {
     /// skips event construction entirely when the sink is absent).
     /// Defaults to `None` so contexts without tracing need no code.
     fn trace(&mut self) -> Option<&mut TraceSink> {
+        None
+    }
+    /// The run's wait-attribution notes, when attribution is enabled.
+    /// Policies record per-cycle causes the engine cannot infer —
+    /// deliberate head skips and freeze windows — through this; like
+    /// [`SchedContext::trace`] it defaults to `None` so disabled runs
+    /// cost one branch at each note site.
+    fn attribution(&mut self) -> Option<&mut AttrNotes> {
         None
     }
 }

@@ -9,7 +9,7 @@
 
 use elastisched_sim::{
     read_postmortem, Duration, EccPolicy, Engine, JobId, JobSpec, JobView, Machine, SchedContext,
-    Scheduler, SimError,
+    Scheduler, SimError, SliceSource,
 };
 use std::collections::VecDeque;
 
@@ -57,10 +57,17 @@ fn jobs() -> Vec<JobSpec> {
 
 #[test]
 fn clean_run_passes_every_audit_check() {
+    // Attribution on: the wait-conservation check (`sum(cause buckets)
+    // == total wait`, enforced as a hard audit error under this
+    // feature) runs for every completing job.
     let mut engine = Engine::new(Machine::bluegene_p(), Fifo::default(), EccPolicy::disabled());
+    engine.enable_attribution();
     engine.load(&jobs(), &[]).unwrap();
     let r = engine.run().expect("a clean run must not trip the audit");
     assert_eq!(r.outcomes.len(), 8);
+    assert_eq!(r.attribution.jobs, 8);
+    let waited: u64 = r.outcomes.iter().map(|o| o.wait.as_secs()).sum();
+    assert_eq!(r.attribution.total_secs(), waited);
 }
 
 #[test]
@@ -88,6 +95,40 @@ fn injected_capacity_skew_trips_the_audit_and_dumps_a_postmortem() {
     assert!(snap.reason.contains("capacity"), "{}", snap.reason);
     assert_eq!(snap.scheduler, "AuditFifo");
     assert_eq!(snap.machine_total, Machine::bluegene_p().total());
+    assert!(
+        !events.is_empty(),
+        "the flight ring held the transitions leading up to the violation"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn streaming_folded_run_dumps_a_postmortem_on_audit_violation() {
+    // The materialized test above covers `Engine::run`; a folded
+    // streamed run reclaims per-job state as it goes and must still
+    // leave the same dump behind when the audit trips mid-loop.
+    let path = std::env::temp_dir().join(format!(
+        "elastisched-audit-postmortem-streamed-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let jobs = jobs();
+    let mut engine = Engine::new(Machine::bluegene_p(), Fifo::default(), EccPolicy::disabled());
+    engine.enable_flight_recorder(&path);
+    engine.inject_capacity_skew_for_test();
+    let err = engine
+        .run_streaming_folded(SliceSource::new(&jobs, &[]), &mut |_| {})
+        .expect_err("skewed ledger must trip the audit on the streaming path");
+    let SimError::AuditViolation { check, .. } = &err else {
+        panic!("expected AuditViolation, got {err}");
+    };
+    assert_eq!(*check, "capacity");
+
+    let text = std::fs::read_to_string(&path).expect("postmortem file written");
+    let (snap, events) = read_postmortem(&text).expect("postmortem parses");
+    assert!(snap.reason.contains("capacity"), "{}", snap.reason);
+    assert_eq!(snap.scheduler, "AuditFifo");
     assert!(
         !events.is_empty(),
         "the flight ring held the transitions leading up to the violation"

@@ -615,6 +615,20 @@ pub mod keys {
     pub const POSTMORTEM_DUMPS_TOTAL: MetricId = MetricId(39);
     /// Samples retained in the last run's timeline.
     pub const TIMELINE_SAMPLES: MetricId = MetricId(40);
+    /// Wait seconds attributed to insufficient free capacity.
+    pub const ATTR_CAPACITY_WAIT_SECONDS_TOTAL: MetricId = MetricId(41);
+    /// Wait seconds attributed to dedicated-node contention.
+    pub const ATTR_DEDICATED_WAIT_SECONDS_TOTAL: MetricId = MetricId(42);
+    /// Wait seconds attributed to processors gained through ECCs.
+    pub const ATTR_ECC_WAIT_SECONDS_TOTAL: MetricId = MetricId(43);
+    /// Wait seconds attributed to deliberate policy skips.
+    pub const ATTR_POLICY_SKIP_WAIT_SECONDS_TOTAL: MetricId = MetricId(44);
+    /// Wait seconds attributed to freeze windows.
+    pub const ATTR_FREEZE_WAIT_SECONDS_TOTAL: MetricId = MetricId(45);
+    /// Jobs folded into attribution profiles.
+    pub const ATTR_JOBS_TOTAL: MetricId = MetricId(46);
+    /// Audit failures: wait-attribution conservation.
+    pub const AUDIT_ATTRIBUTION_VIOLATIONS_TOTAL: MetricId = MetricId(47);
 }
 
 /// Spec list behind [`MetricsRegistry::standard`], in [`keys`] order.
@@ -824,6 +838,41 @@ pub const STANDARD_SPECS: &[MetricSpec] = &[
         help: "Samples retained in the last run's timeline.",
         kind: MetricKind::Gauge,
     },
+    MetricSpec {
+        name: "elastisched_attr_capacity_wait_seconds_total",
+        help: "Wait seconds attributed to insufficient free capacity.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_attr_dedicated_wait_seconds_total",
+        help: "Wait seconds attributed to dedicated-node contention.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_attr_ecc_wait_seconds_total",
+        help: "Wait seconds attributed to processors gained through ECCs.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_attr_policy_skip_wait_seconds_total",
+        help: "Wait seconds attributed to deliberate policy skips.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_attr_freeze_wait_seconds_total",
+        help: "Wait seconds attributed to freeze windows.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_attr_jobs_total",
+        help: "Jobs folded into attribution profiles.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_audit_attribution_violations_total",
+        help: "Audit failures: wait-attribution conservation.",
+        kind: MetricKind::Counter,
+    },
 ];
 
 #[cfg(test)]
@@ -931,6 +980,31 @@ mod tests {
                 "elastisched_postmortem_dumps_total",
             ),
             (keys::TIMELINE_SAMPLES, "elastisched_timeline_samples"),
+            (
+                keys::ATTR_CAPACITY_WAIT_SECONDS_TOTAL,
+                "elastisched_attr_capacity_wait_seconds_total",
+            ),
+            (
+                keys::ATTR_DEDICATED_WAIT_SECONDS_TOTAL,
+                "elastisched_attr_dedicated_wait_seconds_total",
+            ),
+            (
+                keys::ATTR_ECC_WAIT_SECONDS_TOTAL,
+                "elastisched_attr_ecc_wait_seconds_total",
+            ),
+            (
+                keys::ATTR_POLICY_SKIP_WAIT_SECONDS_TOTAL,
+                "elastisched_attr_policy_skip_wait_seconds_total",
+            ),
+            (
+                keys::ATTR_FREEZE_WAIT_SECONDS_TOTAL,
+                "elastisched_attr_freeze_wait_seconds_total",
+            ),
+            (keys::ATTR_JOBS_TOTAL, "elastisched_attr_jobs_total"),
+            (
+                keys::AUDIT_ATTRIBUTION_VIOLATIONS_TOTAL,
+                "elastisched_audit_attribution_violations_total",
+            ),
         ];
         assert_eq!(ids.len(), STANDARD_SPECS.len(), "key list out of date");
         for (id, name) in ids {

@@ -11,6 +11,8 @@
 //!   the payload behind `escli top`;
 //! * `GET /timeline` — the last published run timeline as JSON (`{}`
 //!   until a run with sampling enabled publishes one);
+//! * `GET /attribution` — the last published wait-attribution profile
+//!   as JSON (`{}` until a run with attribution enabled publishes one);
 //! * `GET /` — a one-line index pointing at the others.
 //!
 //! Serial accept is a feature, not a shortcut: the consumers are a
@@ -155,16 +157,23 @@ fn handle_conn(
                     .doc("timeline")
                     .unwrap_or_else(|| "{}".to_string()),
             ),
+            "/attribution" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                registry
+                    .doc("attribution")
+                    .unwrap_or_else(|| "{}".to_string()),
+            ),
             "/" => (
                 "200 OK",
                 "text/plain; charset=utf-8",
-                "elastisched metrics endpoint: GET /metrics (Prometheus), /status (JSON) or /timeline (JSON)\n"
+                "elastisched metrics endpoint: GET /metrics (Prometheus), /status (JSON), /timeline (JSON) or /attribution (JSON)\n"
                     .to_string(),
             ),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                format!("no such route {path}; try /metrics, /status or /timeline\n"),
+                format!("no such route {path}; try /metrics, /status, /timeline or /attribution\n"),
             ),
         }
     };
@@ -280,6 +289,23 @@ mod tests {
         let (code, body) = http_get(&addr, "/timeline", Duration::from_secs(2)).unwrap();
         assert_eq!(code, 200);
         assert_eq!(body, "{\"samples\":2}");
+    }
+
+    #[test]
+    fn attribution_route_serves_published_doc_or_empty_object() {
+        let registry = Arc::new(MetricsRegistry::standard(2));
+        let server =
+            MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).expect("bind ephemeral");
+        let addr = server.addr().to_string();
+
+        let (code, body) = http_get(&addr, "/attribution", Duration::from_secs(2)).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "{}");
+
+        registry.publish_doc("attribution", "{\"jobs\":3}".to_string());
+        let (code, body) = http_get(&addr, "/attribution", Duration::from_secs(2)).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "{\"jobs\":3}");
     }
 
     #[test]

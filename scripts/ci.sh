@@ -46,6 +46,28 @@ if ! cargo test --offline --locked --quiet -p elastisched --test golden_timeline
     exit 1
 fi
 
+echo "== golden attribution fixture =="
+# Byte-for-byte pin of the wait-attribution profile (charging
+# arithmetic, blocker ranking, serde layout); re-bless with
+# \`ELASTISCHED_BLESS=1 cargo test -p elastisched --test
+# golden_attribution\` after an intentional change.
+if ! cargo test --offline --locked --quiet -p elastisched --test golden_attribution; then
+    echo "golden attribution fixture drifted; rerun with \`ELASTISCHED_BLESS=1\` to re-bless (see above)" >&2
+    exit 1
+fi
+
+echo "== divergence-explain smoke (escli diff on the headline workload) =="
+# The headline acceptance for the attribution plane: diffing EASY vs
+# Delayed-LOS on the built-in 500-job workload must report a nonzero
+# attribution shift and a concrete first divergent decision.
+diff_out=$(./target/release/escli diff easy delayed-los)
+echo "$diff_out" | grep -q "wait attribution" || { echo "escli diff lost its attribution table" >&2; exit 1; }
+echo "$diff_out" | grep -q "first divergence" || { echo "escli diff lost its divergence section" >&2; exit 1; }
+if echo "$diff_out" | grep -q "both runs made the same"; then
+    echo "escli diff easy delayed-los found no divergence — lockstep replay broken?" >&2
+    exit 1
+fi
+
 echo "== metrics endpoint smoke (scrape /metrics + /status + /timeline over TCP) =="
 cargo test --offline --locked --quiet -p elastisched --test metrics_endpoint
 

@@ -26,6 +26,7 @@ fn run(algo: Algorithm, cs: u32, w: &Workload) -> RunMetrics {
         params: SchedParams::with_cs(cs),
         machine: MachineSpec::BLUEGENE_P,
         timeline: None,
+        attribution: false,
     }
     .run(w)
     .expect("simulation completes")

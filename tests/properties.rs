@@ -85,6 +85,7 @@ proptest! {
             params: SchedParams::with_cs(3),
             machine: MachineSpec::BLUEGENE_P,
             timeline: None,
+            attribution: false,
         };
         let r = exp.run_raw(&w).expect("simulation completes");
         prop_assert_eq!(r.outcomes.len(), jobs.len());
