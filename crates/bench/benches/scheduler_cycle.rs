@@ -50,6 +50,7 @@ fn bench_lookahead_cost(c: &mut Criterion) {
                     machine: MachineSpec::BLUEGENE_P,
                     timeline: None,
                     attribution: false,
+                    reconfig_cost: None,
                 };
                 exp.run(black_box(w)).unwrap()
             })

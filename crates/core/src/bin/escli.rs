@@ -38,8 +38,8 @@ fn usage() -> &'static str {
     "escli — elastic heterogeneous job-scheduling simulator
 
 USAGE:
-  escli generate --out <file.cwf> [--jobs N] [--ps P] [--pd P] [--eccs]
-                 [--load L] [--seed S]
+  escli generate --out <file.cwf> [--jobs N] [--ps P] [--pd P] [--pm P]
+                 [--eccs] [--load L] [--seed S]
   escli run --trace <file.cwf> --algo <name> [--cs N] [--machine M:unit]
             [--attribution]
   escli diff <algo-a> <algo-b> [--trace <file.cwf>] [--cs N] [--machine M:unit]
@@ -67,8 +67,8 @@ Global flags (any simulating subcommand):
 Defaults: 500 jobs, P_S=0.5, P_D=0, machine 320:32 (BlueGene/P), C_s=7.
 Algorithms: FCFS, Conservative, EASY[-D|-E|-DE], LOS[-D|-E|-DE],
             Delayed-LOS[-E], Hybrid-LOS[-E], Adaptive — or a stack spec
-            <core>[+d][+e] (e.g. \"delayed-los+d\", \"fcfs+d\",
-            \"easy+d+e\"); see `escli algorithms`."
+            <core>[+d][+m][+e] (e.g. \"delayed-los+d\", \"fcfs+d\",
+            \"hybrid-los+m\", \"easy+d+e\"); see `escli algorithms`."
 }
 
 struct Args {
@@ -146,10 +146,12 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let jobs: usize = args.get_parsed("jobs", 500)?;
     let ps: f64 = args.get_parsed("ps", 0.5)?;
     let pd: f64 = args.get_parsed("pd", 0.0)?;
+    let pm: f64 = args.get_parsed("pm", 0.0)?;
     let seed: u64 = args.get_parsed("seed", 42)?;
     let mut cfg = GeneratorConfig::paper_heterogeneous(ps, pd)
         .with_jobs(jobs)
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_malleable(pm);
     if args.has("eccs") {
         cfg = cfg.with_paper_eccs();
     }
@@ -161,9 +163,10 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let file = CwfFile::from_workload(&w);
     std::fs::write(out, file.to_text()).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
-        "wrote {out}: {} jobs ({} dedicated), {} ECCs, offered load {:.3}",
+        "wrote {out}: {} jobs ({} dedicated, {} malleable), {} ECCs, offered load {:.3}",
         w.len(),
         w.dedicated_count(),
+        w.jobs.iter().filter(|j| j.is_malleable()).count(),
         w.eccs.len(),
         w.offered_load(320)
     );
@@ -201,7 +204,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let params = SchedParams::with_cs(cs);
     // A registry name ("Hybrid-LOS") or a stack spec ("delayed-los+d"):
     // the spec syntax also reaches compositions outside Table III, e.g.
-    // "fcfs+d" or "conservative+d+e".
+    // "fcfs+d", "conservative+d+e", or the malleable "hybrid-los+m".
     let attribution = args.has("attribution");
     let m = match name.parse::<Algorithm>() {
         Ok(algo) => Experiment {
@@ -210,6 +213,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             machine,
             timeline: None,
             attribution,
+            reconfig_cost: None,
         }
         .run(&w),
         Err(algo_err) => {
@@ -222,6 +226,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 machine,
                 timeline: None,
                 attribution,
+                reconfig_cost: None,
             }
             .run(&w)
         }
@@ -315,6 +320,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             machine,
             timeline: None,
             attribution: false,
+            reconfig_cost: None,
         };
         exp.run(&w).map_err(|e| e.to_string())
     });
@@ -342,6 +348,7 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
         machine,
         timeline: None,
         attribution: false,
+        reconfig_cost: None,
     };
     let r = exp.run_raw(&w).map_err(|e| e.to_string())?;
     println!("{}", elastisched_metrics::gantt(&r.outcomes, width, rows));
@@ -382,6 +389,7 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
             machine,
             timeline: Some(cfg),
             attribution: false,
+            reconfig_cost: None,
         }
         .run_raw(&w),
         Err(algo_err) => {
@@ -394,6 +402,7 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
                 machine,
                 timeline: Some(cfg),
                 attribution: false,
+                reconfig_cost: None,
             }
             .run_raw(&w)
         }
@@ -426,22 +435,19 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     let trace = args.get("trace").ok_or("--trace is required")?;
-    let algo: Algorithm = args
-        .get("algo")
-        .ok_or("--algo is required")?
-        .parse()
-        .map_err(|e: String| e)?;
+    let spec = parse_spec(args.get("algo").ok_or("--algo is required")?)?;
     let cs: u32 = args.get_parsed("cs", 7)?;
     let machine = parse_machine(args)?;
     let w = load_trace(trace)?;
     if let Some(id) = args.get("why-wait") {
         let job: u64 = id.parse().map_err(|_| "bad --why-wait id".to_string())?;
-        let exp = Experiment {
-            algorithm: algo,
+        let exp = StackExperiment {
+            spec,
             params: SchedParams::with_cs(cs),
             machine,
             timeline: None,
             attribution: true,
+            reconfig_cost: None,
         };
         let r = exp.run_raw(&w).map_err(|e| e.to_string())?;
         let o = r
@@ -457,12 +463,13 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
         .ok_or("--job is required")?
         .parse()
         .map_err(|_| "bad --job id".to_string())?;
-    let exp = Experiment {
-        algorithm: algo,
+    let exp = StackExperiment {
+        spec,
         params: SchedParams::with_cs(cs),
         machine,
         timeline: None,
         attribution: false,
+        reconfig_cost: None,
     };
     let r = exp
         .run_traced(&w, elastisched_trace::TraceSink::new())
@@ -584,7 +591,8 @@ fn cmd_algorithms() {
             if a.elastic() { "Yes" } else { "No" }
         );
     }
-    println!("\n`run --algo` also accepts any stack spec <core>[+d][+e].");
+    println!("\n`run --algo` also accepts any stack spec <core>[+d][+m][+e]");
+    println!("(`+m` = scheduler-initiated malleability over proc-range jobs).");
 }
 
 fn main() -> ExitCode {

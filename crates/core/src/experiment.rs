@@ -3,7 +3,7 @@
 use elastisched_metrics::{RunAccumulator, RunMetrics};
 use elastisched_sched::{Algorithm, SchedParams, StackSpec};
 use elastisched_sim::{
-    Engine, JobSource, Machine, SimError, SimResult, TimelineConfig, TraceSink,
+    Engine, JobSource, Machine, ReconfigCost, SimError, SimResult, TimelineConfig, TraceSink,
 };
 use elastisched_workload::Workload;
 use serde::{Deserialize, Serialize};
@@ -52,6 +52,9 @@ pub struct Experiment {
     /// When set, every run classifies each job's queue wait by cause
     /// (`RunMetrics::attribution`, `JobOutcome::attribution`).
     pub attribution: bool,
+    /// When set, overrides the engine's malleable reconfiguration-cost
+    /// model (relevant to `+m` stacks; `None` keeps the engine default).
+    pub reconfig_cost: Option<ReconfigCost>,
 }
 
 impl Experiment {
@@ -63,6 +66,7 @@ impl Experiment {
             machine: MachineSpec::BLUEGENE_P,
             timeline: None,
             attribution: false,
+            reconfig_cost: None,
         }
     }
 
@@ -90,6 +94,12 @@ impl Experiment {
         self
     }
 
+    /// Override the malleable reconfiguration-cost model.
+    pub fn with_reconfig_cost(mut self, cost: ReconfigCost) -> Self {
+        self.reconfig_cost = Some(cost);
+        self
+    }
+
     fn build_engine(&self) -> Engine<Box<dyn elastisched_sim::Scheduler + Send>> {
         let scheduler = self.algorithm.build(self.params);
         let mut engine = Engine::new(self.machine.build(), scheduler, self.algorithm.ecc_policy());
@@ -98,6 +108,9 @@ impl Experiment {
         }
         if self.attribution {
             engine.enable_attribution();
+        }
+        if let Some(cost) = self.reconfig_cost {
+            engine.set_reconfig_cost(cost);
         }
         engine
     }
@@ -187,6 +200,9 @@ pub struct StackExperiment {
     /// When set, every run classifies each job's queue wait by cause
     /// (`RunMetrics::attribution`, `JobOutcome::attribution`).
     pub attribution: bool,
+    /// When set, overrides the engine's malleable reconfiguration-cost
+    /// model (relevant to `+m` stacks; `None` keeps the engine default).
+    pub reconfig_cost: Option<ReconfigCost>,
 }
 
 impl StackExperiment {
@@ -198,6 +214,7 @@ impl StackExperiment {
             machine: MachineSpec::BLUEGENE_P,
             timeline: None,
             attribution: false,
+            reconfig_cost: None,
         }
     }
 
@@ -225,6 +242,12 @@ impl StackExperiment {
         self
     }
 
+    /// Override the malleable reconfiguration-cost model.
+    pub fn with_reconfig_cost(mut self, cost: ReconfigCost) -> Self {
+        self.reconfig_cost = Some(cost);
+        self
+    }
+
     fn build_engine(&self) -> Engine<Box<dyn elastisched_sim::Scheduler + Send>> {
         let scheduler = self.spec.build(self.params);
         let mut engine = Engine::new(self.machine.build(), scheduler, self.spec.ecc_policy());
@@ -233,6 +256,9 @@ impl StackExperiment {
         }
         if self.attribution {
             engine.enable_attribution();
+        }
+        if let Some(cost) = self.reconfig_cost {
+            engine.set_reconfig_cost(cost);
         }
         engine
     }
@@ -372,6 +398,39 @@ mod tests {
             let b = StackExperiment::new(algo.stack_spec()).run(&w).unwrap();
             assert_eq!(a, b, "{algo}");
         }
+    }
+
+    #[test]
+    fn malleable_stack_runs_and_resizes_malleable_workloads() {
+        let w = generate(
+            &GeneratorConfig::paper_batch(0.9)
+                .with_malleable(0.5)
+                .with_jobs(120)
+                .with_seed(6),
+        );
+        assert!(w.jobs.iter().any(|j| j.is_malleable()));
+        let base = StackExperiment::new("delayed-los".parse().unwrap())
+            .run(&w)
+            .unwrap();
+        let mal = StackExperiment::new("delayed-los+m".parse().unwrap())
+            .run(&w)
+            .unwrap();
+        assert_eq!(mal.scheduler, "Delayed-LOS-M");
+        assert_eq!(mal.jobs, base.jobs);
+        assert!(
+            mal.reconfig_grows + mal.reconfig_shrinks > 0,
+            "malleable layer never resized anything"
+        );
+        assert_eq!(base.reconfig_grows + base.reconfig_shrinks, 0);
+
+        // The cost-model override plumbs through: free reconfigurations
+        // charge nothing.
+        let free = StackExperiment::new("delayed-los+m".parse().unwrap())
+            .with_reconfig_cost(ReconfigCost::FREE)
+            .run(&w)
+            .unwrap();
+        assert_eq!(free.reconfig_cost_secs, 0);
+        assert!(free.reconfig_grows + free.reconfig_shrinks > 0);
     }
 
     #[test]

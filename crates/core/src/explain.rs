@@ -83,6 +83,16 @@ fn describe(ev: &TraceEvent, job: Option<u64>) -> Option<String> {
         }
         TraceEvent::Promote { .. } => "promoted from the dedicated queue to the batch head".to_string(),
         TraceEvent::Backfill { .. } => "backfilled ahead of the blocked head".to_string(),
+        TraceEvent::Reconfig {
+            grow,
+            delta,
+            num,
+            cost,
+            ..
+        } => format!(
+            "{} by {delta} procs → {num} procs ({cost}s reconfiguration cost)",
+            if *grow { "grown" } else { "shrunk" }
+        ),
         TraceEvent::RunMeta { .. } | TraceEvent::Cycle { .. } => return None,
     };
     Some(line)

@@ -233,6 +233,7 @@ fn load_sweep(
                 machine,
                 timeline: None,
                 attribution: false,
+                reconfig_cost: None,
             };
             let m = exp
                 .run(&workloads[wi].1)
@@ -671,6 +672,7 @@ pub fn ablation_lookahead(cfg: &ReproConfig) -> Figure {
                 machine,
                 timeline: None,
                 attribution: false,
+                reconfig_cost: None,
             };
             (i, exp.run(&workloads[wi]).expect("simulation must complete"))
         },

@@ -63,6 +63,7 @@ pub fn tune_cs(
             machine,
             timeline: None,
             attribution: false,
+            reconfig_cost: None,
         };
         let m = exp.run(&workloads[wi]).expect("simulation must complete");
         (ci, m.mean_wait, m.utilization)

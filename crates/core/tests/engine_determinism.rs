@@ -17,7 +17,7 @@
 //! ELASTISCHED_REGEN_GOLDEN=1 cargo test -p elastisched --test engine_determinism
 //! ```
 
-use elastisched::Experiment;
+use elastisched::{Experiment, StackExperiment};
 use elastisched_metrics::RunMetrics;
 use elastisched_sched::Algorithm;
 use elastisched_workload::{generate, GeneratorConfig, Workload};
@@ -25,6 +25,11 @@ use elastisched_workload::{generate, GeneratorConfig, Workload};
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden_engine_metrics.json"
+);
+
+const MALLEABLE_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden_malleable_metrics.json"
 );
 
 /// Every algorithm the registry can build, in a stable order.
@@ -95,6 +100,53 @@ fn run_metrics_match_pre_overhaul_golden() {
     let fixture = std::fs::read_to_string(GOLDEN_PATH).expect("golden fixture present");
     let golden: Vec<RunMetrics> = serde_json::from_str(&fixture).expect("fixture parses");
     assert_eq!(golden.len(), measured.len(), "algorithm × workload grid changed");
+    for (g, m) in golden.iter().zip(&measured) {
+        assert_eq!(g, m, "RunMetrics drifted for {}", g.scheduler);
+    }
+}
+
+/// The `+m` stacks on a half-malleable workload, pinning the
+/// work-conserving resize semantics (shrink-to-admit, profitable grows,
+/// reconfiguration charges) bit-for-bit. Separate fixture from the
+/// rigid grid above so rigid goldens never churn when malleable
+/// behaviour evolves deliberately.
+///
+/// Regenerate: `ELASTISCHED_BLESS=1 cargo test -p elastisched --test
+/// engine_determinism malleable` (`ELASTISCHED_REGEN_GOLDEN` works too).
+#[test]
+fn malleable_run_metrics_match_golden() {
+    let w = generate(
+        &GeneratorConfig::paper_heterogeneous(0.5, 0.3)
+            .with_malleable(0.5)
+            .with_jobs(300)
+            .with_seed(7),
+    );
+    let measured: Vec<RunMetrics> = ["delayed-los+m", "hybrid-los+d+m", "easy+m", "fcfs+m"]
+        .iter()
+        .map(|spec| {
+            StackExperiment::new(spec.parse().unwrap())
+                .run(&w)
+                .expect("run succeeds")
+        })
+        .collect();
+    assert!(
+        measured
+            .iter()
+            .any(|m| m.reconfig_grows + m.reconfig_shrinks > 0),
+        "golden grid exercises no resizes"
+    );
+    if std::env::var("ELASTISCHED_REGEN_GOLDEN").is_ok()
+        || std::env::var("ELASTISCHED_BLESS").is_ok()
+    {
+        let json = serde_json::to_string_pretty(&measured).expect("metrics serialize");
+        std::fs::write(MALLEABLE_GOLDEN_PATH, format!("{json}\n")).expect("fixture written");
+        eprintln!("regenerated {MALLEABLE_GOLDEN_PATH}");
+        return;
+    }
+    let fixture =
+        std::fs::read_to_string(MALLEABLE_GOLDEN_PATH).expect("golden fixture present");
+    let golden: Vec<RunMetrics> = serde_json::from_str(&fixture).expect("fixture parses");
+    assert_eq!(golden.len(), measured.len(), "malleable spec grid changed");
     for (g, m) in golden.iter().zip(&measured) {
         assert_eq!(g, m, "RunMetrics drifted for {}", g.scheduler);
     }

@@ -251,3 +251,23 @@ fn stack_experiment_streams_arbitrary_specs() {
     let streamed = exp.run_streamed(LublinSource::new(&cfg)).unwrap();
     assert_eq!(streamed, materialized);
 }
+
+#[test]
+fn malleable_stack_streams_identically() {
+    // The +m layer resizes *running* jobs mid-flight; the streamed
+    // engine must make the identical shrink/grow decisions even though
+    // it only ever sees a bounded window of the arrival stream.
+    let cfg = heavy_config().with_malleable(0.5);
+    let w = generate(&cfg);
+    let exp = StackExperiment::new("hybrid-los+d+m".parse().unwrap());
+    let materialized = {
+        let raw = exp.run_raw(&w).unwrap();
+        elastisched_metrics::RunMetrics::from_result(&raw)
+    };
+    assert!(
+        materialized.reconfig_grows + materialized.reconfig_shrinks > 0,
+        "identity check is vacuous without resizes"
+    );
+    let streamed = exp.run_streamed(LublinSource::new(&cfg)).unwrap();
+    assert_eq!(streamed, materialized);
+}

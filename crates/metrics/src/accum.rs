@@ -162,6 +162,11 @@ impl RunAccumulator {
             dedicated_on_time: self.on_time,
             makespan: result.makespan.as_secs() as f64,
             eccs_applied: result.ecc.applied(),
+            reconfig_grows: result.reconfig.grows,
+            reconfig_shrinks: result.reconfig.shrinks,
+            reconfig_procs_granted: result.reconfig.procs_granted,
+            reconfig_procs_reclaimed: result.reconfig.procs_reclaimed,
+            reconfig_cost_secs: result.reconfig.cost_secs,
             dp_cache_hits: result.sched_stats.dp_cache_hits,
             dp_cache_misses: result.sched_stats.dp_cache_misses,
             dp_nanos: result.sched_stats.dp_nanos,
@@ -283,6 +288,7 @@ mod tests {
             last_arrival: SimTime::ZERO,
             makespan,
             ecc: EccStats::default(),
+            reconfig: Default::default(),
             samples: Vec::new(),
             sched_stats: SchedStats::default(),
             engine: elastisched_sim::EngineStats::default(),

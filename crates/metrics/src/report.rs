@@ -41,6 +41,22 @@ pub struct RunMetrics {
     pub makespan: f64,
     /// ECCs applied (running + queued).
     pub eccs_applied: u64,
+    /// Scheduler-initiated grows applied to running malleable jobs
+    /// (0 for rigid workloads or non-`+m` stacks).
+    #[serde(default)]
+    pub reconfig_grows: u64,
+    /// Scheduler-initiated shrinks applied to running malleable jobs.
+    #[serde(default)]
+    pub reconfig_shrinks: u64,
+    /// Processors granted across all grows.
+    #[serde(default)]
+    pub reconfig_procs_granted: u64,
+    /// Processors reclaimed across all shrinks.
+    #[serde(default)]
+    pub reconfig_procs_reclaimed: u64,
+    /// Total reconfiguration cost charged to resized jobs, seconds.
+    #[serde(default)]
+    pub reconfig_cost_secs: u64,
     /// DP solves answered from the scheduler's selection cache
     /// (0 for schedulers without DP kernels).
     #[serde(default)]
@@ -139,6 +155,11 @@ impl PartialEq for RunMetrics {
             && self.dedicated_on_time == other.dedicated_on_time
             && self.makespan == other.makespan
             && self.eccs_applied == other.eccs_applied
+            && self.reconfig_grows == other.reconfig_grows
+            && self.reconfig_shrinks == other.reconfig_shrinks
+            && self.reconfig_procs_granted == other.reconfig_procs_granted
+            && self.reconfig_procs_reclaimed == other.reconfig_procs_reclaimed
+            && self.reconfig_cost_secs == other.reconfig_cost_secs
             && self.dp_cache_hits == other.dp_cache_hits
             && self.dp_cache_misses == other.dp_cache_misses
             && self.dp_incremental_hits == other.dp_incremental_hits
@@ -205,6 +226,7 @@ mod tests {
             last_arrival: SimTime::ZERO,
             makespan,
             ecc: EccStats::default(),
+            reconfig: Default::default(),
             samples: Vec::new(),
             sched_stats: SchedStats::default(),
             engine: elastisched_sim::EngineStats::default(),

@@ -537,7 +537,7 @@ impl From<DpStats> for elastisched_sim::SchedStats {
 /// for why the shared bits coincide with a table built at exactly the
 /// query capacities. A capacity *growth* relays out every row, so it
 /// rebuilds from row zero.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct IncrementalTable {
     unit: u32,
     /// Stored now-capacity in units (monotone non-decreasing).
@@ -551,6 +551,22 @@ struct IncrementalTable {
     /// `items.len() + 1` reachability rows at the stored widths.
     bits: Vec<u64>,
     valid: bool,
+}
+
+impl Default for IncrementalTable {
+    fn default() -> Self {
+        IncrementalTable {
+            unit: 0,
+            cap1: 0,
+            cap2: 0,
+            // Pre-size for the paper-scale queue so the first commits
+            // don't walk a doubling chain (16 → 512 bytes was ~5
+            // allocations per table on the headline run).
+            items: Vec::with_capacity(64),
+            bits: Vec::with_capacity(512),
+            valid: false,
+        }
+    }
 }
 
 impl IncrementalTable {
@@ -684,7 +700,14 @@ struct CacheSlot {
     key_off: u32,
     key_len: u32,
     key_cap: u32,
-    sel: Selection,
+    /// The memoized answer, as a `(off, len, cap)` range over the
+    /// shared [`SelectionCache::sels`] arena plus the scalar
+    /// `used_now` — same scheme as the key region, so 64 slots cost a
+    /// couple of arena doublings instead of 64 lazily-grown `Vec`s.
+    sel_off: u32,
+    sel_len: u32,
+    sel_cap: u32,
+    used_now: u32,
     valid: bool,
 }
 
@@ -714,13 +737,19 @@ pub struct SelectionCache {
     slots: Vec<CacheSlot>,
     /// Shared key arena; see the type docs.
     keys: Vec<u64>,
+    /// Shared answer arena (chosen-index lists); see [`CacheSlot`].
+    sels: Vec<u32>,
 }
 
 impl Default for SelectionCache {
     fn default() -> Self {
         SelectionCache {
             slots: vec![CacheSlot::default(); CACHE_SLOTS],
-            keys: Vec::new(),
+            // Pre-size both arenas: filling the cache walks them up by
+            // whole key/answer ranges, so seeding the capacity replaces
+            // the doubling chains with one allocation each.
+            keys: Vec::with_capacity(4096),
+            sels: Vec::with_capacity(128),
         }
     }
 }
@@ -747,6 +776,40 @@ impl SelectionCache {
         self.keys[slot.key_off as usize..][..key.len()].copy_from_slice(key);
         slot.valid = true;
     }
+
+    /// Record `sel` as slot `idx`'s answer, reusing the slot's arena
+    /// range when it fits and appending a fresh range when it doesn't.
+    fn store_sel(&mut self, idx: usize, sel: &Selection) {
+        let slot = &mut self.slots[idx];
+        let len = sel.chosen.len() as u32;
+        if len > slot.sel_cap {
+            slot.sel_off = self.sels.len() as u32;
+            slot.sel_cap = len;
+            self.sels.resize(self.sels.len() + sel.chosen.len(), 0);
+        }
+        slot.sel_len = len;
+        for (dst, &src) in self.sels[slot.sel_off as usize..]
+            .iter_mut()
+            .zip(&sel.chosen)
+        {
+            *dst = src as u32;
+        }
+        slot.used_now = sel.used_now;
+    }
+
+    /// Copy slot `idx`'s memoized answer into `out` (a hit's only
+    /// per-solve cost: a handful-of-words memcpy, no allocation once
+    /// `out.chosen` has warmed to the largest selection seen).
+    fn load_sel(&self, idx: usize, out: &mut Selection) {
+        let slot = &self.slots[idx];
+        out.chosen.clear();
+        out.chosen.extend(
+            self.sels[slot.sel_off as usize..][..slot.sel_len as usize]
+                .iter()
+                .map(|&i| i as usize),
+        );
+        out.used_now = slot.used_now;
+    }
 }
 
 fn fingerprint(key: &[u64]) -> u64 {
@@ -771,7 +834,10 @@ pub struct DpSolver {
     scratch: DpScratch,
     cache: SelectionCache,
     keybuf: Vec<u64>,
-    /// Result buffer for the cache-disabled path.
+    /// The single result buffer every path answers through: misses
+    /// solve into it (then memoize a compact copy in the cache's
+    /// answer arena), hits copy back out of the arena, and the
+    /// cache-disabled path writes it directly.
     result: Selection,
     /// Retained cross-cycle Basic_DP table (see [`IncrementalTable`]).
     inc_basic: IncrementalTable,
@@ -802,8 +868,11 @@ impl DpSolver {
         DpSolver {
             scratch: DpScratch::default(),
             cache: SelectionCache::default(),
-            keybuf: Vec::new(),
-            result: Selection::default(),
+            keybuf: Vec::with_capacity(64),
+            result: Selection {
+                chosen: Vec::with_capacity(32),
+                used_now: 0,
+            },
             inc_basic: IncrementalTable::default(),
             inc_reservation: IncrementalTable::default(),
             stats: DpStats::default(),
@@ -858,10 +927,12 @@ impl DpSolver {
             keybuf,
             inc_basic,
             stats,
+            result,
             ..
         } = self;
         if cache.key_matches(idx, keybuf) {
             stats.cache_hits += 1;
+            cache.load_sel(idx, result);
         } else {
             // Only a kernel run is clocked, and only one miss in
             // DP_NANOS_SAMPLE_EVERY (see [`DpStats::nanos`]): a hit
@@ -880,18 +951,19 @@ impl DpSolver {
                     capacity,
                     unit,
                     stats,
-                    &mut cache.slots[idx].sel,
+                    result,
                 );
             } else {
-                solve_basic(scratch, sizes, capacity, unit, &mut cache.slots[idx].sel);
+                solve_basic(scratch, sizes, capacity, unit, result);
             }
+            cache.store_sel(idx, result);
             cache.store_key(idx, keybuf);
             stats.cache_misses += 1;
             if let Some(t0) = t0 {
                 stats.nanos += t0.elapsed().as_nanos() as u64 * DP_NANOS_SAMPLE_EVERY;
             }
         }
-        &self.cache.slots[idx].sel
+        &self.result
     }
 
     /// **Reservation_DP** through the cache: see [`reservation_dp`] for
@@ -961,10 +1033,12 @@ impl DpSolver {
             keybuf,
             inc_reservation,
             stats,
+            result,
             ..
         } = self;
         if cache.key_matches(idx, keybuf) {
             stats.cache_hits += 1;
+            cache.load_sel(idx, result);
         } else {
             // Sampled 1-in-DP_NANOS_SAMPLE_EVERY like the basic path;
             // see [`DpStats::nanos`].
@@ -979,7 +1053,7 @@ impl DpSolver {
                     cap_freeze,
                     unit,
                     stats,
-                    &mut cache.slots[idx].sel,
+                    result,
                 );
             } else {
                 solve_reservation(
@@ -988,16 +1062,17 @@ impl DpSolver {
                     cap_now,
                     cap_freeze,
                     unit,
-                    &mut cache.slots[idx].sel,
+                    result,
                 );
             }
+            cache.store_sel(idx, result);
             cache.store_key(idx, keybuf);
             stats.cache_misses += 1;
             if let Some(t0) = t0 {
                 stats.nanos += t0.elapsed().as_nanos() as u64 * DP_NANOS_SAMPLE_EVERY;
             }
         }
-        &self.cache.slots[idx].sel
+        &self.result
     }
 }
 
@@ -1006,7 +1081,7 @@ impl DpSolver {
 ///
 /// Owning these across cycles (instead of collecting fresh `Vec`s) is
 /// what makes a steady-state scheduling cycle allocation-free.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DpWork {
     /// The memoizing bitset solver.
     pub solver: DpSolver,
@@ -1023,6 +1098,23 @@ pub struct DpWork {
     /// chosen jobs by position — in descending order, so earlier
     /// positions stay valid — instead of re-scanning the queue by id.
     pub positions: Vec<u32>,
+}
+
+impl Default for DpWork {
+    fn default() -> Self {
+        // Pre-size the staging buffers for a paper-scale candidate set
+        // (the headline run peaks well under 64): the first cycles then
+        // fill existing capacity instead of replaying five separate
+        // doubling chains.
+        DpWork {
+            solver: DpSolver::new(),
+            ids: Vec::with_capacity(64),
+            sizes: Vec::with_capacity(64),
+            durs: Vec::with_capacity(64),
+            items: Vec::with_capacity(64),
+            positions: Vec::with_capacity(64),
+        }
+    }
 }
 
 impl DpWork {

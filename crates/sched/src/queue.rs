@@ -26,9 +26,20 @@ impl WaitingJob {
 }
 
 /// The FIFO queue of waiting batch jobs (`W^b`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BatchQueue {
     jobs: VecDeque<WaitingJob>,
+}
+
+impl Default for BatchQueue {
+    fn default() -> Self {
+        // Pre-size for a deep high-load backlog (the headline run
+        // peaks above 200 waiting jobs) so the ring buffer doesn't
+        // walk a six-step doubling chain mid-run.
+        BatchQueue {
+            jobs: VecDeque::with_capacity(256),
+        }
+    }
 }
 
 impl BatchQueue {

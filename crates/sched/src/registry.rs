@@ -14,8 +14,12 @@
 //! single source of truth — [`Algorithm::heterogeneous`],
 //! [`Algorithm::elastic`], [`Algorithm::ecc_policy`] and
 //! [`Algorithm::build`] all read it — and it is [`FromStr`]-able with a
-//! compact `"<core>[+d][+e]"` syntax (`"easy+d"`, `"delayed-los+d+e"`),
-//! which also names stacks outside Table III (e.g. `"fcfs+d"`).
+//! compact `"<core>[+d][+m][+e]"` syntax (`"easy+d"`,
+//! `"delayed-los+d+e"`, `"hybrid-los+m"`), which also names stacks
+//! outside Table III (e.g. `"fcfs+d"`, `"delayed-los+m"`). The `+m`
+//! flag wraps the assembled layer in
+//! [`crate::stack::WithMalleable`], the scheduler-initiated resize
+//! pass over proc-range (malleable) jobs.
 
 use crate::adaptive::AdaptiveCore;
 use crate::conservative::ConservativeCore;
@@ -24,7 +28,7 @@ use crate::easy::EasyCore;
 use crate::fcfs::FcfsCore;
 use crate::los::{LosCore, DEFAULT_LOOKAHEAD};
 use crate::ordered::{OrderPolicy, OrderedCore};
-use crate::stack::PolicyStack;
+use crate::stack::{BatchOnly, PolicyStack, WithDedicated};
 use elastisched_sim::{EccPolicy, Scheduler};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -126,14 +130,20 @@ impl CorePolicy {
 }
 
 /// A fully-specified scheduler stack: a policy core, optionally layered
-/// with the dedicated queue (`+d`), optionally run under the engine's
-/// ECC processor (`+e`).
+/// with the dedicated queue (`+d`), optionally layered with the
+/// malleable resize pass (`+m`), optionally run under the engine's ECC
+/// processor (`+e`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct StackSpec {
     /// The base batch policy.
     pub core: CorePolicy,
     /// Layer the dedicated-job queue on top of the core.
     pub dedicated: bool,
+    /// Layer the malleable shrink-to-admit / grow-into-free pass on top
+    /// ([`crate::stack::WithMalleable`]). `#[serde(default)]` so specs
+    /// serialized before the field existed deserialize rigid.
+    #[serde(default)]
+    pub malleable: bool,
     /// Run the engine's ECC processor (time elasticity) alongside.
     pub elastic: bool,
 }
@@ -144,6 +154,7 @@ impl StackSpec {
         StackSpec {
             core,
             dedicated: false,
+            malleable: false,
             elastic: false,
         }
     }
@@ -152,6 +163,14 @@ impl StackSpec {
     pub fn with_dedicated(self) -> Self {
         StackSpec {
             dedicated: true,
+            ..self
+        }
+    }
+
+    /// The same spec with the malleable layer enabled.
+    pub fn with_malleable(self) -> Self {
+        StackSpec {
+            malleable: true,
             ..self
         }
     }
@@ -182,11 +201,17 @@ impl StackSpec {
     pub fn build(&self, params: SchedParams) -> Box<dyn Scheduler + Send> {
         macro_rules! stack {
             ($core:expr, $scount:expr) => {
-                if self.dedicated {
-                    Box::new(PolicyStack::with_dedicated($core, $scount))
-                        as Box<dyn Scheduler + Send>
-                } else {
-                    Box::new(PolicyStack::batch_only($core))
+                match (self.dedicated, self.malleable) {
+                    (false, false) => {
+                        Box::new(PolicyStack::batch_only($core)) as Box<dyn Scheduler + Send>
+                    }
+                    (true, false) => Box::new(PolicyStack::with_dedicated($core, $scount)),
+                    (false, true) => {
+                        Box::new(PolicyStack::with_malleable(BatchOnly::new($core)))
+                    }
+                    (true, true) => Box::new(PolicyStack::with_malleable(WithDedicated::new(
+                        $core, $scount,
+                    ))),
                 }
             };
         }
@@ -225,6 +250,9 @@ impl fmt::Display for StackSpec {
         if self.dedicated {
             f.write_str("+d")?;
         }
+        if self.malleable {
+            f.write_str("+m")?;
+        }
         if self.elastic {
             f.write_str("+e")?;
         }
@@ -239,14 +267,21 @@ impl FromStr for StackSpec {
         let canon = s.to_ascii_lowercase().replace(['_', ' '], "-");
         let mut parts = canon.split('+');
         let core_tok = parts.next().unwrap_or_default();
-        let core = CorePolicy::ALL
-            .into_iter()
-            .find(|c| c.token() == core_tok)
-            .ok_or_else(|| format!("unknown policy core {core_tok:?} in stack spec {s:?}"))?;
-        let mut spec = StackSpec::plain(core);
+        // "hybrid-los" is the paper's name for delayed-los+d — accept it
+        // as a core alias so e.g. "hybrid-los+m" names that stack too.
+        let mut spec = if core_tok == "hybrid-los" {
+            StackSpec::plain(CorePolicy::DelayedLos).with_dedicated()
+        } else {
+            let core = CorePolicy::ALL
+                .into_iter()
+                .find(|c| c.token() == core_tok)
+                .ok_or_else(|| format!("unknown policy core {core_tok:?} in stack spec {s:?}"))?;
+            StackSpec::plain(core)
+        };
         for flag in parts {
             match flag {
                 "d" | "ded" | "dedicated" => spec.dedicated = true,
+                "m" | "mal" | "malleable" => spec.malleable = true,
                 "e" | "ecc" | "elastic" => spec.elastic = true,
                 other => {
                     return Err(format!("unknown stack flag {other:?} in stack spec {s:?}"))
@@ -538,6 +573,37 @@ mod tests {
 
         assert!("bogus+d".parse::<StackSpec>().is_err());
         assert!("easy+x".parse::<StackSpec>().is_err());
+    }
+
+    #[test]
+    fn malleable_specs_parse_display_and_build() {
+        let p = SchedParams::default();
+
+        let spec: StackSpec = "delayed-los+m".parse().unwrap();
+        assert_eq!(spec, Algorithm::DelayedLos.stack_spec().with_malleable());
+        assert_eq!(spec.to_string(), "delayed-los+m");
+        assert_eq!(spec.build(p).name(), "Delayed-LOS-M");
+
+        // "hybrid-los" aliases delayed-los+d; a redundant +d is harmless.
+        let a: StackSpec = "hybrid-los+d+m".parse().unwrap();
+        let b: StackSpec = "delayed-los+d+m".parse().unwrap();
+        let c: StackSpec = "hybrid-los+m".parse().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.to_string(), "delayed-los+d+m");
+        assert_eq!(a.build(p).name(), "Hybrid-LOS-M");
+
+        // Flag aliases, order-independence, and +m+e composition.
+        let d: StackSpec = "easy+malleable+ecc".parse().unwrap();
+        assert!(d.malleable && d.elastic && !d.dedicated);
+        assert_eq!(d.to_string(), "easy+m+e");
+        assert_eq!(d.build(p).name(), "EASY-M");
+
+        // Specs serialized before the field existed deserialize rigid.
+        let legacy: StackSpec =
+            serde_json::from_str(r#"{"core":"Easy","dedicated":true,"elastic":false}"#).unwrap();
+        assert!(!legacy.malleable);
+        assert_eq!(legacy, Algorithm::EasyD.stack_spec());
     }
 
     #[test]

@@ -435,6 +435,204 @@ impl<P: BatchPolicy> StackLayer for WithDedicated<P> {
     }
 }
 
+/// The malleable layer (the registry's `+m` flag): after the wrapped
+/// layer's cycle it spends the proc-range slack of *running* jobs
+/// ([`SchedContext::malleable_bounds`]) in two passes:
+///
+/// * **Shrink to admit** — while the batch head needs more processors
+///   than are free, reclaim width from running malleable jobs (latest
+///   finish first: they hold their processors longest) until the head
+///   fits, then re-drive the wrapped layer over the widened machine.
+///   Shrinks only happen when the reclaimable slack covers the head's
+///   whole deficit — partial reclaims would pay reconfiguration cost
+///   without admitting anyone.
+/// * **Grow into free** — when the batch queue is empty, offer leftover
+///   processors to running malleable jobs below their ceiling (latest
+///   finish first: the most remaining work benefits most). A grow is
+///   taken only when the work-conserving time saved exceeds the
+///   engine's [`SchedContext::reconfig_charge`] and, under a dedicated
+///   claim, only when holding `Δ` extra processors until the job's new
+///   finish would not break the freeze window ([`ded_allows`]).
+///
+/// On a workload with no malleable jobs both passes see no candidates
+/// and the layer is byte-for-byte the wrapped layer (the `+m`
+/// degeneracy property, pinned by `tests/malleable_degeneracy.rs`).
+#[derive(Debug, Default)]
+pub struct WithMalleable<L> {
+    pub(crate) inner: L,
+    /// Reusable resize-candidate buffer `(job, slack)` — cleared and
+    /// refilled each pass so steady-state cycles allocate nothing.
+    scratch: Vec<(JobId, u32)>,
+}
+
+impl<L: StackLayer> WithMalleable<L> {
+    /// Wrap a layer.
+    pub fn new(inner: L) -> Self {
+        WithMalleable {
+            inner,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Shrink running malleable jobs until the blocked batch head fits,
+    /// then re-drive the wrapped layer. Loops because the re-drive can
+    /// start the head and expose a new blocked head; every iteration
+    /// either starts a job or returns, so it terminates.
+    fn shrink_to_admit(&mut self, ctx: &mut dyn SchedContext, state: &mut StackState) {
+        let unit = ctx.unit().max(1);
+        loop {
+            let Some(head) = state.batch.head() else { return };
+            let need = head.view.num;
+            let free = ctx.free();
+            if need <= free {
+                // Capacity is not the blocker (policy choice / freeze);
+                // reclaiming width would be pure cost.
+                return;
+            }
+            let deficit = need - free;
+            self.scratch.clear();
+            let mut reclaimable = 0u32;
+            for rj in ctx.running().as_slice().iter().rev() {
+                if let Some((floor, _)) = ctx.malleable_bounds(rj.id) {
+                    let slack = rj.num.saturating_sub(floor);
+                    if slack > 0 {
+                        self.scratch.push((rj.id, slack));
+                        reclaimable += slack;
+                    }
+                }
+            }
+            if reclaimable < deficit {
+                return;
+            }
+            let mut still_needed = deficit;
+            for &(id, slack) in &self.scratch {
+                if still_needed == 0 {
+                    break;
+                }
+                // Round the request up to the unit — the engine rounds
+                // *down*, so asking for a sub-unit tail would reclaim 0.
+                let want = still_needed.div_ceil(unit).saturating_mul(unit).min(slack);
+                still_needed = still_needed.saturating_sub(ctx.shrink_running(id, want));
+            }
+            if still_needed > 0 {
+                // Unit rounding left a gap; give up rather than spin.
+                return;
+            }
+            self.inner.drive(ctx, state);
+        }
+    }
+
+    /// Offer free processors to running malleable jobs below their
+    /// ceiling. Only runs when the batch queue is empty — free capacity
+    /// otherwise belongs to waiting work — and takes a grow only when it
+    /// is profitable and freeze-safe (see the type docs).
+    fn grow_into_free(&mut self, ctx: &mut dyn SchedContext, state: &mut StackState) {
+        if !state.batch.is_empty() {
+            return;
+        }
+        let unit = ctx.unit().max(1);
+        if ctx.free() < unit {
+            return;
+        }
+        let now = ctx.now();
+        self.scratch.clear();
+        for rj in ctx.running().as_slice().iter().rev() {
+            if let Some((_, ceiling)) = ctx.malleable_bounds(rj.id) {
+                if rj.num < ceiling {
+                    self.scratch.push((rj.id, 0));
+                }
+            }
+        }
+        let claim = DedicatedClaim::of(&state.dedicated);
+        for &(id, _) in &self.scratch {
+            let free = ctx.free();
+            if free < unit {
+                return;
+            }
+            let Some(rj) = ctx.running().get(id) else {
+                continue;
+            };
+            let Some((_, ceiling)) = ctx.malleable_bounds(id) else {
+                continue;
+            };
+            let delta = (free - free % unit).min(ceiling - rj.num);
+            if delta == 0 {
+                continue;
+            }
+            let (old, new) = (u64::from(rj.num), u64::from(rj.num + delta));
+            let remaining = rj.finish.saturating_since(now).as_secs();
+            // Mirror the engine's work-conserving rescale (ceil against
+            // the job): the grow must save more time than it charges.
+            let scaled = (remaining * old).div_ceil(new);
+            let charge = ctx.reconfig_charge(delta).as_secs();
+            if remaining.saturating_sub(scaled) <= charge {
+                continue;
+            }
+            if let Some(c) = &claim {
+                // The grow holds `delta` extra processors until the
+                // job's new finish — treat it like starting a job that
+                // wide for that long against the freeze window
+                // (recomputed per grow: each grow reshapes the set).
+                let f = c.freeze(ctx);
+                let new_dur = Duration::from_secs(scaled + charge);
+                if !ded_allows(&f, now, delta, new_dur) {
+                    continue;
+                }
+            }
+            ctx.grow_running(id, delta);
+        }
+    }
+}
+
+/// The `+m` display name of a stack layer: every registry-reachable
+/// inner name with a `-M` suffix. A `&'static str`-returning trait
+/// forces a closed table; extend it alongside new cores.
+fn malleable_name(inner: &'static str) -> &'static str {
+    match inner {
+        "FCFS" => "FCFS-M",
+        "FCFS-D" => "FCFS-D-M",
+        "Conservative" => "Conservative-M",
+        "Conservative-D" => "Conservative-D-M",
+        "EASY" => "EASY-M",
+        "EASY-D" => "EASY-D-M",
+        "LOS" => "LOS-M",
+        "LOS-D" => "LOS-D-M",
+        "Delayed-LOS" => "Delayed-LOS-M",
+        "Hybrid-LOS" => "Hybrid-LOS-M",
+        "Adaptive" => "Adaptive-M",
+        "Adaptive-D" => "Adaptive-D-M",
+        "SJF" => "SJF-M",
+        "SJF-D" => "SJF-D-M",
+        "SJF-BF" => "SJF-BF-M",
+        "SJF-BF-D" => "SJF-BF-D-M",
+        "Smallest-First" => "Smallest-First-M",
+        "Smallest-First-D" => "Smallest-First-D-M",
+        "Smallest-First-BF" => "Smallest-First-BF-M",
+        "Smallest-First-BF-D" => "Smallest-First-BF-D-M",
+        "Largest-First" => "Largest-First-M",
+        "Largest-First-D" => "Largest-First-D-M",
+        "Largest-First-BF" => "Largest-First-BF-M",
+        "Largest-First-BF-D" => "Largest-First-BF-D-M",
+        _ => "Malleable",
+    }
+}
+
+impl<L: StackLayer> StackLayer for WithMalleable<L> {
+    fn admit(&mut self, job: JobView, state: &mut StackState) {
+        self.inner.admit(job, state);
+    }
+
+    fn drive(&mut self, ctx: &mut dyn SchedContext, state: &mut StackState) {
+        self.inner.drive(ctx, state);
+        self.shrink_to_admit(ctx, state);
+        self.grow_into_free(ctx, state);
+    }
+
+    fn name(&self) -> &'static str {
+        malleable_name(self.inner.name())
+    }
+}
+
 /// The one `Scheduler` implementation driving every policy stack: it
 /// owns the queues and shared resources, routes arrivals and ECCs,
 /// counts cycles, and assembles [`SchedStats`].
@@ -471,6 +669,14 @@ impl<P: BatchPolicy> PolicyStack<WithDedicated<P>> {
     /// `scount` (see [`WithDedicated`]).
     pub fn with_dedicated(core: P, promote_scount: u32) -> Self {
         PolicyStack::from_layer(WithDedicated::new(core, promote_scount))
+    }
+}
+
+impl<L: StackLayer> PolicyStack<WithMalleable<L>> {
+    /// A malleable stack over an already-assembled `layer` (the
+    /// registry's `+m` flag wraps the outermost layer).
+    pub fn with_malleable(layer: L) -> Self {
+        PolicyStack::from_layer(WithMalleable::new(layer))
     }
 }
 
@@ -569,6 +775,31 @@ mod tests {
             PolicyStack::with_dedicated(DelayedLosCore::new(7, 50), 7).name(),
             "Hybrid-LOS"
         );
+        assert_eq!(
+            PolicyStack::with_malleable(BatchOnly::new(EasyCore)).name(),
+            "EASY-M"
+        );
+        assert_eq!(
+            PolicyStack::with_malleable(WithDedicated::new(DelayedLosCore::new(7, 50), 7)).name(),
+            "Hybrid-LOS-M"
+        );
+    }
+
+    #[test]
+    fn malleable_name_table_covers_every_registry_stack() {
+        use crate::registry::{CorePolicy, SchedParams, StackSpec};
+        let p = SchedParams::default();
+        for core in CorePolicy::ALL {
+            for dedicated in [false, true] {
+                let mut spec = StackSpec::plain(core);
+                if dedicated {
+                    spec = spec.with_dedicated();
+                }
+                let base = spec.build(p).name();
+                let m = malleable_name(base);
+                assert_eq!(m, format!("{base}-M"), "unmapped stack name {base:?}");
+            }
+        }
     }
 
     #[test]

@@ -145,11 +145,14 @@ fn steady_state_solves_do_not_allocate() {
 /// metrics derivation — against the budgets the arena work established
 /// (PR 7: selection-cache keys share one arena, the calendar queue's
 /// slab is sized at load, metrics fold through a pre-sized
-/// accumulator). Measured on this workload: load ≈ 10 (four reserves +
-/// id-map + one slab growth), metrics ≈ 2 (wait series + scheduler
-/// name), full run ≈ 134. The ceilings leave headroom for allocator
-/// rounding but fail loudly if a per-job or per-slot allocation creeps
-/// back in.
+/// accumulator; PR 10: cached selections share an answer arena like
+/// the keys, and the DP staging buffers / incremental tables / batch
+/// queue are pre-sized at construction, collapsing every mid-run
+/// doubling chain). Measured on this workload: build ≈ 16 (one-time
+/// pre-reserves), load ≈ 11 (five purpose tables + event-queue slab),
+/// metrics ≈ 2 (wait series + scheduler name), event loop ≈ 3, full
+/// run ≈ 33. The ceilings leave headroom for allocator rounding but
+/// fail loudly if a per-job or per-slot allocation creeps back in.
 #[test]
 fn full_run_allocation_floor() {
     use elastisched_metrics::RunMetrics;
@@ -189,5 +192,5 @@ fn full_run_allocation_floor() {
     assert_eq!(m.jobs, 500);
     assert!(load <= 14, "load allocated {load} times (floor 14)");
     assert!(metrics <= 4, "metrics derivation allocated {metrics} times (floor 4)");
-    assert!(total <= 170, "full run allocated {total} times (floor 170)");
+    assert!(total <= 48, "full run allocated {total} times (floor 48)");
 }

@@ -18,6 +18,10 @@
 //! - **ecc** — the job would fit were it not for processors gained by
 //!   running jobs through expand-procs ECCs: elastic reconfiguration
 //!   stole the headroom.
+//! - **malleable** — the job would fit were it not for processors held
+//!   by running jobs *above their preferred width* through
+//!   scheduler-initiated malleable grows: the malleable layer's
+//!   opportunistic expansion is holding the headroom.
 //! - **policy_skip** — the job fit but the policy passed it over: a DP
 //!   selection skipped the head (Delayed-LOS `scount` budget), or the
 //!   policy simply did not reach it this cycle.
@@ -46,7 +50,7 @@ pub const TOP_BLOCKERS: usize = 8;
 ///
 /// Produced by the engine when attribution is enabled (see
 /// `Engine::enable_attribution`) and attached to the job's
-/// [`JobOutcome`]. The five `*_secs` buckets always sum to the job's
+/// [`JobOutcome`]. The six `*_secs` buckets always sum to the job's
 /// total wait.
 ///
 /// [`JobOutcome`]: crate::JobOutcome
@@ -59,6 +63,10 @@ pub struct WaitAttribution {
     pub dedicated_secs: u64,
     /// Seconds blocked by processors gained through expand-procs ECCs.
     pub ecc_secs: u64,
+    /// Seconds blocked by processors held above preferred width through
+    /// scheduler-initiated malleable grows.
+    #[serde(default)]
+    pub malleable_secs: u64,
     /// Seconds the job fit but was passed over by the policy (head
     /// skips, DP selections, queue order).
     pub policy_skip_secs: u64,
@@ -79,6 +87,7 @@ impl WaitAttribution {
         self.capacity_secs
             + self.dedicated_secs
             + self.ecc_secs
+            + self.malleable_secs
             + self.policy_skip_secs
             + self.freeze_secs
     }
@@ -110,6 +119,9 @@ pub struct AttributionProfile {
     pub dedicated_secs: u64,
     /// Sum of per-job ECC-reconfiguration seconds.
     pub ecc_secs: u64,
+    /// Sum of per-job malleable-grow contention seconds.
+    #[serde(default)]
+    pub malleable_secs: u64,
     /// Sum of per-job policy-skip seconds.
     pub policy_skip_secs: u64,
     /// Sum of per-job freeze-window seconds.
@@ -132,6 +144,7 @@ impl AttributionProfile {
         self.capacity_secs
             + self.dedicated_secs
             + self.ecc_secs
+            + self.malleable_secs
             + self.policy_skip_secs
             + self.freeze_secs
     }
@@ -145,6 +158,7 @@ impl AttributionProfile {
         self.capacity_secs += a.capacity_secs;
         self.dedicated_secs += a.dedicated_secs;
         self.ecc_secs += a.ecc_secs;
+        self.malleable_secs += a.malleable_secs;
         self.policy_skip_secs += a.policy_skip_secs;
         self.freeze_secs += a.freeze_secs;
         if let Some(job) = a.lead_blocker {
@@ -213,6 +227,7 @@ pub(crate) enum PendingCause {
     Capacity(JobId),
     Dedicated,
     Ecc,
+    Malleable,
     #[default]
     PolicySkip,
     Freeze,
@@ -256,6 +271,7 @@ impl JobAttr {
                 }
                 PendingCause::Dedicated => self.attr.dedicated_secs += span,
                 PendingCause::Ecc => self.attr.ecc_secs += span,
+                PendingCause::Malleable => self.attr.malleable_secs += span,
                 PendingCause::PolicySkip => self.attr.policy_skip_secs += span,
                 PendingCause::Freeze => self.attr.freeze_secs += span,
             }

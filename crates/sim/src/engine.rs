@@ -12,6 +12,7 @@ use crate::ecc::{EccKind, EccPolicy, EccSpec};
 use crate::event::{Event, EventQueue};
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, JobState};
 use crate::machine::Machine;
+use crate::reconfig::{ReconfigCost, ReconfigStats};
 use crate::running::{RunningJob, RunningSet};
 use crate::sampler::{RunTimeline, TimelineConfig, TimelineSample, TimelineSampler};
 use crate::sched_api::{JobView, SchedContext, SchedStats, Scheduler, StartError};
@@ -229,6 +230,8 @@ pub struct SimResult {
     pub makespan: SimTime,
     /// ECC processor counters.
     pub ecc: EccStats,
+    /// Scheduler-initiated malleable-reconfiguration counters.
+    pub reconfig: ReconfigStats,
     /// Periodic state samples (empty unless sampling was enabled).
     pub samples: Vec<StateSample>,
     /// Decision-kernel counters reported by the scheduler.
@@ -266,6 +269,18 @@ fn round_down_to_unit(n: u32, unit: u32) -> u32 {
     (n / unit) * unit
 }
 
+/// Work-conserving finish time after resizing a running job from
+/// `old_alloc` to `new_alloc` processors at `now`: the remaining work
+/// `remaining × old` is redistributed over the new width (rounding
+/// against the job, i.e. up), so shrinking stretches the tail and
+/// growing compresses it. The reconfiguration cost is charged on top by
+/// the caller.
+fn rescaled_finish(now: SimTime, finish: SimTime, old_alloc: u32, new_alloc: u32) -> SimTime {
+    let remaining = (finish - now).as_secs();
+    let scaled = (remaining * u64::from(old_alloc)).div_ceil(u64::from(new_alloc.max(1)));
+    now + Duration::from_secs(scaled)
+}
+
 struct EngineState {
     now: SimTime,
     machine: Machine,
@@ -276,6 +291,10 @@ struct EngineState {
     outcomes: Vec<JobOutcome>,
     ecc_policy: EccPolicy,
     ecc_stats: EccStats,
+    /// Cost model applied to scheduler-initiated grows/shrinks (see
+    /// [`crate::reconfig`]); the counters track what was applied.
+    reconfig_cost: ReconfigCost,
+    reconfig: ReconfigStats,
     makespan: SimTime,
     /// Incremental arrival-ordered snapshot of waiting jobs, lent to
     /// schedulers via [`SchedContext::waiting_jobs`] as
@@ -482,6 +501,132 @@ impl SchedContext for EngineState {
     fn attribution(&mut self) -> Option<&mut AttrNotes> {
         self.attr.as_deref_mut().map(|a| &mut a.notes)
     }
+
+    fn malleable_bounds(&self, id: JobId) -> Option<(u32, u32)> {
+        let rec = self.record(id)?;
+        if !rec.is_running() || !rec.spec.is_malleable() {
+            return None;
+        }
+        let unit = self.machine.unit().max(1);
+        let (min, max) = rec.spec.proc_range();
+        let floor = round_up_to_unit(min.max(1), unit);
+        let ceiling = round_down_to_unit(max, unit)
+            .min(self.machine.total())
+            .max(floor);
+        Some((floor, ceiling))
+    }
+
+    fn shrink_running(&mut self, id: JobId, delta: u32) -> u32 {
+        let Some((floor, _)) = self.malleable_bounds(id) else {
+            return 0;
+        };
+        let now = self.now;
+        let unit = self.machine.unit().max(1);
+        let rec = self.record(id).expect("bounds imply a live record");
+        let (started, finish) = match rec.state {
+            JobState::Running { started, finish } => (started, finish),
+            _ => return 0,
+        };
+        let shrink = round_down_to_unit(delta, unit).min(rec.alloc.saturating_sub(floor));
+        if shrink == 0 {
+            return 0;
+        }
+        let cost = self.reconfig_cost.charge(shrink, unit);
+        let new_finish = rescaled_finish(now, finish, rec.alloc, rec.alloc - shrink) + cost;
+        let rec = self.record_mut(id).expect("checked above");
+        rec.alloc -= shrink;
+        rec.mal_gain = rec.mal_gain.saturating_sub(shrink);
+        rec.est_dur = new_finish - started;
+        rec.actual_dur = rec.est_dur;
+        rec.completion_epoch += 1;
+        let epoch = rec.completion_epoch;
+        let alloc = rec.alloc;
+        rec.state = JobState::Running {
+            started,
+            finish: new_finish,
+        };
+        self.running.update_num(id, alloc);
+        self.running.update_finish(id, new_finish);
+        self.queue
+            .push(new_finish, Event::Completion { job: id, epoch });
+        self.machine
+            .release(shrink, now)
+            .expect("shrink releases processors the job holds");
+        self.reconfig.shrinks += 1;
+        self.reconfig.procs_reclaimed += u64::from(shrink);
+        self.reconfig.cost_secs += cost.as_secs();
+        trace_event!(
+            self.trace.as_deref_mut(),
+            TraceEvent::Reconfig {
+                job: id.0,
+                at: now.as_secs(),
+                grow: false,
+                delta: shrink,
+                num: alloc,
+                cost: cost.as_secs(),
+            }
+        );
+        shrink
+    }
+
+    fn grow_running(&mut self, id: JobId, delta: u32) -> u32 {
+        let Some((_, ceiling)) = self.malleable_bounds(id) else {
+            return 0;
+        };
+        let now = self.now;
+        let unit = self.machine.unit().max(1);
+        let rec = self.record(id).expect("bounds imply a live record");
+        let (started, finish) = match rec.state {
+            JobState::Running { started, finish } => (started, finish),
+            _ => return 0,
+        };
+        let grow = round_down_to_unit(delta, unit)
+            .min(ceiling.saturating_sub(rec.alloc))
+            .min(round_down_to_unit(self.machine.free(), unit));
+        if grow == 0 || !self.machine.can_fit(grow) {
+            return 0;
+        }
+        let cost = self.reconfig_cost.charge(grow, unit);
+        let new_finish = rescaled_finish(now, finish, rec.alloc, rec.alloc + grow) + cost;
+        self.machine
+            .allocate(grow, now)
+            .expect("fit was checked above");
+        let rec = self.record_mut(id).expect("checked above");
+        rec.alloc += grow;
+        rec.mal_gain += grow;
+        rec.est_dur = new_finish - started;
+        rec.actual_dur = rec.est_dur;
+        rec.completion_epoch += 1;
+        let epoch = rec.completion_epoch;
+        let alloc = rec.alloc;
+        rec.state = JobState::Running {
+            started,
+            finish: new_finish,
+        };
+        self.running.update_num(id, alloc);
+        self.running.update_finish(id, new_finish);
+        self.queue
+            .push(new_finish, Event::Completion { job: id, epoch });
+        self.reconfig.grows += 1;
+        self.reconfig.procs_granted += u64::from(grow);
+        self.reconfig.cost_secs += cost.as_secs();
+        trace_event!(
+            self.trace.as_deref_mut(),
+            TraceEvent::Reconfig {
+                job: id.0,
+                at: now.as_secs(),
+                grow: true,
+                delta: grow,
+                num: alloc,
+                cost: cost.as_secs(),
+            }
+        );
+        grow
+    }
+
+    fn reconfig_charge(&self, delta: u32) -> Duration {
+        self.reconfig_cost.charge(delta, self.machine.unit())
+    }
 }
 
 /// Ring capacity of the flight recorder's implicit trace sink: enough
@@ -536,6 +681,8 @@ impl<S: Scheduler> Engine<S> {
                 outcomes: Vec::new(),
                 ecc_policy,
                 ecc_stats: EccStats::default(),
+                reconfig_cost: ReconfigCost::default(),
+                reconfig: ReconfigStats::default(),
                 makespan: SimTime::ZERO,
                 wait_views: Vec::new(),
                 wait_recs: Vec::new(),
@@ -599,6 +746,14 @@ impl<S: Scheduler> Engine<S> {
     /// one branch per scheduling cycle.
     pub fn enable_attribution(&mut self) {
         self.state.attr = Some(Box::default());
+    }
+
+    /// Set the cost model charged to scheduler-initiated grows and
+    /// shrinks of running malleable jobs (see [`crate::reconfig`]).
+    /// Defaults to [`ReconfigCost::default`]; [`ReconfigCost::FREE`]
+    /// makes resizes free for upper-bound studies.
+    pub fn set_reconfig_cost(&mut self, cost: ReconfigCost) {
+        self.state.reconfig_cost = cost;
     }
 
     /// Arm the black-box flight recorder: if the run panics or aborts
@@ -1039,6 +1194,7 @@ impl<S: Scheduler> Engine<S> {
             event_queue_len: (state.queue.len() as u64).saturating_sub(state.preloaded_pending)
                 as u32,
             eccs_applied: state.ecc_stats.applied(),
+            reconfigs: state.reconfig.total(),
             dp_cache_hits: st.dp_cache_hits,
             dp_cache_misses: st.dp_cache_misses,
             dp_incremental_hits: st.dp_incremental_hits,
@@ -1069,6 +1225,7 @@ impl<S: Scheduler> Engine<S> {
         // of running-set iteration order).
         let mut ded_procs = 0u32;
         let mut ecc_procs = 0u32;
+        let mut mal_procs = 0u32;
         let mut blocker = JobId(u64::MAX);
         let mut blocker_num = 0u32;
         for rj in state.running.iter() {
@@ -1076,8 +1233,15 @@ impl<S: Scheduler> Engine<S> {
                 if rec.spec.class.is_dedicated() {
                     ded_procs += rj.num;
                 }
+                // Width above the preferred request splits between the
+                // malleable layer's grows (tracked exactly in
+                // `mal_gain`) and expand-procs ECCs (the rest).
+                mal_procs += rec.mal_gain.min(rj.num);
                 if rec.ecc_count > 0 {
-                    ecc_procs += rj.num.saturating_sub(rec.spec.num);
+                    ecc_procs += rj
+                        .num
+                        .saturating_sub(rec.spec.num)
+                        .saturating_sub(rec.mal_gain);
                 }
             }
             if rj.num > blocker_num || (rj.num == blocker_num && rj.id < blocker) {
@@ -1106,6 +1270,8 @@ impl<S: Scheduler> Engine<S> {
                     PendingCause::Dedicated
                 } else if v.num <= free + ded_procs + ecc_procs {
                     PendingCause::Ecc
+                } else if v.num <= free + ded_procs + ecc_procs + mal_procs {
+                    PendingCause::Malleable
                 } else {
                     PendingCause::Capacity(blocker)
                 }
@@ -1417,6 +1583,26 @@ impl<S: Scheduler> Engine<S> {
                     keys::ATTR_FREEZE_WAIT_SECONDS_TOTAL,
                     attribution.freeze_secs,
                 );
+                reg.counter_add(
+                    keys::ATTR_MALLEABLE_WAIT_SECONDS_TOTAL,
+                    attribution.malleable_secs,
+                );
+            }
+            if self.state.reconfig.total() > 0 {
+                reg.counter_add(keys::RECONFIG_GROWS_TOTAL, self.state.reconfig.grows);
+                reg.counter_add(keys::RECONFIG_SHRINKS_TOTAL, self.state.reconfig.shrinks);
+                reg.counter_add(
+                    keys::RECONFIG_PROCS_GRANTED_TOTAL,
+                    self.state.reconfig.procs_granted,
+                );
+                reg.counter_add(
+                    keys::RECONFIG_PROCS_RECLAIMED_TOTAL,
+                    self.state.reconfig.procs_reclaimed,
+                );
+                reg.counter_add(
+                    keys::RECONFIG_COST_SECONDS_TOTAL,
+                    self.state.reconfig.cost_secs,
+                );
             }
         });
         let state = self.state;
@@ -1434,6 +1620,7 @@ impl<S: Scheduler> Engine<S> {
             last_arrival: self.last_arrival,
             makespan: state.makespan,
             ecc: state.ecc_stats,
+            reconfig: state.reconfig,
             samples: self.samples,
             engine: engine_stats,
             trace: state.trace,
@@ -2528,6 +2715,221 @@ mod tests {
             let st = engine.run_streaming(SliceSource::new(&[], &[])).unwrap();
             assert!(st.outcomes.is_empty());
             assert_eq!(st.engine.events, 0);
+        }
+    }
+
+    mod malleable {
+        use super::*;
+        use crate::reconfig::ReconfigCost;
+        use crate::SliceSource;
+
+        /// FIFO that reclaims width from running malleable jobs when the
+        /// head does not fit, and (optionally) grows running malleable
+        /// jobs into leftover free processors — a miniature of the `+m`
+        /// stack layer, used to exercise the engine API directly.
+        struct MalleableFifo {
+            queue: std::collections::VecDeque<JobView>,
+            grow_after: bool,
+        }
+
+        impl MalleableFifo {
+            fn new(grow_after: bool) -> Self {
+                MalleableFifo {
+                    queue: std::collections::VecDeque::new(),
+                    grow_after,
+                }
+            }
+        }
+
+        impl Scheduler for MalleableFifo {
+            fn on_arrival(&mut self, job: JobView) {
+                self.queue.push_back(job);
+            }
+
+            fn cycle(&mut self, ctx: &mut dyn SchedContext) {
+                while let Some(head) = self.queue.front().copied() {
+                    if head.num > ctx.free() {
+                        let need = head.num - ctx.free();
+                        let ids: Vec<JobId> = ctx.running().iter().map(|r| r.id).collect();
+                        let mut got = 0u32;
+                        for id in ids {
+                            if got >= need {
+                                break;
+                            }
+                            got += ctx.shrink_running(id, need - got);
+                        }
+                    }
+                    if head.num <= ctx.free() {
+                        ctx.start(head.id).expect("fit was ensured");
+                        self.queue.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if self.grow_after {
+                    let ids: Vec<JobId> = ctx.running().iter().map(|r| r.id).collect();
+                    for id in ids {
+                        let free = ctx.free();
+                        if free == 0 {
+                            break;
+                        }
+                        ctx.grow_running(id, free);
+                    }
+                }
+            }
+
+            fn waiting_len(&self) -> usize {
+                self.queue.len()
+            }
+
+            fn name(&self) -> &'static str {
+                "MalleableFifo"
+            }
+        }
+
+        #[test]
+        fn shrink_admits_blocked_head_and_charges_cost() {
+            // Job 1 holds 256 of 320 but tolerates 128; job 2 needs 128.
+            let jobs = vec![
+                JobSpec::batch(1, 0, 256, 100).with_proc_range(128, 320),
+                JobSpec::batch(2, 10, 128, 100),
+            ];
+            let r = simulate(
+                Machine::bluegene_p(),
+                MalleableFifo::new(false),
+                EccPolicy::disabled(),
+                &jobs,
+                &[],
+            )
+            .unwrap();
+            let o2 = r.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
+            assert_eq!(o2.started, SimTime::from_secs(10), "head admitted via shrink");
+            let o1 = r.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+            // Work-conserving stretch: 90 s remaining at t=10 over
+            // 256→192 procs is ceil(90·256/192) = 120 s, plus the
+            // reconfiguration cost for 2 units (30 + 2·5 = 40 s).
+            assert_eq!(o1.finished, SimTime::from_secs(170));
+            assert_eq!(o1.num, 192);
+            assert_eq!(r.reconfig.shrinks, 1);
+            assert_eq!(r.reconfig.procs_reclaimed, 64);
+            assert_eq!(r.reconfig.cost_secs, 40);
+            assert_eq!(r.reconfig.grows, 0);
+        }
+
+        #[test]
+        fn grow_takes_free_procs_and_shortens_runtime() {
+            let jobs = vec![JobSpec::batch(1, 0, 64, 100).with_proc_range(64, 128)];
+            let r = simulate(
+                Machine::bluegene_p(),
+                MalleableFifo::new(true),
+                EccPolicy::disabled(),
+                &jobs,
+                &[],
+            )
+            .unwrap();
+            let o = &r.outcomes[0];
+            // Grew 64→128 (ceiling-clamped despite 256 free): the 100 s
+            // of remaining work halves to 50 s, plus the cost for 2
+            // units (30 + 2·5 = 40 s) — a net 10 s win.
+            assert_eq!(o.num, 128);
+            assert_eq!(o.finished, SimTime::from_secs(90));
+            assert_eq!(r.reconfig.grows, 1);
+            assert_eq!(r.reconfig.procs_granted, 64);
+        }
+
+        #[test]
+        fn free_cost_model_resizes_without_penalty() {
+            let jobs = vec![JobSpec::batch(1, 0, 64, 100).with_proc_range(64, 128)];
+            let mut engine = Engine::new(
+                Machine::bluegene_p(),
+                MalleableFifo::new(true),
+                EccPolicy::disabled(),
+            );
+            engine.set_reconfig_cost(ReconfigCost::FREE);
+            engine.load(&jobs, &[]).unwrap();
+            let r = engine.run().unwrap();
+            assert_eq!(r.outcomes[0].num, 128);
+            // Free resize: the work-conserving halving is all there is.
+            assert_eq!(r.outcomes[0].finished, SimTime::from_secs(50));
+            assert_eq!(r.reconfig.cost_secs, 0);
+        }
+
+        #[test]
+        fn rigid_jobs_expose_no_bounds_and_refuse_resizes() {
+            // The grow-capable scheduler on an all-rigid workload must
+            // reproduce the plain-FIFO run exactly.
+            let jobs = vec![
+                JobSpec::batch(1, 0, 256, 100),
+                JobSpec::batch(2, 10, 128, 100),
+            ];
+            let mal = simulate(
+                Machine::bluegene_p(),
+                MalleableFifo::new(true),
+                EccPolicy::disabled(),
+                &jobs,
+                &[],
+            )
+            .unwrap();
+            assert_eq!(mal.reconfig.total(), 0);
+            let base = run_jobs(&jobs, &[], EccPolicy::disabled());
+            for (a, b) in mal.outcomes.iter().zip(&base.outcomes) {
+                assert_eq!((a.id, a.started, a.finished, a.num), (b.id, b.started, b.finished, b.num));
+            }
+        }
+
+        #[test]
+        fn shrink_respects_floor_and_unit() {
+            // Floor 96 rounds up to 96 (unit 32); alloc 128 → at most 32
+            // reclaimable however much is asked for.
+            let jobs = vec![
+                JobSpec::batch(1, 0, 128, 100).with_proc_range(96, 128),
+                JobSpec::batch(2, 10, 320, 50),
+            ];
+            let r = simulate(
+                Machine::bluegene_p(),
+                MalleableFifo::new(false),
+                EccPolicy::disabled(),
+                &jobs,
+                &[],
+            )
+            .unwrap();
+            assert_eq!(r.reconfig.procs_reclaimed, 32);
+            let o1 = r.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+            assert_eq!(o1.num, 96, "never shrunk below the range floor");
+            let o2 = r.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
+            assert_eq!(
+                o2.started,
+                o1.finished,
+                "head still had to wait for the full machine"
+            );
+        }
+
+        #[test]
+        fn streamed_malleable_run_matches_materialized() {
+            let jobs = vec![
+                JobSpec::batch(1, 0, 256, 100).with_proc_range(128, 320),
+                JobSpec::batch(2, 10, 128, 100),
+                JobSpec::batch(3, 20, 64, 30).with_proc_range(32, 96),
+            ];
+            let mat = simulate(
+                Machine::bluegene_p(),
+                MalleableFifo::new(true),
+                EccPolicy::disabled(),
+                &jobs,
+                &[],
+            )
+            .unwrap();
+            let engine = Engine::new(
+                Machine::bluegene_p(),
+                MalleableFifo::new(true),
+                EccPolicy::disabled(),
+            );
+            let st = engine.run_streaming(SliceSource::new(&jobs, &[])).unwrap();
+            assert_eq!(mat.reconfig, st.reconfig);
+            assert_eq!(mat.outcomes.len(), st.outcomes.len());
+            for (a, b) in mat.outcomes.iter().zip(&st.outcomes) {
+                assert_eq!((a.id, a.started, a.finished, a.num), (b.id, b.started, b.finished, b.num));
+            }
         }
     }
 

@@ -61,8 +61,9 @@ pub struct JobSpec {
     pub id: JobId,
     /// Arrival (submit) time.
     pub submit: SimTime,
-    /// Number of processors requested (`num` in the paper's notation).
-    /// On a BlueGene/P-style machine this is a multiple of the allocation
+    /// Number of processors requested (`num` in the paper's notation) —
+    /// the *preferred* width in the proc-range model. On a
+    /// BlueGene/P-style machine this is a multiple of the allocation
     /// unit; the machine model enforces it.
     pub num: u32,
     /// User-estimated execution time (`dur`). Also the initial kill-by
@@ -73,6 +74,16 @@ pub struct JobSpec {
     pub actual: Duration,
     /// Batch or dedicated.
     pub class: JobClass,
+    /// Minimum acceptable processor count for a malleable job (proc-range
+    /// model: `min_procs ≤ num ≤ max_procs`). `0` means unset — the job
+    /// is rigid below its preferred width. `#[serde(default)]` keeps
+    /// specs serialized before the proc-range model loading cleanly.
+    #[serde(default)]
+    pub min_procs: u32,
+    /// Maximum useful processor count for a malleable job. `0` means
+    /// unset — the job cannot grow past its preferred width.
+    #[serde(default)]
+    pub max_procs: u32,
 }
 
 impl JobSpec {
@@ -86,6 +97,8 @@ impl JobSpec {
             dur: Duration::from_secs(dur),
             actual: Duration::from_secs(dur),
             class: JobClass::Batch,
+            min_procs: 0,
+            max_procs: 0,
         }
     }
 
@@ -100,7 +113,43 @@ impl JobSpec {
             class: JobClass::Dedicated {
                 requested_start: SimTime::from_secs(requested_start),
             },
+            min_procs: 0,
+            max_procs: 0,
         }
+    }
+
+    /// Attach a proc range (`min ≤ num ≤ max`), making the job malleable
+    /// whenever the normalized range is non-degenerate. Pass `0` for
+    /// either bound to leave it unset.
+    pub fn with_proc_range(mut self, min: u32, max: u32) -> Self {
+        self.min_procs = min;
+        self.max_procs = max;
+        self
+    }
+
+    /// The normalized proc range `(min, max)`: unset bounds collapse to
+    /// the preferred width, a `min` above `num` clamps down to it and a
+    /// `max` below `num` clamps up, so `min ≤ num ≤ max` always holds.
+    pub fn proc_range(&self) -> (u32, u32) {
+        let min = if self.min_procs == 0 {
+            self.num
+        } else {
+            self.min_procs.min(self.num)
+        };
+        let max = if self.max_procs == 0 {
+            self.num
+        } else {
+            self.max_procs.max(self.num)
+        };
+        (min, max)
+    }
+
+    /// True when the normalized proc range admits more than one width —
+    /// the scheduler may grow or shrink this job at runtime. `min == max`
+    /// is the degenerate fixed case.
+    pub fn is_malleable(&self) -> bool {
+        let (min, max) = self.proc_range();
+        min < max
     }
 
     /// The moment from which this job is *eligible* to run: its submit
@@ -146,6 +195,11 @@ pub struct JobRecord {
     pub alloc: u32,
     /// Number of ECCs applied to this job so far.
     pub ecc_count: u32,
+    /// Processors currently held *above* the preferred width through
+    /// scheduler-initiated malleable grows (grows add, shrinks subtract,
+    /// saturating at zero). Kept separate from ECC-driven allocation
+    /// changes so wait attribution can charge them to different buckets.
+    pub mal_gain: u32,
     /// Epoch counter used to invalidate stale completion events after an
     /// ECC reschedules the kill-by time.
     pub completion_epoch: u64,
@@ -169,6 +223,7 @@ impl JobRecord {
             actual_dur,
             alloc,
             ecc_count: 0,
+            mal_gain: 0,
             completion_epoch: 0,
             wait_pos: u32::MAX,
         }
@@ -273,6 +328,47 @@ mod tests {
         );
         assert!(r.is_running());
         assert!(!r.is_completed());
+    }
+
+    #[test]
+    fn proc_range_normalizes_and_classifies() {
+        let fixed = JobSpec::batch(1, 0, 64, 100);
+        assert_eq!(fixed.proc_range(), (64, 64));
+        assert!(!fixed.is_malleable());
+        // Degenerate explicit range: min == num == max.
+        let degenerate = JobSpec::batch(2, 0, 64, 100).with_proc_range(64, 64);
+        assert!(!degenerate.is_malleable());
+        let mal = JobSpec::batch(3, 0, 64, 100).with_proc_range(32, 128);
+        assert_eq!(mal.proc_range(), (32, 128));
+        assert!(mal.is_malleable());
+        // Unset bounds collapse to the preferred width.
+        let grow_only = JobSpec::batch(4, 0, 64, 100).with_proc_range(0, 128);
+        assert_eq!(grow_only.proc_range(), (64, 128));
+        assert!(grow_only.is_malleable());
+        // Inverted bounds clamp to num rather than crossing it.
+        let weird = JobSpec::batch(5, 0, 64, 100).with_proc_range(96, 32);
+        assert_eq!(weird.proc_range(), (64, 64));
+        assert!(!weird.is_malleable());
+    }
+
+    #[test]
+    fn spec_serde_round_trips_and_defaults_unset_range() {
+        let mal = JobSpec::batch(2, 0, 64, 100).with_proc_range(32, 128);
+        let text = serde_json::to_string(&mal).unwrap();
+        assert!(text.contains("min_procs"));
+        let back: JobSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, mal);
+        // A spec serialized before the proc-range model existed (no
+        // min/max fields) loads as a rigid job.
+        let fixed = JobSpec::batch(1, 0, 64, 100);
+        let mut text = serde_json::to_string(&fixed).unwrap();
+        text = text
+            .replace(",\"min_procs\":0", "")
+            .replace(",\"max_procs\":0", "");
+        assert!(!text.contains("min_procs"), "rewrite failed: {text}");
+        let back: JobSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, fixed);
+        assert!(!back.is_malleable());
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod engine;
 pub mod event;
 pub mod job;
 pub mod machine;
+pub mod reconfig;
 pub mod running;
 pub mod sampler;
 pub mod sched_api;
@@ -50,6 +51,7 @@ pub use sampler::{
 pub use event::{Event, EventQueue};
 pub use job::{JobClass, JobId, JobOutcome, JobRecord, JobSpec, JobState};
 pub use machine::{Machine, MachineError};
+pub use reconfig::{ReconfigCost, ReconfigStats};
 pub use running::{RunningJob, RunningSet};
 pub use sched_api::{
     JobView, SchedContext, SchedStats, Scheduler, StartError, DP_NANOS_SAMPLE_EVERY,

@@ -1,0 +1,106 @@
+//! Reconfiguration-cost model for scheduler-initiated malleability.
+//!
+//! The paper's elasticity (ECCs) is *user*-issued; the malleable stack
+//! layer instead lets the *scheduler* grow and shrink running jobs
+//! between their proc-range bounds ([`crate::JobSpec::proc_range`]).
+//! Resizes are *work-conserving*: the job's remaining runtime rescales
+//! by `old/new` processors (linear speedup within the range), so a
+//! shrink stretches the tail and a grow compresses it. Real malleable
+//! runtimes additionally pay for every reconfiguration — checkpointing,
+//! data redistribution, process (re)spawn — so each engine-applied
+//! resize also extends the job's remaining runtime by a
+//! [`ReconfigCost`]: a fixed penalty plus a per-unit term scaling with
+//! the number of allocation units moved. A zero cost model makes
+//! resizes free (useful for upper-bound studies); the default charges
+//! 30 s + 5 s per 32-proc node group, in the range malleability studies
+//! assume for checkpoint-based reconfiguration.
+
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// How much simulated time one grow/shrink costs the resized job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigCost {
+    /// Flat penalty per reconfiguration, seconds.
+    pub fixed_secs: u64,
+    /// Additional penalty per allocation unit moved, seconds.
+    pub per_unit_secs: u64,
+}
+
+impl ReconfigCost {
+    /// Free reconfigurations (upper-bound / ablation studies).
+    pub const FREE: ReconfigCost = ReconfigCost {
+        fixed_secs: 0,
+        per_unit_secs: 0,
+    };
+
+    /// The cost charged to a job that moved `delta` processors on a
+    /// machine with allocation unit `unit`.
+    pub fn charge(&self, delta: u32, unit: u32) -> Duration {
+        let units = u64::from(delta / unit.max(1));
+        Duration::from_secs(self.fixed_secs + self.per_unit_secs * units)
+    }
+}
+
+impl Default for ReconfigCost {
+    fn default() -> Self {
+        ReconfigCost {
+            fixed_secs: 30,
+            per_unit_secs: 5,
+        }
+    }
+}
+
+/// Cumulative malleable-reconfiguration counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigStats {
+    /// Scheduler-initiated grows applied to running jobs.
+    #[serde(default)]
+    pub grows: u64,
+    /// Scheduler-initiated shrinks applied to running jobs.
+    #[serde(default)]
+    pub shrinks: u64,
+    /// Processors granted across all grows.
+    #[serde(default)]
+    pub procs_granted: u64,
+    /// Processors reclaimed across all shrinks.
+    #[serde(default)]
+    pub procs_reclaimed: u64,
+    /// Total reconfiguration cost charged to resized jobs, seconds of
+    /// extended remaining runtime.
+    #[serde(default)]
+    pub cost_secs: u64,
+}
+
+impl ReconfigStats {
+    /// Total reconfigurations of either direction.
+    pub fn total(&self) -> u64 {
+        self.grows + self.shrinks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cost_charges_fixed_plus_per_unit() {
+        let c = ReconfigCost::default();
+        assert_eq!(c.charge(64, 32), Duration::from_secs(30 + 2 * 5));
+        assert_eq!(c.charge(32, 32), Duration::from_secs(35));
+        assert_eq!(ReconfigCost::FREE.charge(96, 32), Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_total_and_serde_defaults() {
+        let s = ReconfigStats {
+            grows: 2,
+            shrinks: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.total(), 5);
+        // A fixture from before the counters existed deserializes clean.
+        let from_empty: ReconfigStats = serde_json::from_str("{}").unwrap();
+        assert_eq!(from_empty, ReconfigStats::default());
+    }
+}

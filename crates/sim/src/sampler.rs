@@ -100,6 +100,10 @@ pub struct TimelineSample {
     pub event_queue_len: u32,
     /// Cumulative ECCs applied so far.
     pub eccs_applied: u64,
+    /// Cumulative scheduler-initiated malleable reconfigurations
+    /// (grows + shrinks) so far.
+    #[serde(default)]
+    pub reconfigs: u64,
     /// Cumulative DP selection-cache hits so far.
     pub dp_cache_hits: u64,
     /// Cumulative DP selection-cache misses so far.
@@ -169,12 +173,12 @@ impl RunTimeline {
         let mut out = String::with_capacity(64 + self.samples.len() * 96);
         out.push_str(
             "at,util,free,dedicated_procs,ecc_procs,queue_depth,oldest_wait_secs,\
-             running,live_wait_views,event_queue_len,eccs_applied,dp_cache_hits,\
-             dp_cache_misses,dp_incremental_hits,dp_incremental_rebuilds\n",
+             running,live_wait_views,event_queue_len,eccs_applied,reconfigs,\
+             dp_cache_hits,dp_cache_misses,dp_incremental_hits,dp_incremental_rebuilds\n",
         );
         for s in &self.samples {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.at.as_secs(),
                 s.util,
                 s.free,
@@ -186,6 +190,7 @@ impl RunTimeline {
                 s.live_wait_views,
                 s.event_queue_len,
                 s.eccs_applied,
+                s.reconfigs,
                 s.dp_cache_hits,
                 s.dp_cache_misses,
                 s.dp_incremental_hits,

@@ -164,6 +164,47 @@ pub trait SchedContext {
     fn attribution(&mut self) -> Option<&mut AttrNotes> {
         None
     }
+    /// The unit-aligned width bounds `(floor, ceiling)` a *running*
+    /// malleable job may be resized within via
+    /// [`SchedContext::shrink_running`] / [`SchedContext::grow_running`].
+    /// `None` for unknown, non-running, or rigid jobs, and in contexts
+    /// without a malleability implementation (the default).
+    fn malleable_bounds(&self, id: JobId) -> Option<(u32, u32)> {
+        let _ = id;
+        None
+    }
+    /// Shrink a running malleable job by up to `delta` processors (the
+    /// engine clamps to the allocation unit and the job's range floor),
+    /// releasing the processors immediately. Resizing is
+    /// work-conserving: the job's remaining runtime is rescaled by
+    /// `old/new` (it runs longer on fewer processors), then the
+    /// reconfiguration cost is added on top. Returns the processors
+    /// actually reclaimed (0 in contexts without malleability, the
+    /// default).
+    fn shrink_running(&mut self, id: JobId, delta: u32) -> u32 {
+        let _ = (id, delta);
+        0
+    }
+    /// Grow a running malleable job by up to `delta` processors out of
+    /// the free pool (clamped to the unit, the free capacity, and the
+    /// job's range ceiling). Work-conserving like
+    /// [`SchedContext::shrink_running`]: the remaining runtime shrinks by
+    /// `old/new` and the reconfiguration cost is added — so a grow only
+    /// pays off while `remaining × (1 − old/new)` exceeds the cost.
+    /// Returns the processors actually granted (0 by default).
+    fn grow_running(&mut self, id: JobId, delta: u32) -> u32 {
+        let _ = (id, delta);
+        0
+    }
+    /// The reconfiguration cost the engine would charge for moving
+    /// `delta` processors on one resize. Policies use this to decide
+    /// whether a grow pays off (time saved must exceed the charge)
+    /// before committing to it. Free in contexts without a
+    /// malleability implementation (the default).
+    fn reconfig_charge(&self, delta: u32) -> Duration {
+        let _ = delta;
+        Duration::ZERO
+    }
 }
 
 /// A scheduling policy.

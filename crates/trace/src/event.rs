@@ -184,6 +184,23 @@ pub enum TraceEvent {
         /// Decision time, simulated seconds.
         at: u64,
     },
+    /// The scheduler resized a running malleable job (the `+m` layer's
+    /// grow/shrink, distinct from user-issued [`TraceEvent::Ecc`]s).
+    Reconfig {
+        /// Job id.
+        job: u64,
+        /// Resize time, simulated seconds.
+        at: u64,
+        /// Grow (true) or shrink (false).
+        grow: bool,
+        /// Processors moved.
+        delta: u32,
+        /// Processor allocation after the resize.
+        num: u32,
+        /// Reconfiguration cost charged to the job, seconds of extended
+        /// remaining runtime.
+        cost: u64,
+    },
 }
 
 impl TraceEvent {
@@ -198,7 +215,8 @@ impl TraceEvent {
             | TraceEvent::HeadForceStart { job, .. }
             | TraceEvent::HeadSkip { job, .. }
             | TraceEvent::Promote { job, .. }
-            | TraceEvent::Backfill { job, .. } => Some(*job),
+            | TraceEvent::Backfill { job, .. }
+            | TraceEvent::Reconfig { job, .. } => Some(*job),
             TraceEvent::RunMeta { .. }
             | TraceEvent::Cycle { .. }
             | TraceEvent::DpSelect { .. } => None,
@@ -219,7 +237,8 @@ impl TraceEvent {
             | TraceEvent::HeadSkip { at, .. }
             | TraceEvent::DpSelect { at, .. }
             | TraceEvent::Promote { at, .. }
-            | TraceEvent::Backfill { at, .. } => Some(*at),
+            | TraceEvent::Backfill { at, .. }
+            | TraceEvent::Reconfig { at, .. } => Some(*at),
         }
     }
 

@@ -275,6 +275,29 @@ pub fn to_chrome_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> 
                     ],
                 ));
             }
+            TraceEvent::Reconfig { job, at, grow, delta, num, .. } => {
+                // Same slice split as a running ECC, so the scheduler's
+                // resize is visible on the machine tracks too.
+                if let Some(mut ja) = running.remove(job) {
+                    flush(&mut out, *job, &ja, *at);
+                    let want = (num.div_ceil(unit)).max(1) as usize;
+                    if want < ja.groups.len() {
+                        let released = ja.groups.split_off(want);
+                        alloc.release(&released);
+                    } else if want > ja.groups.len() {
+                        let extra = alloc.take(want - ja.groups.len());
+                        ja.groups.extend(extra);
+                    }
+                    ja.since = *at;
+                    ja.procs = *num;
+                    running.insert(*job, ja);
+                }
+                out.push(instant(
+                    if *grow { "malleable_grow" } else { "malleable_shrink" },
+                    *at,
+                    vec![("job", u(*job)), ("delta", u(*delta as u64))],
+                ));
+            }
             TraceEvent::Promote { job, at } => {
                 out.push(instant("promote_dedicated", *at, vec![("job", u(*job))]));
             }

@@ -629,6 +629,18 @@ pub mod keys {
     pub const ATTR_JOBS_TOTAL: MetricId = MetricId(46);
     /// Audit failures: wait-attribution conservation.
     pub const AUDIT_ATTRIBUTION_VIOLATIONS_TOTAL: MetricId = MetricId(47);
+    /// Scheduler-initiated grows applied to running malleable jobs.
+    pub const RECONFIG_GROWS_TOTAL: MetricId = MetricId(48);
+    /// Scheduler-initiated shrinks applied to running malleable jobs.
+    pub const RECONFIG_SHRINKS_TOTAL: MetricId = MetricId(49);
+    /// Processors granted across all malleable grows.
+    pub const RECONFIG_PROCS_GRANTED_TOTAL: MetricId = MetricId(50);
+    /// Processors reclaimed across all malleable shrinks.
+    pub const RECONFIG_PROCS_RECLAIMED_TOTAL: MetricId = MetricId(51);
+    /// Reconfiguration cost charged to resized jobs, seconds.
+    pub const RECONFIG_COST_SECONDS_TOTAL: MetricId = MetricId(52);
+    /// Wait seconds attributed to malleable-grow contention.
+    pub const ATTR_MALLEABLE_WAIT_SECONDS_TOTAL: MetricId = MetricId(53);
 }
 
 /// Spec list behind [`MetricsRegistry::standard`], in [`keys`] order.
@@ -873,6 +885,36 @@ pub const STANDARD_SPECS: &[MetricSpec] = &[
         help: "Audit failures: wait-attribution conservation.",
         kind: MetricKind::Counter,
     },
+    MetricSpec {
+        name: "elastisched_reconfig_grows_total",
+        help: "Scheduler-initiated grows applied to running malleable jobs.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_reconfig_shrinks_total",
+        help: "Scheduler-initiated shrinks applied to running malleable jobs.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_reconfig_procs_granted_total",
+        help: "Processors granted across all malleable grows.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_reconfig_procs_reclaimed_total",
+        help: "Processors reclaimed across all malleable shrinks.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_reconfig_cost_seconds_total",
+        help: "Reconfiguration cost charged to resized jobs, seconds.",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "elastisched_attr_malleable_wait_seconds_total",
+        help: "Wait seconds attributed to malleable-grow contention.",
+        kind: MetricKind::Counter,
+    },
 ];
 
 #[cfg(test)]
@@ -1004,6 +1046,27 @@ mod tests {
             (
                 keys::AUDIT_ATTRIBUTION_VIOLATIONS_TOTAL,
                 "elastisched_audit_attribution_violations_total",
+            ),
+            (keys::RECONFIG_GROWS_TOTAL, "elastisched_reconfig_grows_total"),
+            (
+                keys::RECONFIG_SHRINKS_TOTAL,
+                "elastisched_reconfig_shrinks_total",
+            ),
+            (
+                keys::RECONFIG_PROCS_GRANTED_TOTAL,
+                "elastisched_reconfig_procs_granted_total",
+            ),
+            (
+                keys::RECONFIG_PROCS_RECLAIMED_TOTAL,
+                "elastisched_reconfig_procs_reclaimed_total",
+            ),
+            (
+                keys::RECONFIG_COST_SECONDS_TOTAL,
+                "elastisched_reconfig_cost_seconds_total",
+            ),
+            (
+                keys::ATTR_MALLEABLE_WAIT_SECONDS_TOTAL,
+                "elastisched_attr_malleable_wait_seconds_total",
             ),
         ];
         assert_eq!(ids.len(), STANDARD_SPECS.len(), "key list out of date");

@@ -10,10 +10,20 @@
 //! * **21 — Extension/Reduction Amount**: seconds for `ET`/`RT`,
 //!   processors for `EP`/`RP`; `-1` for submissions.
 //!
+//! Two further optional columns carry the proc-range of a *malleable*
+//! job (one the scheduler may grow or shrink at runtime):
+//!
+//! * **22 — Minimum Processors**: the job cannot run on fewer; `-1`
+//!   leaves the minimum at the request (field 8).
+//! * **23 — Maximum Processors**: the job cannot use more; `-1` leaves
+//!   the maximum at the request. A row with neither field (or both
+//!   `-1`) is a rigid job.
+//!
 //! For ECC rows (`ET`/`EP`/`RT`/`RP`), field 2 (submit time) carries the
 //! command's issue time and the remaining SWF fields are `-1`.
 //! Plain 18-field SWF lines are accepted and treated as batch `S` rows,
-//! so every SWF file is a valid CWF file.
+//! so every SWF file is a valid CWF file; 21-field rows (no proc-range
+//! columns) parse as rigid.
 
 use crate::set::Workload;
 use crate::swf::{parse_int_fields, record_from_fields, ParseError, SwfRecord};
@@ -58,6 +68,13 @@ pub struct CwfRecord {
     pub request_type: RequestType,
     /// Field 21: extension/reduction amount; `-1` for submissions.
     pub amount: i64,
+    /// Field 22: minimum processors for a malleable job; `0` unset
+    /// (file tokens of `-1` normalize to `0` at parse).
+    #[serde(default)]
+    pub min_procs: u32,
+    /// Field 23: maximum processors for a malleable job; `0` unset.
+    #[serde(default)]
+    pub max_procs: u32,
 }
 
 impl CwfRecord {
@@ -68,6 +85,8 @@ impl CwfRecord {
             requested_start: -1,
             request_type: RequestType::Submit,
             amount: -1,
+            min_procs: 0,
+            max_procs: 0,
         }
     }
 
@@ -85,6 +104,8 @@ impl CwfRecord {
             requested_start: requested_start as i64,
             request_type: RequestType::Submit,
             amount: -1,
+            min_procs: 0,
+            max_procs: 0,
         }
     }
 
@@ -101,7 +122,17 @@ impl CwfRecord {
             requested_start: -1,
             request_type: RequestType::Ecc(kind),
             amount: amount as i64,
+            min_procs: 0,
+            max_procs: 0,
         }
+    }
+
+    /// Attach a proc-range (fields 22-23) to a submission row, making
+    /// the job malleable. Pass `0` to leave either bound at the request.
+    pub fn with_proc_range(mut self, min_procs: u32, max_procs: u32) -> Self {
+        self.min_procs = min_procs;
+        self.max_procs = max_procs;
+        self
     }
 
     /// Whether this row is a submission.
@@ -121,6 +152,8 @@ impl CwfRecord {
                 requested_start: SimTime::from_secs(self.requested_start as u64),
             };
         }
+        spec.min_procs = self.min_procs;
+        spec.max_procs = self.max_procs;
         Some(spec)
     }
 
@@ -171,6 +204,19 @@ impl CwfRecord {
         s.push_str(self.request_type.code());
         s.push(' ');
         s.push_str(&self.amount.to_string());
+        // Fields 22-23 appear only on rows that carry a proc-range, so
+        // rigid workloads render byte-identically to pre-range CWF. An
+        // unset bound renders as the conventional -1.
+        if self.min_procs > 0 || self.max_procs > 0 {
+            for bound in [self.min_procs, self.max_procs] {
+                s.push(' ');
+                if bound > 0 {
+                    s.push_str(&bound.to_string());
+                } else {
+                    s.push_str("-1");
+                }
+            }
+        }
         s
     }
 }
@@ -184,10 +230,17 @@ pub struct CwfFile {
     pub records: Vec<CwfRecord>,
 }
 
-/// Parse one non-comment CWF line (18 SWF fields or 21 CWF fields).
-/// Shared by [`CwfFile::parse`] and the streaming `CwfSource`.
+/// Parse one non-comment CWF line: 18 SWF fields, 21 CWF fields, or 23
+/// CWF fields with a trailing proc-range. Shared by [`CwfFile::parse`]
+/// and the streaming `CwfSource`.
 pub(crate) fn record_from_line(line: &str, lineno: usize) -> Result<CwfRecord, ParseError> {
     let tokens: Vec<&str> = line.split_whitespace().collect();
+    let parse_i64 = |tok: &str, what: &str| {
+        tok.parse::<i64>().map_err(|_| ParseError {
+            line: lineno,
+            message: format!("invalid {what} {tok:?}"),
+        })
+    };
     match tokens.len() {
         18 => {
             let fields = parse_int_fields(line, lineno)?;
@@ -197,10 +250,13 @@ pub(crate) fn record_from_line(line: &str, lineno: usize) -> Result<CwfRecord, P
                 requested_start: -1,
                 request_type: RequestType::Submit,
                 amount: -1,
+                min_procs: 0,
+                max_procs: 0,
             })
         }
-        21 => {
-            // Fields 1-19 and 21 are integers; field 20 is a code.
+        21 | 23 => {
+            // Fields 1-19, 21, and 22-23 (if present) are integers;
+            // field 20 is a code.
             let head = tokens[..19].join(" ");
             let ints = parse_int_fields(&head, lineno)?;
             let swf = record_from_fields(&ints[..18], lineno)?;
@@ -209,20 +265,29 @@ pub(crate) fn record_from_line(line: &str, lineno: usize) -> Result<CwfRecord, P
                 line: lineno,
                 message: format!("unknown request type {:?}", tokens[19]),
             })?;
-            let amount = tokens[20].parse::<i64>().map_err(|_| ParseError {
-                line: lineno,
-                message: format!("invalid amount {:?}", tokens[20]),
-            })?;
+            let amount = parse_i64(tokens[20], "amount")?;
+            // Negative tokens (the SWF "unknown" convention) normalize
+            // to the 0 sentinel JobSpec uses for an unset bound.
+            let (min_procs, max_procs) = if tokens.len() == 23 {
+                (
+                    u32::try_from(parse_i64(tokens[21], "min procs")?).unwrap_or(0),
+                    u32::try_from(parse_i64(tokens[22], "max procs")?).unwrap_or(0),
+                )
+            } else {
+                (0, 0)
+            };
             Ok(CwfRecord {
                 swf,
                 requested_start,
                 request_type,
                 amount,
+                min_procs,
+                max_procs,
             })
         }
         n => Err(ParseError {
             line: lineno,
-            message: format!("expected 18 (SWF) or 21 (CWF) fields, found {n}"),
+            message: format!("expected 18 (SWF), 21, or 23 (CWF) fields, found {n}"),
         }),
     }
 }
@@ -287,7 +352,7 @@ impl CwfFile {
     pub fn from_workload(w: &Workload) -> CwfFile {
         let mut records: Vec<CwfRecord> = Vec::with_capacity(w.jobs.len() + w.eccs.len());
         for j in &w.jobs {
-            let rec = match j.class {
+            let mut rec = match j.class {
                 JobClass::Batch => CwfRecord::submit_batch(
                     j.id.0,
                     j.submit.as_secs(),
@@ -304,6 +369,9 @@ impl CwfFile {
                     requested_start.as_secs(),
                 ),
             };
+            if j.min_procs > 0 || j.max_procs > 0 {
+                rec = rec.with_proc_range(j.min_procs, j.max_procs);
+            }
             records.push(rec);
         }
         for e in &w.eccs {
@@ -392,7 +460,59 @@ mod tests {
     #[test]
     fn wrong_arity_is_error() {
         let err = CwfFile::parse("1 2 3 4 5\n").unwrap_err();
-        assert!(err.message.contains("18 (SWF) or 21 (CWF)"));
+        assert!(err.message.contains("18 (SWF), 21, or 23 (CWF)"));
+    }
+
+    #[test]
+    fn proc_range_columns_parse_and_make_jobs_malleable() {
+        let text = "\
+1 0 -1 120 64 -1 -1 64 150 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 S -1 32 128
+2 30 -1 600 96 -1 -1 96 600 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 S -1 -1 192
+3 60 -1 600 96 -1 -1 96 600 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 S -1 -1 -1
+";
+        let w = CwfFile::parse(text).unwrap().to_workload();
+        assert_eq!(w.jobs.len(), 3);
+        assert_eq!(w.jobs[0].proc_range(), (32, 128));
+        assert!(w.jobs[0].is_malleable());
+        // Grow-only range: min stays at the request.
+        assert_eq!(w.jobs[1].proc_range(), (96, 192));
+        // Both -1: rigid, same as a 21-field row.
+        assert!(!w.jobs[2].is_malleable());
+        assert_eq!(w.jobs[2].proc_range(), (96, 96));
+    }
+
+    #[test]
+    fn proc_range_roundtrips_through_text_and_workload() {
+        let rec = CwfRecord::submit_batch(1, 0, 64, 100, 120).with_proc_range(32, 256);
+        let f = CwfFile {
+            comments: vec![],
+            records: vec![rec, CwfRecord::submit_batch(2, 5, 32, 50, 60)],
+        };
+        let text = f.to_text();
+        // The rigid row renders without fields 22-23.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0].split_whitespace().count(), 23);
+        assert_eq!(lines[1].split_whitespace().count(), 21);
+        let g = CwfFile::parse(&text).unwrap();
+        assert_eq!(f.records, g.records);
+        let w = g.to_workload();
+        let f2 = CwfFile::from_workload(&w);
+        assert_eq!(f2.to_workload(), w);
+        assert_eq!(w.jobs[0].proc_range(), (32, 256));
+    }
+
+    #[test]
+    fn record_serde_defaults_range_unset() {
+        let rec = CwfRecord::submit_batch(1, 0, 64, 100, 120);
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: CwfRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+        // Pre-range JSON (fields absent) deserializes with 0 sentinels.
+        let stripped = json
+            .replace(",\"min_procs\":0", "")
+            .replace(",\"max_procs\":0", "");
+        let old: CwfRecord = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old, rec);
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct GeneratorConfig {
     /// perfect estimates (the paper's setting); 2.0 reproduces the
     /// Mu'alem–Feitelson over-estimation experiment.
     pub overestimate_factor: f64,
+    /// Probability that a batch job is malleable (`P_M`): drawn jobs get
+    /// a proc-range of `[num/2, 2·num]` (unit-clamped by the engine) for
+    /// the `+m` stack layer to exploit. 0 (the default) leaves every
+    /// seeded workload byte-identical to the pre-range generator.
+    #[serde(default)]
+    pub p_malleable: f64,
     /// RNG seed — same seed, same workload.
     pub seed: u64,
 }
@@ -65,6 +71,7 @@ impl Default for GeneratorConfig {
             p_reduce: 0.0,
             ecc_amount_mean: 600.0,
             overestimate_factor: 1.0,
+            p_malleable: 0.0,
             seed: 0,
         }
     }
@@ -125,6 +132,12 @@ impl GeneratorConfig {
         self.arrival.beta_arr = beta_arr;
         self
     }
+
+    /// Set the malleable-job probability `P_M`.
+    pub fn with_malleable(mut self, p_malleable: f64) -> Self {
+        self.p_malleable = p_malleable;
+        self
+    }
 }
 
 /// One job drawn from the generator models, along with the ECCs injected
@@ -151,6 +164,7 @@ pub(crate) struct JobStream {
     p_extend: f64,
     p_reduce: f64,
     overestimate_factor: f64,
+    p_malleable: f64,
     next_id: u64,
 }
 
@@ -168,13 +182,16 @@ impl JobStream {
             p_extend: config.p_extend,
             p_reduce: config.p_reduce,
             overestimate_factor: config.overestimate_factor,
+            p_malleable: config.p_malleable,
             next_id: 1,
         }
     }
 
     /// Draw the next job. The draw order per job is load-bearing (submit,
-    /// size, runtime, dedicated roll, ET roll, RT roll): changing it
-    /// changes every seeded workload.
+    /// size, runtime, dedicated roll, ET roll, RT roll, then — only when
+    /// `P_M > 0` — the malleable roll): changing it changes every seeded
+    /// workload. The malleable roll comes last and is skipped entirely at
+    /// `P_M == 0`, so pre-range seeds reproduce byte-identically.
     pub(crate) fn draw(&mut self) -> DrawnJob {
         let rng = &mut self.rng;
         let id = JobId(self.next_id);
@@ -194,13 +211,15 @@ impl JobStream {
             JobClass::Batch
         };
 
-        let spec = JobSpec {
+        let mut spec = JobSpec {
             id,
             submit,
             num,
             dur: Duration::from_secs(est_secs),
             actual: Duration::from_secs(actual_secs),
             class,
+            min_procs: 0,
+            max_procs: 0,
         };
 
         // ECC injection: issue somewhere in the job's nominal lifetime
@@ -220,6 +239,17 @@ impl JobStream {
             .map(|(issue, amount)| EccSpec::extend_time(id, issue, amount));
         let reduce = roll_ecc(self.p_reduce, rng, &self.ecc_amount)
             .map(|(issue, amount)| EccSpec::reduce_time(id, issue, amount));
+
+        // Malleable roll, last and conditionally: short-circuiting on
+        // P_M > 0 before touching the RNG keeps the stream (and thus
+        // every existing seeded workload) untouched when malleability
+        // is disabled.
+        if self.p_malleable > 0.0
+            && spec.class == JobClass::Batch
+            && rng.gen::<f64>() < self.p_malleable
+        {
+            spec = spec.with_proc_range(num / 2, (2 * num).min(self.machine_procs));
+        }
 
         DrawnJob {
             spec,
@@ -339,6 +369,42 @@ mod tests {
         for e in &w.eccs {
             assert!(e.issue_at >= submit_of(e.job));
         }
+    }
+
+    #[test]
+    fn malleable_fraction_tracks_pm_and_ranges_are_sane() {
+        let w = generate(
+            &GeneratorConfig::paper_batch(0.5)
+                .with_malleable(0.4)
+                .with_jobs(5000)
+                .with_seed(11),
+        );
+        let mal = w.jobs.iter().filter(|j| j.is_malleable()).count() as f64;
+        let frac = mal / w.len() as f64;
+        assert!((frac - 0.4).abs() < 0.02, "P_M fraction {frac}");
+        for j in &w.jobs {
+            let (min, max) = j.proc_range();
+            assert!(min <= j.num && j.num <= max);
+            if j.is_malleable() {
+                assert_eq!(j.min_procs, j.num / 2);
+                assert_eq!(j.max_procs, (2 * j.num).min(320));
+            } else {
+                assert_eq!((j.min_procs, j.max_procs), (0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_pm_leaves_seeded_workloads_untouched() {
+        // P_M == 0 must consume no RNG draws: the workload has to be
+        // byte-identical to one generated before the knob existed.
+        let base = GeneratorConfig::paper_heterogeneous(0.5, 0.5)
+            .with_paper_eccs()
+            .with_jobs(1000)
+            .with_seed(42);
+        let with_knob = base.with_malleable(0.0);
+        assert_eq!(generate(&base), generate(&with_knob));
+        assert!(generate(&base).jobs.iter().all(|j| !j.is_malleable()));
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub struct SwfSource<R> {
     lineno: usize,
     done: bool,
     err: Option<ParseError>,
+    malleable: bool,
+    hdr_max_procs: Option<u32>,
+    hdr_max_nodes: Option<u32>,
 }
 
 impl<R: BufRead> SwfSource<R> {
@@ -62,12 +65,44 @@ impl<R: BufRead> SwfSource<R> {
             lineno: 0,
             done: false,
             err: None,
+            malleable: false,
+            hdr_max_procs: None,
+            hdr_max_nodes: None,
         }
+    }
+
+    /// Mark every streamed job as malleable with a grow-only proc-range
+    /// `[num, MaxProcs]`, the ceiling taken from the log's `; MaxProcs:`
+    /// header (`MaxNodes` fallback) as it streams past — header lines
+    /// precede records in SWF, so the ceiling is in hand before the first
+    /// job. Yields exactly what
+    /// [`SwfFile::to_job_specs_malleable`](crate::swf::SwfFile::to_job_specs_malleable)
+    /// materializes.
+    pub fn with_malleable_growth(mut self) -> Self {
+        self.malleable = true;
+        self
     }
 
     /// The parse error that terminated the stream, if any.
     pub fn error(&self) -> Option<&ParseError> {
         self.err.as_ref()
+    }
+
+    /// The grow ceiling streamed from the header so far.
+    fn ceiling(&self) -> Option<u32> {
+        self.hdr_max_procs.or(self.hdr_max_nodes)
+    }
+
+    /// Record `MaxProcs`/`MaxNodes` header values as they stream past.
+    fn scan_header(&mut self, comment: &str) {
+        let Some((key, value)) = comment.split_once(':') else {
+            return;
+        };
+        match key.trim() {
+            "MaxProcs" => self.hdr_max_procs = value.trim().parse().ok(),
+            "MaxNodes" => self.hdr_max_nodes = value.trim().parse().ok(),
+            _ => {}
+        }
     }
 
     fn fail(&mut self, err: ParseError) -> Option<SourceItem> {
@@ -104,6 +139,12 @@ impl<R: BufRead> JobSource for SwfSource<R> {
             }
             let line = self.line.trim();
             if line.is_empty() || line.starts_with(';') {
+                if self.malleable {
+                    if let Some(comment) = line.strip_prefix(';') {
+                        let comment = comment.trim().to_string();
+                        self.scan_header(&comment);
+                    }
+                }
                 continue;
             }
             // Borrow dance: parse into a scratch buffer owned by self
@@ -123,7 +164,14 @@ impl<R: BufRead> JobSource for SwfSource<R> {
             }
             match swf::record_from_fields(&self.fields, self.lineno) {
                 Ok(rec) => {
-                    if let Some(spec) = rec.to_job_spec() {
+                    if let Some(mut spec) = rec.to_job_spec() {
+                        if self.malleable {
+                            if let Some(cap) = self.ceiling() {
+                                if cap > spec.num {
+                                    spec.max_procs = cap;
+                                }
+                            }
+                        }
                         return Some(SourceItem::Job(spec));
                     }
                     // Unusable record: skipped, exactly like to_job_specs.
@@ -525,6 +573,36 @@ mod tests {
         let expected: Vec<SourceItem> =
             f.to_job_specs().into_iter().map(SourceItem::Job).collect();
         assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn swf_malleable_growth_matches_materialized() {
+        let text = "\
+; Computer: IBM SP2
+; MaxNodes: 130
+; MaxProcs: 128
+1 0 -1 120 64 -1 -1 64 150 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 30 -1 600 128 -1 -1 128 600 -1 1 -1 -1 -1 -1 -1 -1 -1
+";
+        let f = SwfFile::parse(text).unwrap();
+        let expected = f.to_job_specs_malleable();
+        assert_eq!(expected[0].proc_range(), (64, 128));
+        assert!(expected[0].is_malleable());
+        // Already at the ceiling: stays rigid.
+        assert!(!expected[1].is_malleable());
+
+        let mut src = SwfSource::from_text(text).with_malleable_growth();
+        let streamed: Vec<SourceItem> = std::iter::from_fn(|| src.next_item()).collect();
+        assert!(src.error().is_none());
+        let expected: Vec<SourceItem> = expected.into_iter().map(SourceItem::Job).collect();
+        assert_eq!(streamed, expected);
+
+        // Without the opt-in, the same text streams rigid jobs.
+        let rigid = drain(SwfSource::from_text(text));
+        assert!(rigid.iter().all(|i| match i {
+            SourceItem::Job(j) => !j.is_malleable(),
+            _ => true,
+        }));
     }
 
     #[test]

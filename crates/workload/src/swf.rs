@@ -339,6 +339,30 @@ impl SwfFile {
         self.records.iter().filter_map(|r| r.to_job_spec()).collect()
     }
 
+    /// Like [`to_job_specs`](Self::to_job_specs), but mark every job as
+    /// malleable with a *grow-only* proc-range `[num, MaxProcs]`, where
+    /// the ceiling comes from the log's `; MaxProcs:` header (falling
+    /// back to `MaxNodes`). SWF carries no per-job range, so this is the
+    /// standard moldable-replay assumption from the malleable-scheduling
+    /// literature: a job can use more processors than it asked for, never
+    /// fewer. Jobs already at the ceiling stay rigid. Without a usable
+    /// header this is exactly `to_job_specs`.
+    pub fn to_job_specs_malleable(&self) -> Vec<JobSpec> {
+        let ceiling = self.header().machine_procs();
+        self.records
+            .iter()
+            .filter_map(|r| {
+                let mut spec = r.to_job_spec()?;
+                if let Some(cap) = ceiling {
+                    if cap > spec.num {
+                        spec.max_procs = cap;
+                    }
+                }
+                Some(spec)
+            })
+            .collect()
+    }
+
     /// Scale every submit time by `factor` (the paper's §III load-variation
     /// technique: "multiplying the arrival time of each job by a constant
     /// factor"). `factor > 1` stretches the trace (lower load).

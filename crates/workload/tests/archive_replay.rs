@@ -1,0 +1,84 @@
+//! Replay the vendored Parallel-Workloads-Archive-style SWF excerpt.
+//!
+//! `results/sdsc_sp2_excerpt.swf` is a format-faithful excerpt in the
+//! style of the SDSC SP2 log (synthesized offline — see its header
+//! notes). These tests pin that the repo can actually ingest an
+//! archive-shaped file end to end: header metadata (`MaxProcs`) parses,
+//! every record converts, the streaming reader agrees with the
+//! materialized parse, and the `MaxProcs` header turns into grow-only
+//! proc-ranges when malleable replay is requested.
+
+use elastisched_sim::{JobSource, SourceItem};
+use elastisched_workload::{SwfFile, SwfSource};
+
+fn excerpt_text() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/sdsc_sp2_excerpt.swf"
+    );
+    std::fs::read_to_string(path).expect("vendored SWF excerpt present")
+}
+
+fn drain(mut src: impl JobSource) -> Vec<SourceItem> {
+    std::iter::from_fn(move || src.next_item()).collect()
+}
+
+#[test]
+fn excerpt_parses_with_archive_header() {
+    let f = SwfFile::parse(&excerpt_text()).unwrap();
+    let h = f.header();
+    assert_eq!(h.version.as_deref(), Some("2.2"));
+    assert_eq!(h.computer.as_deref(), Some("IBM SP2"));
+    assert_eq!(h.max_procs, Some(128));
+    assert_eq!(h.machine_procs(), Some(128));
+    assert_eq!(h.unix_start_time, Some(830937600));
+    // Every record in the excerpt is complete and converts.
+    assert_eq!(f.records.len(), 48);
+    assert_eq!(f.to_job_specs().len(), 48);
+    // Sizes fit the advertised machine.
+    for j in f.to_job_specs() {
+        assert!(j.num >= 1 && j.num <= 128);
+        assert!(j.actual <= j.dur);
+    }
+    // The trace offers a sane (non-degenerate) load on its own machine.
+    let load = f.offered_load(128);
+    assert!(load > 0.05 && load < 2.0, "offered load {load}");
+}
+
+#[test]
+fn excerpt_streams_identically_to_materialized_parse() {
+    let text = excerpt_text();
+    let f = SwfFile::parse(&text).unwrap();
+
+    let mut src = SwfSource::from_text(&text);
+    let streamed = drain(&mut src);
+    assert!(src.error().is_none());
+    let expected: Vec<SourceItem> = f.to_job_specs().into_iter().map(SourceItem::Job).collect();
+    assert_eq!(streamed, expected);
+}
+
+#[test]
+fn excerpt_malleable_replay_uses_header_max_procs() {
+    let text = excerpt_text();
+    let f = SwfFile::parse(&text).unwrap();
+    let specs = f.to_job_specs_malleable();
+    // Grow-only ranges: min stays at the request, max is the header's
+    // MaxProcs; full-machine jobs stay rigid.
+    for j in &specs {
+        let (min, max) = j.proc_range();
+        assert_eq!(min, j.num);
+        if j.num < 128 {
+            assert_eq!(max, 128);
+            assert!(j.is_malleable());
+        } else {
+            assert!(!j.is_malleable());
+        }
+    }
+    assert!(specs.iter().any(|j| j.is_malleable()));
+
+    let mut src = SwfSource::from_text(&text).with_malleable_growth();
+    let streamed = drain(&mut src);
+    assert!(src.error().is_none());
+    let expected: Vec<SourceItem> = specs.into_iter().map(SourceItem::Job).collect();
+    assert_eq!(streamed, expected);
+}

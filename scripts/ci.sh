@@ -89,6 +89,12 @@ cargo test --offline --locked --quiet -p elastisched-sched --test legacy_differe
 cargo test --offline --locked --quiet -p elastisched-sched --test registry_properties
 cargo test --offline --locked --quiet -p elastisched-sched --test dp_properties
 
+echo "== malleable degeneracy oracle (+m ≡ base on rigid workloads) =="
+# The +m layer must be bit-identical to its base stack whenever no job
+# is malleable (every registry core, dedicated layer included, plus a
+# proptest across loads/seeds) and must actually resize when jobs are.
+cargo test --offline --locked --quiet -p elastisched-sched --test malleable_degeneracy
+
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --locked --workspace --all-targets -- -D warnings
 

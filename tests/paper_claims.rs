@@ -27,6 +27,7 @@ fn run(algo: Algorithm, cs: u32, w: &Workload) -> RunMetrics {
         machine: MachineSpec::BLUEGENE_P,
         timeline: None,
         attribution: false,
+        reconfig_cost: None,
     }
     .run(w)
     .expect("simulation completes")

@@ -86,6 +86,7 @@ proptest! {
             machine: MachineSpec::BLUEGENE_P,
             timeline: None,
             attribution: false,
+            reconfig_cost: None,
         };
         let r = exp.run_raw(&w).expect("simulation completes");
         prop_assert_eq!(r.outcomes.len(), jobs.len());
